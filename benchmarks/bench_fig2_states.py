@@ -1,0 +1,62 @@
+"""Fig 2 — the state transitions of one bit.
+
+Exhaustively drives one dot through every edge of the Fig 2 diagram
+and prints the observed transition table: mwb toggles 0 <-> 1, ewb is
+a one-way edge into H from either state, and on a heated dot mwb has
+no effect while mrb returns "a more or less random result".
+"""
+
+from repro.analysis.report import format_table
+from repro.device.bitops import BitOps
+from repro.medium.geometry import MediumGeometry
+from repro.medium.medium import PatternedMedium
+
+
+def _state(ops: BitOps, index: int) -> str:
+    if ops.medium.is_heated(index):
+        return "H"
+    return str(ops.mrb(index))
+
+
+def _transition_rows():
+    geom = MediumGeometry(cols=64, rows=1, dots_per_block=16)
+    rows = []
+    dot = 0
+    for start_bit, op, arg in [
+        (0, "mwb", 1), (1, "mwb", 0), (0, "mwb", 0), (1, "mwb", 1),
+        (0, "ewb", None), (1, "ewb", None),
+    ]:
+        ops = BitOps(PatternedMedium(geom))
+        ops.mwb(dot, start_bit)
+        before = _state(ops, dot)
+        if op == "mwb":
+            ops.mwb(dot, arg)
+            label = f"mwb {arg}"
+        else:
+            ops.ewb(dot)
+            label = "ewb"
+        rows.append([before, label, _state(ops, dot)])
+    # edges out of H
+    ops = BitOps(PatternedMedium(geom))
+    ops.ewb(dot)
+    ops.mwb(dot, 1)
+    rows.append(["H", "mwb 0/1", _state(ops, dot)])
+    ops.ewb(dot)
+    rows.append(["H", "ewb", _state(ops, dot)])
+    reads = {ops.mrb(dot) for _ in range(32)}
+    rows.append(["H", "mrb", "random " + "/".join(map(str, sorted(reads)))])
+    return rows
+
+
+def test_fig2_state_machine(benchmark, show):
+    rows = benchmark(_transition_rows)
+    show(format_table(["state", "operation", "state'"], rows,
+                      title="Fig 2 — observed bit state transitions"))
+    table = {(r[0], r[1]): r[2] for r in rows}
+    assert table[("0", "mwb 1")] == "1"
+    assert table[("1", "mwb 0")] == "0"
+    assert table[("0", "ewb")] == "H"
+    assert table[("1", "ewb")] == "H"
+    assert table[("H", "mwb 0/1")] == "H"  # no way back
+    assert table[("H", "ewb")] == "H"
+    assert table[("H", "mrb")].startswith("random")

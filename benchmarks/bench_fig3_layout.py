@@ -1,0 +1,50 @@
+"""Fig 3 — sample medium layout of a heated line.
+
+Heats an 8-block line and dumps the on-dot layout exactly as Fig 3
+draws it: block 0 is Manchester-coded electrical cells (HU/UH), blocks
+1..2^N-1 are ordinary magnetic 0/1 data.
+"""
+
+from repro.analysis.report import format_table
+from repro.device.sector import E_REGION_DOTS
+from repro.device.sero import SERODevice
+
+
+def _build_line():
+    device = SERODevice.create(16)
+    for pba in range(1, 8):
+        device.write_block(pba, bytes([pba]) * 512)
+    device.heat_line(0, 8, timestamp=1)
+    return device
+
+
+def _layout_rows(device):
+    rows = []
+    # block 0: classify the first cells + count the rest
+    start, _ = device.geometry.block_span(0)
+    heated = device.medium.image_heated(range(start, start + E_REGION_DOTS))
+    cells = ["".join("H" if heated[2 * c + k] else "U" for k in (0, 1))
+             for c in range(8)]
+    n_h = int(heated.sum())
+    rows.append(["0", " ".join(cells) + " ...",
+                 f"hash+meta. ({n_h} H dots of {E_REGION_DOTS})"])
+    for pba in (1, 2, 7):
+        s, _ = device.geometry.block_span(pba)
+        bits = "".join(device.medium.snapshot_states(s, s + 16))
+        rows.append([str(pba), bits + " ...", "512B data"])
+    return rows
+
+
+def test_fig3_heated_line_layout(benchmark, show):
+    device = _build_line()
+    rows = benchmark(_layout_rows, device)
+    show(format_table(["block", "first dots", "purpose"], rows,
+                      title="Fig 3 — heated line layout (N=3)"))
+    # block 0's cells are valid Manchester: exactly one H per cell
+    for cell in rows[0][1].split()[:8]:
+        assert cell in ("HU", "UH")
+    # data blocks contain no heated dots
+    for row in rows[1:]:
+        assert "H" not in row[1]
+    # exactly half the electrical region dots are heated (one per cell)
+    assert f"{E_REGION_DOTS // 2} H dots" in rows[0][2]

@@ -1,0 +1,43 @@
+"""Section 3 / 8 — heat-line space overhead and cost vs line size N.
+
+"For large N the amount of space wasted is negligible (1 block out of
+2^N), but the price to pay is lack of flexibility."  The sweep prints
+both sides of that tradeoff: hash-block overhead 1/2^N and the WO time
+per protected byte, which amortises with N.
+"""
+
+from repro.analysis.report import format_table
+from repro.device.sero import SERODevice
+
+
+def _sweep(max_n: int = 6):
+    rows = []
+    for n_log2 in range(1, max_n + 1):
+        n_blocks = 1 << n_log2
+        device = SERODevice.create(max(2 * n_blocks, 16))
+        for pba in range(1, n_blocks):
+            device.write_block(pba, bytes([pba & 0xFF]) * 512)
+        device.account.reset()
+        device.heat_line(0, n_blocks, timestamp=1)
+        heat_time = device.account.elapsed
+        protected = (n_blocks - 1) * 512
+        rows.append([
+            f"2^{n_log2}", n_blocks, f"{100.0 / n_blocks:.1f}%",
+            round(heat_time * 1e3, 2),
+            round(heat_time * 1e6 / max(protected, 1), 2),
+        ])
+    return rows
+
+
+def test_heatline_overhead_vs_n(benchmark, show):
+    rows = benchmark(_sweep)
+    show(format_table(
+        ["line", "blocks", "space overhead", "heat time [ms]",
+         "heat cost [us/byte]"],
+        rows, title="Sections 3/8 — heat-line overhead vs N"))
+    overheads = [100.0 / r[1] for r in rows]
+    per_byte = [r[4] for r in rows]
+    # overhead halves with each N; per-byte WO cost amortises
+    for a, b in zip(overheads, overheads[1:]):
+        assert b == a / 2
+    assert per_byte[-1] < per_byte[0] / 3

@@ -1,0 +1,57 @@
+"""Section 8 — device lifetime under a compliance workload.
+
+"Over the lifetime of the device, the read/write area gradually
+shrinks, and the read-only area grows, until the device has become a
+pure read-only device."  The compliance archive seals one batch per
+period until the device fills; the series prints the WMRM/RO split
+over time, and every sealed batch stays verifiable to the end.
+"""
+
+from repro.analysis.report import format_series, format_table
+from repro.device.sero import SERODevice, VerifyStatus
+from repro.fs.lfs import SeroFS
+from repro.workloads.archival import ComplianceArchive
+
+
+def _run_to_end_of_life():
+    device = SERODevice.create(1024)
+    fs = SeroFS.format(device)
+    archive = ComplianceArchive(fs, batch_bytes=3000)
+    series = []
+    from repro.errors import NoSpaceError
+
+    period = 0
+    while True:
+        try:
+            archive.run_period(period)
+        except NoSpaceError:
+            break
+        if period % 5 == 0:
+            report = device.capacity_report()
+            series.append((period, report["writable_blocks"]))
+        period += 1
+    final = device.capacity_report()
+    audits = archive.audit()
+    return series, final, audits, period
+
+
+def test_device_lifetime(benchmark, show):
+    series, final, audits, periods = benchmark.pedantic(
+        _run_to_end_of_life, rounds=1, iterations=1)
+    show(format_series("period", "writable (WMRM) blocks", series,
+                       title="Section 8 — WMRM area over device life"))
+    show(format_table(
+        ["metric", "value"],
+        [["periods until full", periods],
+         ["final writable blocks", final["writable_blocks"]],
+         ["final heated (RO) blocks", final["heated_blocks"]],
+         ["sealed batches still verifiable",
+          sum(1 for r in audits.values()
+              if r.status is VerifyStatus.INTACT)],
+         ["sealed batches total", len(audits)]],
+        title="Section 8 — end-of-life accounting"))
+    writable = [w for _p, w in series]
+    assert all(a >= b for a, b in zip(writable, writable[1:]))  # monotone
+    assert final["heated_blocks"] > final["writable_blocks"]
+    assert all(r.status is VerifyStatus.INTACT for r in audits.values())
+    assert periods > 20

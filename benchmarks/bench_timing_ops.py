@@ -1,0 +1,70 @@
+"""Section 3 — operation cost structure (and the erb ablation).
+
+Regenerates the cost relations the paper states: erb is the five-step
+mrb/mwb sequence (>= 5x mrb), ewb is two orders slower than mwb, and
+the device-level sector operations inherit those ratios.  The ablation
+compares the paper's double-inversion erb against a hypothetical
+direct in-plane read (1 bit-op), quantifying what the elliptic-dot
+alternative of Section 3 would buy.
+"""
+
+from repro.analysis.report import format_table
+from repro.device.sero import SERODevice
+from repro.device.timing import TimingModel
+
+
+def _op_cost_rows():
+    timing = TimingModel()
+    rows = [
+        ["mrb", timing.t_mrb * 1e6, 1.0],
+        ["mwb", timing.t_mwb * 1e6, timing.t_mwb / timing.t_mrb],
+        ["erb (5-step)", timing.t_erb * 1e6, timing.t_erb / timing.t_mrb],
+        ["erb (direct in-plane, ablation)", timing.t_mrb * 1e6, 1.0],
+        ["ewb", timing.t_ewb * 1e6, timing.t_ewb / timing.t_mrb],
+    ]
+    return rows
+
+
+def _sector_cost_rows():
+    device = SERODevice.create(32)
+    for pba in range(1, 4):
+        device.write_block(pba, bytes([pba]) * 512)
+    device.account.reset()
+    device.read_block(1)
+    mrs = device.account.elapsed
+    device.account.reset()
+    device.write_block(5, b"\x00" * 512)
+    mws = device.account.elapsed
+    device.account.reset()
+    device.heat_line(0, 4)
+    heat = device.account.elapsed
+    device.account.reset()
+    device.verify_line(0)
+    verify = device.account.elapsed
+    return [
+        ["mrs (sector read)", mrs * 1e3, 1.0],
+        ["mws (sector write)", mws * 1e3, mws / mrs],
+        ["heat_line (4 blocks)", heat * 1e3, heat / mrs],
+        ["verify_line (4 blocks)", verify * 1e3, verify / mrs],
+    ]
+
+
+def test_bit_op_costs(benchmark, show):
+    rows = benchmark(_op_cost_rows)
+    show(format_table(["operation", "latency [us/bit]", "x mrb"], rows,
+                      title="Section 3 — bit operation cost structure"))
+    costs = {r[0]: r[2] for r in rows}
+    assert costs["erb (5-step)"] >= 5.0  # "at least 5 times slower"
+    assert costs["ewb"] >= 50.0          # heating is slow
+    assert costs["erb (direct in-plane, ablation)"] == 1.0
+
+
+def test_sector_op_costs(benchmark, show):
+    rows = benchmark(_sector_cost_rows)
+    show(format_table(["operation", "latency [ms]", "x mrs"], rows,
+                      title="Section 3 — sector operation costs"))
+    costs = {r[0]: r[2] for r in rows}
+    # the WO operation is far more expensive than ordinary I/O even
+    # for a tiny 4-block line (the gap widens with line size because
+    # every heated dot pays the 100 us pulse): use it sparingly
+    assert costs["heat_line (4 blocks)"] > 2 * costs["mws (sector write)"]

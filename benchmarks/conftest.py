@@ -1,0 +1,19 @@
+"""Benchmark harness configuration.
+
+Every bench prints the rows/series of the paper artifact it
+regenerates (run with ``-s`` to see them) and times a representative
+operation with pytest-benchmark.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print helper that always reaches the terminal."""
+    import sys
+
+    def _show(text: str) -> None:
+        sys.stderr.write("\n" + text + "\n")
+
+    return _show

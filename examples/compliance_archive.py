@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""SOX-style compliance retention on a SERO device (Sections 2 and 8).
+
+One record batch is sealed per period until the device's WMRM area is
+exhausted — the paper's device-lifetime story: "the read/write area
+gradually shrinks ... until the device has become a pure read-only
+device", at which point it is decommissioned once all retention
+periods have expired.
+
+Run:  python examples/compliance_archive.py
+"""
+
+from repro import SERODevice, SeroFS, VerifyStatus
+from repro.workloads.archival import ComplianceArchive
+
+
+def main() -> None:
+    device = SERODevice.create(total_blocks=512)
+    fs = SeroFS.format(device)
+    archive = ComplianceArchive(fs, batch_bytes=2048, retention_periods=30)
+
+    periods = archive.run_until_full(max_periods=1000)
+    print(f"device absorbed {periods} periods of sealed batches")
+
+    capacity = device.capacity_report()
+    print(f"capacity: {capacity['writable_blocks']} writable, "
+          f"{capacity['heated_blocks']} heated (read-only), "
+          f"{capacity['bad_blocks']} bad")
+
+    # every sealed batch remains verifiable to the end of device life
+    audit = archive.audit()
+    intact = sum(1 for r in audit.values()
+                 if r.status is VerifyStatus.INTACT)
+    print(f"audit: {intact}/{len(audit)} batches verify INTACT")
+
+    # retention-driven decommissioning
+    for now in (periods // 2, periods + 30):
+        expired = len(archive.expired(now))
+        print(f"at period {now}: {expired}/{len(archive.batches)} batches "
+              f"expired; decommissionable: "
+              f"{archive.decommissionable(now)}")
+
+    # the Venti variant: a daily snapshot tree whose root is sealed
+    from repro.integrity.venti import VentiStore
+
+    device2 = SERODevice.create(512)
+    store = VentiStore(device2, arena_start=16, arena_blocks=480)
+    root = store.snapshot("2008-02-26", b"end of day state " * 100,
+                          timestamp=20080226)
+    print(f"\nVenti daily snapshot sealed; root {root.hex()[:16]}…, "
+          f"tree verifies clean: {store.verify_tree(root) == []}")
+
+
+if __name__ == "__main__":
+    main()

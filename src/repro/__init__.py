@@ -1,0 +1,53 @@
+"""repro — a reproduction of *Towards Tamper-evident Storage on
+Patterned Media* (Hartel, Abelmann, Khatib; FAST 2008).
+
+The package builds the paper's whole stack in simulation:
+
+* :mod:`repro.physics` — Co/Pt multilayer anisotropy, annealing
+  kinetics, torque magnetometry, XRD, tip heating, MFM read-back
+  (Sections 6-7, Figs 1 and 7-9);
+* :mod:`repro.medium` — the heatable patterned-dot medium;
+* :mod:`repro.device` — the SERO block device: mwb/mrb/ewb/erb,
+  sector framing with ECC, heat_line / verify_line (Section 3);
+* :mod:`repro.fs` — SeroFS, the SERO-aware log-structured file system
+  with heat-aware cleaning and forensic recovery (Section 4);
+* :mod:`repro.integrity` — Venti hash trees, the fossilised index and
+  evidence bags on SERO storage (Sections 4.2, 8);
+* :mod:`repro.security` — the Section 5 threat model and attack matrix;
+* :mod:`repro.crypto`, :mod:`repro.workloads`, :mod:`repro.analysis` —
+  supporting substrates.
+
+Quick start::
+
+    from repro import SERODevice, SeroFS
+
+    device = SERODevice.create(total_blocks=512)
+    fs = SeroFS.format(device)
+    fs.create("/ledger", b"audit me")
+    fs.heat_file("/ledger")              # now tamper-evident
+    assert fs.verify_file("/ledger").status.value == "intact"
+"""
+
+from .device.sero import DeviceConfig, LineRecord, SERODevice, VerifyStatus
+from .errors import ReproError, TamperEvidentError
+from .fs.lfs import FSConfig, SeroFS
+from .integrity.evidence import EvidenceBag
+from .integrity.fossil import FossilizedIndex
+from .integrity.venti import VentiStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SERODevice",
+    "DeviceConfig",
+    "LineRecord",
+    "VerifyStatus",
+    "SeroFS",
+    "FSConfig",
+    "VentiStore",
+    "FossilizedIndex",
+    "EvidenceBag",
+    "ReproError",
+    "TamperEvidentError",
+    "__version__",
+]

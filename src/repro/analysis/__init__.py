@@ -1,0 +1,6 @@
+"""Reporting helpers and the experiment registry."""
+
+from .experiments import EXPERIMENTS, Experiment
+from .report import format_series, format_table
+
+__all__ = ["format_table", "format_series", "EXPERIMENTS", "Experiment"]

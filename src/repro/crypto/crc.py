@@ -1,0 +1,68 @@
+"""Cyclic redundancy checks used by the sector format.
+
+The paper assumes ~15% sector overhead "for the sector header, error
+correction, and cyclic redundancy check" (Section 3, following Pozidis
+et al.).  We implement the two CRCs used by the sector codec:
+
+* CRC-32 (IEEE 802.3 reflected polynomial) protecting the sector
+  payload, and
+* CRC-16-CCITT protecting the small sector header.
+
+Both are table-driven and implemented from scratch.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_CRC32_POLY = 0xEDB88320  # reflected 0x04C11DB7
+
+
+def _build_crc32_table() -> List[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ _CRC32_POLY
+            else:
+                crc >>= 1
+        table.append(crc)
+    return table
+
+
+_CRC32_TABLE = _build_crc32_table()
+
+
+def crc32(data: bytes, crc: int = 0) -> int:
+    """CRC-32/IEEE of ``data``; ``crc`` seeds continuation."""
+    crc ^= 0xFFFFFFFF
+    for byte in data:
+        crc = (crc >> 8) ^ _CRC32_TABLE[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF
+
+
+_CRC16_POLY = 0x1021  # CCITT
+
+
+def _build_crc16_table() -> List[int]:
+    table = []
+    for byte in range(256):
+        crc = byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ _CRC16_POLY) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+        table.append(crc)
+    return table
+
+
+_CRC16_TABLE = _build_crc16_table()
+
+
+def crc16_ccitt(data: bytes, crc: int = 0xFFFF) -> int:
+    """CRC-16-CCITT (init 0xFFFF) of ``data``."""
+    for byte in data:
+        crc = ((crc << 8) & 0xFFFF) ^ _CRC16_TABLE[((crc >> 8) ^ byte) & 0xFF]
+    return crc

@@ -1,0 +1,54 @@
+"""The SERO probe-storage device (Section 3 of the paper).
+
+* :mod:`~repro.device.bitops` — mwb/mrb/ewb and the five-step erb.
+* :mod:`~repro.device.ecc` — Hamming(72,64) SECDED sector protection.
+* :mod:`~repro.device.sector` — 512-byte frames and the electrical
+  (Fig 3) hash-block payload format.
+* :mod:`~repro.device.scanner` — uSPAM sled seeks and probe-array
+  transfers.
+* :mod:`~repro.device.timing` — latency model and cost accounting.
+* :mod:`~repro.device.sero` — :class:`SERODevice` with heat_line /
+  verify_line and the line registry.
+"""
+
+from .antifuse import AntifuseArray, AntifuseSEROEmulator
+from .bitops import BitOps
+from .sector import (
+    BLOCK_SIZE,
+    DOTS_PER_BLOCK,
+    E_PAYLOAD_BYTES,
+    ElectricalPayload,
+    decode_frame,
+    encode_frame,
+)
+from .sero import (
+    DeviceConfig,
+    LineRecord,
+    SERODevice,
+    VerificationResult,
+    VerifyStatus,
+)
+from .shred import classify_destroyed_line, is_line_shredded, shred_line
+from .timing import CostAccount, TimingModel
+
+__all__ = [
+    "BitOps",
+    "AntifuseArray",
+    "AntifuseSEROEmulator",
+    "shred_line",
+    "is_line_shredded",
+    "classify_destroyed_line",
+    "BLOCK_SIZE",
+    "DOTS_PER_BLOCK",
+    "E_PAYLOAD_BYTES",
+    "ElectricalPayload",
+    "encode_frame",
+    "decode_frame",
+    "SERODevice",
+    "DeviceConfig",
+    "LineRecord",
+    "VerifyStatus",
+    "VerificationResult",
+    "TimingModel",
+    "CostAccount",
+]

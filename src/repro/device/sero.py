@@ -1,0 +1,574 @@
+"""The SERO device: WMRM block storage with a write-once heat operation.
+
+This class is the paper's Section 3 in executable form.  It offers the
+six high-level sector operations built from the four bit operations:
+
+* ``read_block`` / ``write_block`` — magnetic sector ops (mrs / mws),
+* ``ers_block`` / ``ews_block`` — electrical sector ops (ers / ews),
+* ``heat_line`` — the atomic WO operation: hash 2**N - 1 data blocks
+  (bound to their physical addresses) and burn the Manchester-encoded
+  hash into block 0,
+* ``verify_line`` — recompute and compare, classifying the result as
+  intact or as one of the tamper-evidence conditions.
+
+Driver policy (what a well-behaved host does) is enforced here: writes
+to heated lines are refused, electrically written blocks are never read
+magnetically, physical addressing is used throughout.  Attackers do not
+go through this class — :mod:`repro.security.attacks` manipulates the
+medium directly, exactly like the paper's insider who connects the
+device to a laptop.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..crypto.hashutil import line_hash
+from ..crypto.manchester import CellState, classify_cell, encode_bytes
+from ..errors import (
+    AlignmentError,
+    BadBlockError,
+    HeatedBlockError,
+    HeatError,
+    ReadError,
+    WriteError,
+)
+from ..medium.defects import scan_for_defects
+from ..medium.geometry import MediumGeometry, geometry_for_blocks
+from ..medium.medium import MediumConfig, PatternedMedium
+from ..units import is_power_of_two
+from .bitops import BitOps
+from .sector import (
+    BLOCK_SIZE,
+    DOTS_PER_BLOCK,
+    E_CELLS,
+    E_PAYLOAD_BYTES,
+    E_REGION_DOTS,
+    ElectricalPayload,
+    decode_frame,
+    encode_frame,
+)
+from .scanner import Scanner
+from .timing import CostAccount, TimingModel
+
+
+@dataclass
+class DeviceConfig:
+    """Driver policy and reliability knobs.
+
+    Attributes:
+        erb_rounds: invert/verify rounds per erb (miss rate per heated
+            dot is (1/4)**rounds; 2 keeps single-read ers reliable).
+        ers_cell_retries: re-reads of cells that decode as unused
+            before believing they are genuinely unused.
+        include_addresses_in_hash: bind block PBAs into line hashes
+            (True per the paper; False only for the security ablation).
+        defect_tolerance: defective dots a block may contain before it
+            is marked bad at format time (must stay below the ECC
+            correction budget per frame).
+        enforce_write_protect: refuse magnetic writes into heated lines.
+        verify_retries: extra ers passes verify_line may take when the
+            electrical payload reads back inconsistent.  A tampered
+            (HH) cell escapes one pass as a plausible bit with ~12%
+            probability; re-reading makes the CELL_TAMPERED verdict —
+            rather than the weaker UNREADABLE — near-certain.
+    """
+
+    erb_rounds: int = 2
+    ers_cell_retries: int = 6
+    include_addresses_in_hash: bool = True
+    defect_tolerance: int = 4
+    enforce_write_protect: bool = True
+    verify_retries: int = 3
+
+
+@dataclass(frozen=True)
+class LineRecord:
+    """Registry entry for one heated line."""
+
+    start: int
+    n_blocks: int
+    line_hash: bytes
+    timestamp: int
+
+
+class VerifyStatus(enum.Enum):
+    """Outcome classes of :meth:`SERODevice.verify_line`."""
+
+    INTACT = "intact"
+    HASH_MISMATCH = "hash-mismatch"
+    CELL_TAMPERED = "cell-tampered"
+    UNREADABLE = "unreadable"
+    NOT_A_LINE = "not-a-line"
+
+
+@dataclass
+class VerificationResult:
+    """Result of verifying one line.
+
+    Attributes:
+        status: the verdict.
+        start: line start PBA.
+        stored_hash: hash recovered from the electrical block (None
+            when unreadable).
+        computed_hash: freshly computed hash over the data blocks.
+        tampered_cells: Manchester cell indices that decoded to ``HH``.
+    """
+
+    status: VerifyStatus
+    start: int
+    stored_hash: Optional[bytes] = None
+    computed_hash: Optional[bytes] = None
+    tampered_cells: List[int] = field(default_factory=list)
+
+    @property
+    def tamper_evident(self) -> bool:
+        """True when the result constitutes evidence of tampering."""
+        return self.status in (VerifyStatus.HASH_MISMATCH,
+                               VerifyStatus.CELL_TAMPERED,
+                               VerifyStatus.UNREADABLE)
+
+
+class SERODevice:
+    """A probe-storage SERO block device on a patterned medium.
+
+    Args:
+        medium: the physical substrate.
+        timing: latency model (None = defaults).
+        config: driver policy (None = defaults).
+    """
+
+    def __init__(self, medium: PatternedMedium,
+                 timing: Optional[TimingModel] = None,
+                 config: Optional[DeviceConfig] = None) -> None:
+        self.medium = medium
+        self.geometry = medium.geometry
+        self.timing = timing or TimingModel()
+        self.config = config or DeviceConfig()
+        self.account = CostAccount()
+        self.scanner = Scanner(geometry=self.geometry, timing=self.timing,
+                               account=self.account)
+        self.bitops = BitOps(medium)
+        self.bad_blocks: set = set()
+        self.fragile_blocks: set = set()
+        self._lines: Dict[int, LineRecord] = {}
+        self._block_to_line: Dict[int, int] = {}
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def create(cls, total_blocks: int,
+               medium_config: Optional[MediumConfig] = None,
+               timing: Optional[TimingModel] = None,
+               config: Optional[DeviceConfig] = None,
+               blocks_per_row: int = 8) -> "SERODevice":
+        """Build a device with a fresh medium of ``total_blocks``."""
+        geometry = geometry_for_blocks(total_blocks, DOTS_PER_BLOCK,
+                                       blocks_per_row=blocks_per_row)
+        medium = PatternedMedium(geometry, medium_config)
+        return cls(medium, timing=timing, config=config)
+
+    def format(self) -> None:
+        """Format-time surface scan: populate the bad-block map.
+
+        Must run before any line is heated so a heated block can never
+        be "misinterpreted as a bad block" (Section 3).
+        """
+        if self._lines:
+            raise WriteError("cannot format: device already has heated lines")
+        report = scan_for_defects(self.medium,
+                                  tolerance=self.config.defect_tolerance,
+                                  e_region_dots=E_REGION_DOTS)
+        self.bad_blocks = set(report.bad_blocks)
+        self.fragile_blocks = set(report.fragile_blocks)
+
+    # -- capacity ---------------------------------------------------------------
+
+    @property
+    def total_blocks(self) -> int:
+        """Total physical block count."""
+        return self.geometry.total_blocks
+
+    @property
+    def heated_lines(self) -> Tuple[LineRecord, ...]:
+        """Registered heated lines, in start order."""
+        return tuple(self._lines[k] for k in sorted(self._lines))
+
+    def heated_block_count(self) -> int:
+        """Blocks belonging to heated lines (read-only capacity)."""
+        return sum(rec.n_blocks for rec in self._lines.values())
+
+    def writable_block_count(self) -> int:
+        """Blocks still available for WMRM use."""
+        return self.total_blocks - self.heated_block_count() - len(self.bad_blocks)
+
+    def is_block_heated(self, pba: int) -> bool:
+        """True when ``pba`` lies inside a registered heated line."""
+        return pba in self._block_to_line
+
+    def line_of_block(self, pba: int) -> Optional[LineRecord]:
+        """The heated line containing ``pba``, if any."""
+        start = self._block_to_line.get(pba)
+        return self._lines.get(start) if start is not None else None
+
+    # -- magnetic sector operations ----------------------------------------------
+
+    def _check_pba(self, pba: int) -> None:
+        if not 0 <= pba < self.total_blocks:
+            raise ReadError(f"physical block address {pba} out of range")
+        if pba in self.bad_blocks:
+            raise BadBlockError(f"block {pba} is marked bad")
+
+    def read_block(self, pba: int) -> bytes:
+        """Magnetic read sector (mrs): the 512-byte payload of ``pba``.
+
+        Heated *data* blocks read normally ("blocks 1..2^N-1 of a
+        heated line can still be read magnetically, hence efficiently");
+        the electrically written block 0 of a line cannot.
+        """
+        self._check_pba(pba)
+        line = self.line_of_block(pba)
+        if line is not None and pba == line.start:
+            raise HeatedBlockError(
+                f"block {pba} is the electrically written hash block of a "
+                "heated line; use ers_block/verify_line")
+        return self._mrs(pba)
+
+    def _mrs(self, pba: int) -> bytes:
+        start, end = self.geometry.block_span(pba)
+        self.scanner.seek_to_block(pba)
+        self.scanner.transfer(end - start, "mrb")
+        bits = self.medium.read_mag_span(start, end)
+        return decode_frame(bits, expected_pba=pba).payload
+
+    def write_block(self, pba: int, payload: bytes) -> None:
+        """Magnetic write sector (mws).
+
+        Refuses to write into a heated line when
+        ``enforce_write_protect`` is set (driver policy; the medium
+        itself cannot refuse).
+        """
+        self._check_pba(pba)
+        if self.config.enforce_write_protect and self.is_block_heated(pba):
+            raise HeatedBlockError(
+                f"block {pba} belongs to a heated line and is read-only")
+        self._mws(pba, payload)
+
+    def _mws(self, pba: int, payload: bytes) -> None:
+        bits = encode_frame(pba, payload)
+        start, _end = self.geometry.block_span(pba)
+        self.scanner.seek_to_block(pba)
+        self.scanner.transfer(len(bits), "mwb")
+        self.medium.write_mag_span(start, bits)
+
+    # -- electrical sector operations ----------------------------------------------
+
+    def ews_block(self, pba: int, payload: bytes) -> None:
+        """Electrical write sector: burn ``payload`` into block ``pba``.
+
+        The payload (256 bytes) is Manchester-encoded over the first
+        4096 dots of the span; only the H dots receive heat pulses.
+        """
+        self._check_pba(pba)
+        if len(payload) != E_PAYLOAD_BYTES:
+            raise WriteError(
+                f"electrical payload must be {E_PAYLOAD_BYTES} bytes")
+        pattern = encode_bytes(payload)
+        assert len(pattern) == E_REGION_DOTS
+        start, _end = self.geometry.block_span(pba)
+        self.scanner.seek_to_block(pba)
+        self.scanner.transfer(sum(pattern), "ewb")
+        self.medium.heat_span(start, start + E_REGION_DOTS, pattern)
+
+    def ers_block(self, pba: int) -> Tuple[List[CellState], List[int]]:
+        """Electrical read sector: decode the 2048 Manchester cells.
+
+        Returns ``(cell_states, bits)`` where ``bits`` holds a logical
+        bit per valid cell and ``None`` per unused/tampered cell.
+        Cells that first decode as unused are re-read up to
+        ``ers_cell_retries`` times: a heated dot can escape one erb
+        with probability (1/4)**rounds, so an apparently unused cell in
+        an otherwise written block is most likely a misread.
+        """
+        self._check_pba(pba)
+        start, _end = self.geometry.block_span(pba)
+        self.scanner.seek_to_block(pba)
+        rounds = self.config.erb_rounds
+        states: List[CellState] = []
+        bits: List[Optional[int]] = []
+        erb_ops = 0
+        for cell in range(E_CELLS):
+            d0 = start + 2 * cell
+            d1 = d0 + 1
+            first = self.bitops.erb(d0, rounds) == "H"
+            second = self.bitops.erb(d1, rounds) == "H"
+            erb_ops += 2
+            state = classify_cell(first, second)
+            retries = 0
+            while state is CellState.UNUSED and retries < self.config.ers_cell_retries:
+                first = first or self.bitops.erb(d0, rounds) == "H"
+                second = second or self.bitops.erb(d1, rounds) == "H"
+                erb_ops += 2
+                new_state = classify_cell(first, second)
+                if new_state is not CellState.UNUSED:
+                    state = new_state
+                    break
+                retries += 1
+            states.append(state)
+            if state is CellState.ZERO:
+                bits.append(0)
+            elif state is CellState.ONE:
+                bits.append(1)
+            else:
+                bits.append(None)
+        self.scanner.transfer(erb_ops * (1 + 4 * rounds) // 5, "erb")
+        return states, bits
+
+    def _ers_payload(self, pba: int) -> Tuple[Optional[bytes], List[int], bool]:
+        """Decode an electrical block to payload bytes.
+
+        Returns ``(payload_or_None, tampered_cells, looks_virgin)``.
+        """
+        states, bits = self.ers_block(pba)
+        tampered = [i for i, s in enumerate(states) if s is CellState.TAMPERED]
+        unused = [i for i, s in enumerate(states) if s is CellState.UNUSED]
+        if len(unused) == E_CELLS:
+            return None, tampered, True
+        if tampered or unused:
+            return None, tampered, False
+        out = bytearray()
+        for index in range(0, E_CELLS, 8):
+            byte = 0
+            for bit in bits[index:index + 8]:
+                byte = (byte << 1) | bit
+            out.append(byte)
+        return bytes(out), tampered, False
+
+    # -- the heat operation -----------------------------------------------------------
+
+    def _check_line_shape(self, start: int, n_blocks: int) -> None:
+        if n_blocks < 2 or not is_power_of_two(n_blocks):
+            raise AlignmentError(
+                f"line length must be a power of two >= 2, got {n_blocks}")
+        if start % n_blocks:
+            raise AlignmentError(
+                f"line start {start} not aligned on a {n_blocks}-block boundary")
+        if start + n_blocks > self.total_blocks:
+            raise AlignmentError("line extends past end of medium")
+
+    def _line_data_addresses(self, start: int, n_blocks: int) -> List[int]:
+        return list(range(start + 1, start + n_blocks))
+
+    def heat_line(self, start: int, n_blocks: int, timestamp: int = 0) -> LineRecord:
+        """The atomic WO operation of Section 3.
+
+        1. mrs blocks 1..n-1 of the line;
+        2. SHA-256 over the blocks and their physical addresses;
+        3. ews the Manchester encoding of the hash (+ metadata) into
+           block 0;
+        4. ers the hash back, or fail with :class:`HeatError`.
+        """
+        self._check_line_shape(start, n_blocks)
+        if start in self.fragile_blocks:
+            raise BadBlockError(
+                f"block {start} has defective dots in its electrical "
+                "region and cannot serve as a line's hash block")
+        for pba in range(start, start + n_blocks):
+            if pba in self.bad_blocks:
+                raise BadBlockError(
+                    f"line [{start}, {start + n_blocks}) contains bad block {pba}")
+        for pba in range(start, start + n_blocks):
+            existing = self.line_of_block(pba)
+            if existing is None:
+                continue
+            if existing.start != start or existing.n_blocks != n_blocks:
+                raise AlignmentError(
+                    f"line [{start}, {start + n_blocks}) overlaps heated "
+                    f"line at {existing.start} (+{existing.n_blocks})")
+
+        addresses = self._line_data_addresses(start, n_blocks)
+        blocks = [self._mrs(pba) for pba in addresses]
+        digest = line_hash(addresses, blocks,
+                           include_addresses=self.config.include_addresses_in_hash)
+        payload = ElectricalPayload(
+            line_start=start,
+            n_blocks_log2=n_blocks.bit_length() - 1,
+            line_hash=digest,
+            timestamp=timestamp,
+        ).pack()
+        self.ews_block(start, payload)
+
+        read_back, tampered, virgin = self._ers_payload(start)
+        if tampered or virgin or read_back != payload:
+            raise HeatError(
+                f"heat verify failed for line at {start}: "
+                f"{len(tampered)} tampered cells"
+                + (" (was the line already heated with different data?)"
+                   if tampered else ""))
+
+        record = LineRecord(start=start, n_blocks=n_blocks,
+                            line_hash=digest, timestamp=timestamp)
+        self._register(record)
+        return record
+
+    def _register(self, record: LineRecord) -> None:
+        self._lines[record.start] = record
+        for pba in range(record.start, record.start + record.n_blocks):
+            self._block_to_line[pba] = record.start
+
+    # -- verification --------------------------------------------------------------------
+
+    def verify_line(self, start: int) -> VerificationResult:
+        """Verify a heated line: recompute the hash and compare.
+
+        "A mismatch represents evidence of tampering" (Section 3).
+
+        The electrical read is repeated up to ``verify_retries`` times
+        when it comes back inconsistent (incomplete cells or a payload
+        CRC failure): a single misread heated dot is transient, while
+        true HH tampering shows up almost surely across passes.
+        """
+        meta = None
+        tampered: List[int] = []
+        virgin = False
+        payload = None
+        for _attempt in range(1 + self.config.verify_retries):
+            payload, tampered, virgin = self._ers_payload(start)
+            if tampered or virgin:
+                break
+            if payload is not None:
+                try:
+                    meta = ElectricalPayload.unpack(payload)
+                    break
+                except ReadError:
+                    meta = None  # CRC failed: re-read before concluding
+        if tampered:
+            return VerificationResult(status=VerifyStatus.CELL_TAMPERED,
+                                      start=start, tampered_cells=tampered)
+        if virgin:
+            return VerificationResult(status=VerifyStatus.NOT_A_LINE, start=start)
+        if meta is None:
+            return VerificationResult(status=VerifyStatus.UNREADABLE, start=start)
+        n_blocks = 1 << meta.n_blocks_log2
+        if meta.line_start != start:
+            return VerificationResult(status=VerifyStatus.HASH_MISMATCH,
+                                      start=start, stored_hash=meta.line_hash)
+        addresses = self._line_data_addresses(start, n_blocks)
+        try:
+            blocks = [self._mrs(pba) for pba in addresses]
+        except ReadError:
+            # a data block no longer decodes: overwritten garbage,
+            # electrically destroyed dots, or a bulk erase
+            return VerificationResult(status=VerifyStatus.UNREADABLE,
+                                      start=start, stored_hash=meta.line_hash)
+        digest = line_hash(addresses, blocks,
+                           include_addresses=self.config.include_addresses_in_hash)
+        if digest != meta.line_hash:
+            return VerificationResult(status=VerifyStatus.HASH_MISMATCH,
+                                      start=start, stored_hash=meta.line_hash,
+                                      computed_hash=digest)
+        return VerificationResult(status=VerifyStatus.INTACT, start=start,
+                                  stored_hash=meta.line_hash,
+                                  computed_hash=digest)
+
+    def verify_all(self) -> List[VerificationResult]:
+        """Verify every registered line (audit sweep)."""
+        return [self.verify_line(rec.start) for rec in self.heated_lines]
+
+    # -- discovery (fsck support) -----------------------------------------------------------
+
+    def probe_block_electrical(self, pba: int, probe_cells: int = 8) -> bool:
+        """Cheaply test whether ``pba`` carries electrical data.
+
+        Reads the first ``probe_cells`` Manchester cells with erb; a
+        virgin block decodes all-unused (healthy dots never fail the
+        erb verification), while any written electrical block has heat
+        in its magic cells.
+        """
+        self._check_pba(pba)
+        start, _end = self.geometry.block_span(pba)
+        self.scanner.seek_to_block(pba)
+        rounds = self.config.erb_rounds
+        heated = False
+        for cell in range(probe_cells):
+            d0 = start + 2 * cell
+            if self.bitops.erb(d0, rounds) == "H" or \
+               self.bitops.erb(d0 + 1, rounds) == "H":
+                heated = True
+                break
+        self.scanner.transfer(2 * probe_cells * (1 + 4 * rounds) // 5, "erb")
+        return heated
+
+    def load_line(self, start: int) -> Optional[LineRecord]:
+        """Re-register one heated line from its block 0.
+
+        Used at mount time when a checkpoint remembers where lines are:
+        a single ers read per line instead of a whole-medium scan.
+        Returns None when the block does not hold a valid line head.
+        """
+        payload, _tampered, _virgin = self._ers_payload(start)
+        if payload is None:
+            return None
+        try:
+            meta = ElectricalPayload.unpack(payload)
+        except ReadError:
+            return None
+        if meta.line_start != start:
+            return None
+        record = LineRecord(start=start, n_blocks=1 << meta.n_blocks_log2,
+                            line_hash=meta.line_hash, timestamp=meta.timestamp)
+        self._register(record)
+        return record
+
+    def scan_lines(self) -> List[LineRecord]:
+        """Rebuild the line registry by scanning the whole medium.
+
+        The "fsck style scan ... would definitely recover (albeit
+        slowly) all the heated files" of Section 5.2.  Every block is
+        probed electrically; blocks that respond are fully ers-read and
+        parsed.  Returns the recovered records (also re-registered).
+        """
+        recovered: List[LineRecord] = []
+        self._lines.clear()
+        self._block_to_line.clear()
+        for pba in range(self.total_blocks):
+            if pba in self.bad_blocks:
+                continue
+            if pba in self._block_to_line:
+                continue  # interior of an already recovered line
+            if not self.probe_block_electrical(pba):
+                continue
+            payload, tampered, _virgin = self._ers_payload(pba)
+            if payload is None:
+                continue  # tampered or partial: surfaced by verify, not scan
+            try:
+                meta = ElectricalPayload.unpack(payload)
+            except ReadError:
+                continue
+            record = LineRecord(start=meta.line_start,
+                                n_blocks=1 << meta.n_blocks_log2,
+                                line_hash=meta.line_hash,
+                                timestamp=meta.timestamp)
+            self._register(record)
+            recovered.append(record)
+        return recovered
+
+    # -- lifecycle ---------------------------------------------------------------------------
+
+    def capacity_report(self) -> Dict[str, int]:
+        """Capacity accounting: total / writable / read-only / bad."""
+        return {
+            "total_blocks": self.total_blocks,
+            "writable_blocks": self.writable_block_count(),
+            "heated_blocks": self.heated_block_count(),
+            "bad_blocks": len(self.bad_blocks),
+        }
+
+    def is_decommissionable(self) -> bool:
+        """True when no WMRM capacity remains (end of device life,
+        Section 8: the device "ends life as a Read-only device")."""
+        return self.writable_block_count() <= 0

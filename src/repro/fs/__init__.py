@@ -1,0 +1,49 @@
+"""SeroFS: the SERO-aware log-structured file system (Section 4).
+
+* :mod:`~repro.fs.lfs` — :class:`SeroFS` (format/mount, file API,
+  heat_file/verify_file).
+* :mod:`~repro.fs.inode` / :mod:`~repro.fs.directory` — on-disk
+  metadata formats.
+* :mod:`~repro.fs.segment` — block states and segment accounting.
+* :mod:`~repro.fs.cleaner` — greedy / cost-benefit / SERO-aware
+  garbage collection.
+* :mod:`~repro.fs.bimodal` — heated-segment bimodality metrics.
+* :mod:`~repro.fs.fsck` — consistency audit and the forensic deep
+  scan that recovers heated files with no directory tree.
+* :mod:`~repro.fs.layout` — superblock and checkpoint formats.
+"""
+
+from .bimodal import BimodalityReport, bimodality, cleaner_waste_fraction
+from .cleaner import POLICIES, clean_segment, run_cleaner, select_victim
+from .fsck import DeepScanReport, FsckReport, RecoveredFile, deep_scan, fsck
+from .inode import MAX_FILE_SIZE, FileType, Inode
+from .layout import Checkpoint, Superblock
+from .lfs import ROOT_INO, FSConfig, FileStat, SeroFS
+from .segment import BlockState, Segment, SegmentTable
+
+__all__ = [
+    "SeroFS",
+    "FSConfig",
+    "FileStat",
+    "ROOT_INO",
+    "FileType",
+    "Inode",
+    "MAX_FILE_SIZE",
+    "BlockState",
+    "Segment",
+    "SegmentTable",
+    "POLICIES",
+    "select_victim",
+    "clean_segment",
+    "run_cleaner",
+    "bimodality",
+    "BimodalityReport",
+    "cleaner_waste_fraction",
+    "fsck",
+    "deep_scan",
+    "FsckReport",
+    "DeepScanReport",
+    "RecoveredFile",
+    "Superblock",
+    "Checkpoint",
+]

@@ -1,0 +1,68 @@
+"""Directory file format.
+
+A directory is an ordinary file whose payload is a sequence of entries
+
+``(name_len u16, file_type u8, ino u64, name utf-8)``
+
+terminated by a zero ``name_len``.  Directories are small in the
+workloads the paper targets (compliance archives, database snapshot
+sets), so they are rewritten whole on every change; what matters for
+the reproduction is that a *heated* directory — e.g. one maintained as
+a fossilised index, Section 5.2 — becomes immutable like any other
+heated file.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Tuple
+
+from ..errors import FileSystemError, ReadError
+from .inode import FileType
+
+_ENTRY_HEAD = ">HBQ"
+_MAX_NAME = 255
+
+
+def pack_entries(entries: Dict[str, Tuple[FileType, int]]) -> bytes:
+    """Serialise ``{name: (ftype, ino)}`` to directory payload bytes."""
+    out = bytearray()
+    for name, (ftype, ino) in sorted(entries.items()):
+        raw = name.encode("utf-8")
+        if not raw:
+            raise FileSystemError("empty directory entry name")
+        if len(raw) > _MAX_NAME:
+            raise FileSystemError(f"name too long: {name!r}")
+        if "/" in name:
+            raise FileSystemError(f"name may not contain '/': {name!r}")
+        out += struct.pack(_ENTRY_HEAD, len(raw), int(ftype), ino)
+        out += raw
+    out += struct.pack(">H", 0)
+    return bytes(out)
+
+
+def unpack_entries(payload: bytes) -> Dict[str, Tuple[FileType, int]]:
+    """Parse directory payload bytes back to ``{name: (ftype, ino)}``."""
+    entries: Dict[str, Tuple[FileType, int]] = {}
+    offset = 0
+    head_size = struct.calcsize(_ENTRY_HEAD)
+    while True:
+        if offset + 2 > len(payload):
+            raise ReadError("truncated directory payload")
+        (name_len,) = struct.unpack_from(">H", payload, offset)
+        if name_len == 0:
+            return entries
+        if offset + head_size + name_len > len(payload):
+            raise ReadError("truncated directory entry")
+        name_len2, ftype, ino = struct.unpack_from(_ENTRY_HEAD, payload, offset)
+        offset += head_size
+        name = payload[offset:offset + name_len2].decode("utf-8")
+        offset += name_len2
+        entries[name] = (FileType(ftype), ino)
+
+
+def split_path(path: str) -> List[str]:
+    """Split an absolute path into components; '/' -> []."""
+    if not path.startswith("/"):
+        raise FileSystemError(f"paths must be absolute: {path!r}")
+    return [part for part in path.split("/") if part]

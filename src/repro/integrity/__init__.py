@@ -1,0 +1,28 @@
+"""Integrity structures served by SERO storage (Section 4.2 / 8).
+
+* :mod:`~repro.integrity.venti` — content-addressed hash trees whose
+  roots are sealed by heating.
+* :mod:`~repro.integrity.fossil` — the fossilised index: root-down
+  record trie whose full nodes are heated instead of copied to WORM.
+* :mod:`~repro.integrity.evidence` — digital evidence bags: exhibits
+  heated in place plus a heated manifest.
+"""
+
+from .evidence import EvidenceBag, EvidenceItem
+from .fossil import SLOTS, FossilizedIndex, digit_path
+from .selfsec import AuditLog, SelfSecuringFS
+from .venti import FANOUT, NODE_PAYLOAD, VentiStore, node_score
+
+__all__ = [
+    "AuditLog",
+    "SelfSecuringFS",
+    "VentiStore",
+    "node_score",
+    "FANOUT",
+    "NODE_PAYLOAD",
+    "FossilizedIndex",
+    "digit_path",
+    "SLOTS",
+    "EvidenceBag",
+    "EvidenceItem",
+]

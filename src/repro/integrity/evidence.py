@@ -1,0 +1,107 @@
+"""Digital evidence bags on SeroFS (Section 8, "Forensics").
+
+"Live forensics methods would benefit from a storage device that can
+be instructed to heat evidence without having to copy it ... Our
+heated files could be the basis of such an evidence bag."
+
+An :class:`EvidenceBag` is a directory of files, each heated the
+moment it is added (evidence is sealed *in place*, no imaging copy),
+plus a heated manifest binding the item list together: item name,
+size and the per-item line hash recorded by the device.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..device.sero import VerificationResult, VerifyStatus
+from ..errors import FileExistsError_, IntegrityError
+from ..fs.lfs import SeroFS
+
+_MANIFEST_MAGIC = b"EVBAG001"
+
+
+@dataclass
+class EvidenceItem:
+    """One sealed item of a bag."""
+
+    name: str
+    size: int
+    line_start: int
+    line_hash: bytes
+
+
+class EvidenceBag:
+    """A tamper-evident collection of exhibits.
+
+    Args:
+        fs: the mounted SeroFS.
+        path: directory to hold the bag (created if missing).
+    """
+
+    def __init__(self, fs: SeroFS, path: str) -> None:
+        self.fs = fs
+        self.path = path.rstrip("/")
+        try:
+            fs.mkdir(self.path)
+        except FileExistsError_:
+            pass
+        self._items: List[EvidenceItem] = []
+        self._closed = False
+
+    def add(self, name: str, data: bytes, timestamp: Optional[int] = None) -> EvidenceItem:
+        """Seal one exhibit: write it and heat it immediately."""
+        if self._closed:
+            raise IntegrityError("evidence bag already closed")
+        if "/" in name:
+            raise IntegrityError("exhibit names may not contain '/'")
+        file_path = f"{self.path}/{name}"
+        self.fs.create(file_path, data)
+        record = self.fs.heat_file(file_path, timestamp=timestamp)
+        item = EvidenceItem(name=name, size=len(data),
+                            line_start=record.start,
+                            line_hash=record.line_hash)
+        self._items.append(item)
+        return item
+
+    def close(self, timestamp: Optional[int] = None) -> EvidenceItem:
+        """Seal the manifest, closing the bag."""
+        if self._closed:
+            raise IntegrityError("evidence bag already closed")
+        manifest = bytearray(_MANIFEST_MAGIC)
+        manifest += struct.pack(">I", len(self._items))
+        for item in self._items:
+            raw = item.name.encode("utf-8")
+            manifest += struct.pack(">H", len(raw)) + raw
+            manifest += struct.pack(">QQ", item.size, item.line_start)
+            manifest += item.line_hash
+        path = f"{self.path}/MANIFEST"
+        self.fs.create(path, bytes(manifest))
+        record = self.fs.heat_file(path, timestamp=timestamp)
+        self._closed = True
+        self._manifest_item = EvidenceItem(
+            name="MANIFEST", size=len(manifest),
+            line_start=record.start, line_hash=record.line_hash)
+        return self._manifest_item
+
+    @property
+    def items(self) -> List[EvidenceItem]:
+        """Exhibits sealed so far (manifest excluded)."""
+        return list(self._items)
+
+    def audit(self) -> Dict[str, VerificationResult]:
+        """Verify every exhibit (and the manifest when closed)."""
+        out: Dict[str, VerificationResult] = {}
+        for item in self._items:
+            out[item.name] = self.fs.device.verify_line(item.line_start)
+        if self._closed:
+            out["MANIFEST"] = self.fs.device.verify_line(
+                self._manifest_item.line_start)
+        return out
+
+    def is_intact(self) -> bool:
+        """True when every sealed line verifies INTACT."""
+        return all(result.status is VerifyStatus.INTACT
+                   for result in self.audit().values())

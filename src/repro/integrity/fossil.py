@@ -1,0 +1,214 @@
+"""A fossilised index on a SERO device (Zhu & Hsu, Section 4.2).
+
+"A fossilised index builds a tree from the root downwards.  To insert
+a new node in the tree we start at the root, visiting all nodes down
+to a leaf until a free slot is found in which the hash of the new node
+can be inserted.  The hash of the node completely determines which
+slot in an existing node must be used, and what path to traverse.  The
+tamper evidence guarantee relies on the assumption that once all the
+slots of a node have been filled, the storage device ensures that the
+node becomes RO" — which a SERO device does by *heating* the node,
+"making copying the completed node to the WORM unnecessary".
+
+Concretely: index nodes have 8 record slots; a record's path is the
+sequence of 3-bit digits of its hash.  Insertion walks the digit path
+from the root, placing the record in the first node whose slot for the
+current digit is free; occupied slots push the walk one level down
+(children are created on demand).  A node whose 8 slots are all full
+is immediately heated.  Children record their (parent, digit) in their
+header, so the tree is recoverable by scanning — no parent mutation is
+ever needed after sealing.
+
+Every node occupies the second block of its own 2-block line, so
+sealing is a single heat_line call.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..crypto.crc import crc32
+from ..device.sector import BLOCK_SIZE
+from ..device.sero import SERODevice
+from ..errors import FossilSlotError, IntegrityError, ReadError
+
+SLOTS = 8
+DIGEST_BYTES = 32
+_NODE_MAGIC = b"FOSL"
+_HEAD = ">4sQB3x"  # magic, parent node id (or 2**64-1), digit
+_HEAD_SIZE = struct.calcsize(_HEAD)
+_NO_PARENT = 0xFFFFFFFFFFFFFFFF
+_EMPTY_SLOT = b"\x00" * DIGEST_BYTES
+
+
+def digit_path(record_hash: bytes):
+    """Yield successive 3-bit digits of a record hash (its fixed path)."""
+    for byte in record_hash:
+        yield (byte >> 5) & 0x7
+        yield (byte >> 2) & 0x7
+    # 2 remaining bits per byte are discarded; 64 digits is plenty
+
+
+@dataclass
+class _Node:
+    """In-memory image of one index node."""
+
+    node_id: int  # line start PBA
+    parent: int
+    digit: int
+    slots: List[bytes] = field(default_factory=lambda: [_EMPTY_SLOT] * SLOTS)
+    sealed: bool = False
+
+    @property
+    def full(self) -> bool:
+        return all(slot != _EMPTY_SLOT for slot in self.slots)
+
+    def pack(self) -> bytes:
+        body = struct.pack(_HEAD, _NODE_MAGIC, self.parent, self.digit)
+        body += b"".join(self.slots)
+        body += b"\x00" * (BLOCK_SIZE - 4 - len(body))
+        return body + struct.pack(">I", crc32(body))
+
+    @classmethod
+    def unpack(cls, node_id: int, payload: bytes) -> "_Node":
+        (stored,) = struct.unpack(">I", payload[-4:])
+        if crc32(payload[:-4]) != stored:
+            raise ReadError("fossil node CRC mismatch")
+        magic, parent, digit = struct.unpack(_HEAD, payload[:_HEAD_SIZE])
+        if magic != _NODE_MAGIC:
+            raise ReadError("not a fossil node")
+        slots = [payload[_HEAD_SIZE + i * DIGEST_BYTES:
+                         _HEAD_SIZE + (i + 1) * DIGEST_BYTES]
+                 for i in range(SLOTS)]
+        return cls(node_id=node_id, parent=parent, digit=digit, slots=slots)
+
+
+class FossilizedIndex:
+    """Trustworthy non-alterable record index over a device arena.
+
+    Args:
+        device: the SERO device.
+        arena_start: first PBA available (even).
+        arena_blocks: arena length in blocks (2 blocks per node).
+    """
+
+    def __init__(self, device: SERODevice, arena_start: int,
+                 arena_blocks: int) -> None:
+        if arena_start % 2:
+            raise IntegrityError("fossil arena must start on an even block")
+        self.device = device
+        self.arena_start = arena_start
+        self.arena_blocks = arena_blocks
+        self._next = arena_start
+        self._nodes: Dict[int, _Node] = {}
+        self._children: Dict[Tuple[int, int], int] = {}
+        self.records = 0
+        self.root_id = self._new_node(parent=_NO_PARENT, digit=0).node_id
+
+    # -- node management ----------------------------------------------------------
+
+    def _new_node(self, parent: int, digit: int) -> _Node:
+        start = self._next
+        if start + 2 > self.arena_start + self.arena_blocks:
+            raise IntegrityError("fossil arena exhausted")
+        self._next += 2
+        node = _Node(node_id=start, parent=parent, digit=digit)
+        self.device.write_block(start + 1, node.pack())
+        self._nodes[start] = node
+        if parent != _NO_PARENT:
+            self._children[(parent, digit)] = start
+        return node
+
+    def _persist(self, node: _Node) -> None:
+        if node.sealed:
+            raise FossilSlotError(f"node {node.node_id} is sealed")
+        self.device.write_block(node.node_id + 1, node.pack())
+
+    def _seal(self, node: _Node, timestamp: int = 0) -> None:
+        self.device.heat_line(node.node_id, 2, timestamp=timestamp)
+        node.sealed = True
+
+    def _child(self, node: _Node, digit: int) -> _Node:
+        child_id = self._children.get((node.node_id, digit))
+        if child_id is not None:
+            return self._nodes[child_id]
+        return self._new_node(parent=node.node_id, digit=digit)
+
+    # -- public API --------------------------------------------------------------------
+
+    def insert(self, record_hash: bytes, timestamp: int = 0) -> Tuple[int, int]:
+        """Insert a record hash; returns (node_id, slot) where it landed.
+
+        The path is fully determined by the hash; duplicate inserts
+        land on the existing copy and raise :class:`FossilSlotError`.
+        """
+        if len(record_hash) != DIGEST_BYTES:
+            raise IntegrityError("record hash must be 32 bytes")
+        if record_hash == _EMPTY_SLOT:
+            raise IntegrityError("the all-zero hash is reserved")
+        node = self._nodes[self.root_id]
+        for digit in digit_path(record_hash):
+            slot = node.slots[digit]
+            if slot == record_hash:
+                raise FossilSlotError(
+                    f"record already present at node {node.node_id} slot {digit}")
+            if slot == _EMPTY_SLOT and not node.sealed:
+                node.slots[digit] = record_hash
+                self._persist(node)
+                self.records += 1
+                if node.full:
+                    self._seal(node, timestamp=timestamp)
+                return (node.node_id, digit)
+            node = self._child(node, digit)
+        raise IntegrityError("digit path exhausted (hash collision chain)")
+
+    def contains(self, record_hash: bytes) -> bool:
+        """Deterministic lookup along the record's digit path."""
+        node = self._nodes[self.root_id]
+        for digit in digit_path(record_hash):
+            if node.slots[digit] == record_hash:
+                return True
+            child_id = self._children.get((node.node_id, digit))
+            if child_id is None:
+                return False
+            node = self._nodes[child_id]
+        return False
+
+    @property
+    def sealed_nodes(self) -> List[int]:
+        """Node ids (line starts) of all sealed nodes."""
+        return [n.node_id for n in self._nodes.values() if n.sealed]
+
+    @property
+    def node_count(self) -> int:
+        """Total index nodes allocated."""
+        return len(self._nodes)
+
+    def verify_sealed(self) -> Dict[int, object]:
+        """Verify every sealed node's heated line."""
+        return {nid: self.device.verify_line(nid) for nid in self.sealed_nodes}
+
+    def rebuild_from_device(self) -> int:
+        """Re-scan the arena, rebuilding the in-memory maps (recovery
+        path, e.g. after the in-memory index is lost).  Returns nodes
+        recovered."""
+        self._nodes.clear()
+        self._children.clear()
+        recovered = 0
+        heated = {rec.start for rec in self.device.heated_lines}
+        for start in range(self.arena_start, self._next, 2):
+            try:
+                node = _Node.unpack(start, self.device.read_block(start + 1))
+            except ReadError:
+                continue
+            node.sealed = start in heated
+            self._nodes[start] = node
+            if node.parent != _NO_PARENT:
+                self._children[(node.parent, node.digit)] = start
+            recovered += 1
+        self.records = sum(
+            sum(1 for s in n.slots if s != _EMPTY_SLOT)
+            for n in self._nodes.values())
+        return recovered

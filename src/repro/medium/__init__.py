@@ -1,0 +1,28 @@
+"""The patterned magnetic medium substrate.
+
+* :mod:`~repro.medium.geometry` — dot matrix shape, physical block
+  addressing (PBA -> dot span).
+* :mod:`~repro.medium.dot` — per-dot state model (Fig 2).
+* :mod:`~repro.medium.medium` — :class:`PatternedMedium`, the heatable
+  dot matrix with magnetic read/write, irreversible heating, bulk
+  erase and forensic imaging.
+* :mod:`~repro.medium.defects` — format-time defect scan / bad blocks.
+"""
+
+from .defects import DefectScanReport, scan_for_defects
+from .dot import HEATED_SHARPNESS_THRESHOLD, BitState, DotView, classify
+from .geometry import MediumGeometry, geometry_for_blocks
+from .medium import MediumConfig, PatternedMedium
+
+__all__ = [
+    "MediumGeometry",
+    "geometry_for_blocks",
+    "BitState",
+    "DotView",
+    "classify",
+    "HEATED_SHARPNESS_THRESHOLD",
+    "MediumConfig",
+    "PatternedMedium",
+    "DefectScanReport",
+    "scan_for_defects",
+]

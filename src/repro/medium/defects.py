@@ -1,0 +1,105 @@
+"""Fabrication defects and the bad-block map.
+
+Patterned media have a switching-field distribution (Vallejo et al.
+2007, cited by the paper): some dots need more field than the writer
+can apply.  Section 3 notes that "bad block handling is a challenge,
+because a heated block should not be misinterpreted as a bad block" —
+so the defect scan below runs at *format time*, before any line can
+have been heated, and its output (the bad-block map) is stored by the
+device, never inferred later from read failures alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set
+
+from .medium import PatternedMedium
+
+
+@dataclass
+class DefectScanReport:
+    """Result of a format-time write/readback surface scan.
+
+    Attributes:
+        bad_blocks: PBAs containing at least ``tolerance+1`` unwritable
+            dots (the sector ECC can absorb up to ``tolerance``).
+        fragile_blocks: PBAs with *any* unwritable dot inside the
+            block's electrical region.  A stuck dot fails the erb
+            verification exactly like a heated dot, and the electrical
+            payload has no error correction (only a CRC), so these
+            blocks must never serve as the hash block of a line.
+        defective_dots: total unwritable dot count found.
+        scanned_blocks: number of blocks scanned.
+    """
+
+    bad_blocks: Set[int]
+    fragile_blocks: Set[int]
+    defective_dots: int
+    scanned_blocks: int
+
+    @property
+    def bad_fraction(self) -> float:
+        """Fraction of scanned blocks marked bad."""
+        if not self.scanned_blocks:
+            return 0.0
+        return len(self.bad_blocks) / self.scanned_blocks
+
+
+def scan_for_defects(medium: PatternedMedium, tolerance: int = 4,
+                     e_region_dots: int = 4096,
+                     ecc_word_bits: int = 72) -> DefectScanReport:
+    """Write/readback scan of the whole medium.
+
+    Writes a 10-pattern and then an 01-pattern to every block span and
+    reads each back; dots that fail either polarity are defective.  A
+    block is *bad* when it exceeds the ``tolerance`` of total defects
+    **or** when any single ECC codeword (``ecc_word_bits`` consecutive
+    dots) contains two defects — SECDED corrects only one error per
+    word, so two stuck dots in one word make the block unreadable no
+    matter how few defects it has in total.  A block with any
+    defective dot among its first ``e_region_dots`` becomes *fragile*
+    (unusable as a line head, see :class:`DefectScanReport`).
+
+    The scan is destructive of data (it is a format-time operation) and
+    restores an erased (all-zero) state afterwards.
+    """
+    geometry = medium.geometry
+    bad: Set[int] = set()
+    fragile: Set[int] = set()
+    defective_total = 0
+    for pba in range(geometry.total_blocks):
+        start, end = geometry.block_span(pba)
+        n = end - start
+        pattern_a = [i % 2 for i in range(n)]
+        pattern_b = [1 - b for b in pattern_a]
+        failures = 0
+        word_counts: dict = {}
+        medium.write_mag_span(start, pattern_a)
+        read_a = medium.read_mag_span(start, end)
+        medium.write_mag_span(start, pattern_b)
+        read_b = medium.read_mag_span(start, end)
+        for i in range(n):
+            # the two patterns are complementary, so a stuck-at dot
+            # always matches one of them; failing *either* pass marks
+            # the dot defective
+            if read_a[i] != pattern_a[i] or read_b[i] != pattern_b[i]:
+                failures += 1
+                word = i // ecc_word_bits
+                word_counts[word] = word_counts.get(word, 0) + 1
+                if i < e_region_dots:
+                    fragile.add(pba)
+        defective_total += failures
+        if failures > tolerance or any(c >= 2 for c in word_counts.values()):
+            bad.add(pba)
+        medium.write_mag_span(start, [0] * n)
+    return DefectScanReport(bad_blocks=bad, fragile_blocks=fragile,
+                            defective_dots=defective_total,
+                            scanned_blocks=geometry.total_blocks)
+
+
+def defective_dots_in_block(medium: PatternedMedium, pba: int) -> List[int]:
+    """Ground-truth list of unwritable (non-heated) dots in a block."""
+    start, end = medium.geometry.block_span(pba)
+    return [i for i in range(start, end)
+            if not medium.is_writable(i) and not medium.is_heated(i)]

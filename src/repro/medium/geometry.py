@@ -1,0 +1,120 @@
+"""Dot-matrix geometry and physical addressing.
+
+The medium is "a regular arrangement of magnetic dots" (Section 1).
+Physical addressing matters for tamper evidence: "a SERO device and
+the SERO file system should use physical block addresses (PBA) rather
+than logical block addresses" (Section 3), so the mapping from dot
+index to matrix coordinate and from block number to dot span is fixed,
+explicit and bijective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import ConfigurationError, DotAddressError
+from ..physics.constants import DEFAULT_DOT, DotGeometry
+
+
+@dataclass(frozen=True)
+class MediumGeometry:
+    """Shape of the dot matrix and its mapping to blocks.
+
+    Dots are numbered row-major: dot ``i`` sits at row ``i // cols``,
+    column ``i % cols``.  Blocks occupy ``dots_per_block`` consecutive
+    dots; rows are sized to hold a whole number of blocks so a block
+    never straddles a row (a seek boundary).
+
+    Attributes:
+        cols: dots per row (one row = one mechanical scan line).
+        rows: number of rows.
+        dots_per_block: physical dots consumed by one block frame
+            (payload + header + CRC + ECC; about 15% over the 4096
+            payload bits, per Section 3).
+        dot: physical dot geometry (pitch etc.).
+    """
+
+    cols: int
+    rows: int
+    dots_per_block: int
+    dot: DotGeometry = DEFAULT_DOT
+
+    def __post_init__(self) -> None:
+        if self.cols <= 0 or self.rows <= 0 or self.dots_per_block <= 0:
+            raise ConfigurationError("geometry dimensions must be positive")
+        if self.cols % self.dots_per_block:
+            raise ConfigurationError(
+                "a row must hold a whole number of blocks: "
+                f"cols={self.cols} dots_per_block={self.dots_per_block}")
+
+    @property
+    def total_dots(self) -> int:
+        """Total dot count of the medium."""
+        return self.cols * self.rows
+
+    @property
+    def blocks_per_row(self) -> int:
+        """Blocks on one scan row."""
+        return self.cols // self.dots_per_block
+
+    @property
+    def total_blocks(self) -> int:
+        """Total block capacity."""
+        return self.blocks_per_row * self.rows
+
+    def dot_position(self, index: int) -> Tuple[int, int]:
+        """(row, col) of dot ``index``."""
+        if not 0 <= index < self.total_dots:
+            raise DotAddressError(f"dot index {index} out of range")
+        return divmod(index, self.cols)
+
+    def dot_index(self, row: int, col: int) -> int:
+        """Dot index at (row, col)."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise DotAddressError(f"dot position ({row}, {col}) out of range")
+        return row * self.cols + col
+
+    def block_span(self, pba: int) -> Tuple[int, int]:
+        """Half-open dot-index range ``(start, end)`` of block ``pba``."""
+        if not 0 <= pba < self.total_blocks:
+            raise DotAddressError(f"physical block address {pba} out of range")
+        start = pba * self.dots_per_block
+        return (start, start + self.dots_per_block)
+
+    def block_of_dot(self, index: int) -> int:
+        """Physical block address containing dot ``index``."""
+        if not 0 <= index < self.total_dots:
+            raise DotAddressError(f"dot index {index} out of range")
+        return index // self.dots_per_block
+
+    def physical_coordinates(self, index: int) -> Tuple[float, float]:
+        """(x, y) position [m] of dot ``index`` on the medium sled."""
+        row, col = self.dot_position(index)
+        return (col * self.dot.pitch_x, row * self.dot.pitch_y)
+
+    def neighbors(self, index: int) -> Tuple[int, ...]:
+        """Dot indices of the 4-neighbourhood (for collateral heating)."""
+        row, col = self.dot_position(index)
+        out = []
+        for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            r, c = row + dr, col + dc
+            if 0 <= r < self.rows and 0 <= c < self.cols:
+                out.append(self.dot_index(r, c))
+        return tuple(out)
+
+
+def geometry_for_blocks(total_blocks: int, dots_per_block: int,
+                        blocks_per_row: int = 8,
+                        dot: DotGeometry = DEFAULT_DOT) -> MediumGeometry:
+    """Convenience constructor: a matrix holding ``total_blocks``.
+
+    Rows hold ``blocks_per_row`` blocks; the row count is rounded up so
+    capacity is at least ``total_blocks``.
+    """
+    if total_blocks <= 0:
+        raise ConfigurationError("total_blocks must be positive")
+    blocks_per_row = min(blocks_per_row, total_blocks)
+    rows = (total_blocks + blocks_per_row - 1) // blocks_per_row
+    return MediumGeometry(cols=blocks_per_row * dots_per_block, rows=rows,
+                          dots_per_block=dots_per_block, dot=dot)

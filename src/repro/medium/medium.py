@@ -1,0 +1,312 @@
+"""The patterned magnetic medium: a matrix of heatable single-domain dots.
+
+This is the physical substrate everything else sits on.  It enforces
+exactly the physics of Sections 3 and 7 and nothing more:
+
+* magnetic writes set the perpendicular magnetisation of *healthy*
+  dots; on a heated dot they have no effect (there is no stable
+  perpendicular state to write);
+* magnetic reads of a healthy dot return the stored bit; of a heated
+  dot they return "a more or less random result" (Fig 2, bottom);
+* :meth:`heat_dot` destroys a dot irreversibly — **no method of this
+  class can restore sharpness**, which is the physical root of the
+  tamper evidence;
+* optional collateral heating damages neighbouring dots through the
+  thermal model, and an optional switching-field distribution makes a
+  small population of dots unwritable (fabrication defects).
+
+The class deliberately has no notion of blocks-with-meaning, hashes or
+files; those live in :mod:`repro.device` and :mod:`repro.fs`.  It does
+expose :meth:`image_heated` — the *forensic* capability of magnetic
+imaging (Section 8) that sees which dots are destroyed without any
+magnetic write, used by investigators and by the bulk-erase analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import DotAddressError
+from ..physics.anisotropy import AnisotropyModel
+from ..physics.annealing import DEFAULT_KINETICS, AnnealingKinetics
+from ..physics.constants import DEFAULT_STACK, MultilayerStack
+from ..physics.thermal import (
+    DEFAULT_THERMAL,
+    HeatPulse,
+    ThermalParameters,
+    default_pulse,
+    temperature_at_distance_c,
+)
+from ..units import KB, celsius_to_kelvin
+from .dot import HEATED_SHARPNESS_THRESHOLD, DotView
+from .geometry import MediumGeometry
+
+import math
+
+
+@dataclass
+class MediumConfig:
+    """Physical configuration knobs of a medium instance.
+
+    Attributes:
+        stack: multilayer recipe.
+        thermal: tip-heating parameters.
+        kinetics: interface-mixing kinetics.
+        pulse: heat pulse used by :meth:`PatternedMedium.heat_dot`
+            (None = derive a just-sufficient pulse from the kinetics).
+        collateral_heating: when True, heating a dot also anneals its
+            matrix neighbours with the temperature the thermal model
+            predicts at one pitch distance.  Off by default because the
+            default layout is engineered safe (Section 7's heat-sink
+            design); the ablation bench switches it on.
+        switching_sigma: relative sigma of the lognormal switching
+            field distribution (0 disables fabrication defects).
+        write_field: available write field as a multiple of the nominal
+            anisotropy field (dots needing more are unwritable).
+        seed: RNG seed for heated-dot read noise and defects.
+    """
+
+    stack: MultilayerStack = field(default_factory=lambda: DEFAULT_STACK)
+    thermal: ThermalParameters = field(default_factory=lambda: DEFAULT_THERMAL)
+    kinetics: AnnealingKinetics = field(default_factory=lambda: DEFAULT_KINETICS)
+    pulse: Optional[HeatPulse] = None
+    collateral_heating: bool = False
+    switching_sigma: float = 0.0
+    write_field: float = 1.2
+    seed: int = 2008
+
+
+class PatternedMedium:
+    """A rectangular matrix of heatable magnetic dots.
+
+    Args:
+        geometry: dot-matrix shape and block mapping.
+        config: physical parameters (defaults are the paper's).
+    """
+
+    def __init__(self, geometry: MediumGeometry,
+                 config: Optional[MediumConfig] = None) -> None:
+        self.geometry = geometry
+        self.config = config or MediumConfig()
+        n = geometry.total_dots
+        # -1 = down (logical 0) everywhere after fabrication AC erase.
+        self._mag = np.full(n, -1, dtype=np.int8)
+        self._sharpness = np.ones(n, dtype=np.float32)
+        self._rng = np.random.default_rng(self.config.seed)
+        self._anisotropy = AnisotropyModel(stack=self.config.stack,
+                                           dot=geometry.dot)
+        if self.config.pulse is None:
+            self.config.pulse = default_pulse(self.config.thermal,
+                                              self.config.kinetics)
+        if self.config.switching_sigma > 0.0:
+            self._k_scale = self._rng.lognormal(
+                mean=0.0, sigma=self.config.switching_sigma,
+                size=n).astype(np.float32)
+        else:
+            self._k_scale = None
+        # Operation counters (the timing model consumes these).
+        self.counters = {"mrb": 0, "mwb": 0, "heat": 0}
+
+    # -- classification ------------------------------------------------------
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.geometry.total_dots:
+            raise DotAddressError(f"dot index {index} out of range")
+
+    def is_heated(self, index: int) -> bool:
+        """True when dot ``index`` has lost its perpendicular easy axis.
+
+        NOTE: this is the *ground-truth* physical state.  Normal device
+        operation must discover it through the erb protocol; direct
+        calls model forensic magnetic imaging (Section 8).
+        """
+        self._check(index)
+        return bool(self._sharpness[index] < HEATED_SHARPNESS_THRESHOLD)
+
+    def is_writable(self, index: int) -> bool:
+        """True when a magnetic write can switch dot ``index``.
+
+        A dot is unwritable when heated, or when its switching field
+        (scaled by the fabrication k-scale) exceeds the available
+        write field.
+        """
+        self._check(index)
+        if self._sharpness[index] < HEATED_SHARPNESS_THRESHOLD:
+            return False
+        if self._k_scale is not None:
+            return bool(self._k_scale[index] <= self.config.write_field)
+        return True
+
+    def dot(self, index: int) -> DotView:
+        """Snapshot view of one dot."""
+        self._check(index)
+        return DotView(index=index,
+                       magnetization=int(self._mag[index]),
+                       sharpness=float(self._sharpness[index]))
+
+    # -- magnetic bit operations ---------------------------------------------
+
+    def read_mag(self, index: int) -> int:
+        """Magnetic read (mrb): the stored bit as 0/1.
+
+        A heated dot has no out-of-plane remanence; the read channel
+        thresholds noise and returns a coin flip, faithfully modelling
+        Fig 2's "more or less random result".
+        """
+        self._check(index)
+        self.counters["mrb"] += 1
+        if self._sharpness[index] < HEATED_SHARPNESS_THRESHOLD:
+            return int(self._rng.integers(0, 2))
+        return 1 if self._mag[index] > 0 else 0
+
+    def write_mag(self, index: int, bit: int) -> None:
+        """Magnetic write (mwb): set the dot to ``bit`` (0 or 1).
+
+        Writing a heated or defective dot silently does nothing — the
+        field finds no stable perpendicular state to latch.  (The
+        *device* layer detects this through verification; the physics
+        cannot refuse a field pulse.)
+        """
+        self._check(index)
+        if bit not in (0, 1):
+            raise ValueError("bit must be 0 or 1")
+        self.counters["mwb"] += 1
+        if not self.is_writable(index):
+            return
+        self._mag[index] = 1 if bit else -1
+
+    # -- the write-once operation ---------------------------------------------
+
+    def heat_dot(self, index: int) -> None:
+        """Electrical write (ewb): destroy dot ``index`` irreversibly.
+
+        Applies the configured tip pulse: the contact temperature mixes
+        the dot's interfaces (sharpness multiplies by the Arrhenius
+        factor, which for the default pulse is ~0), and when
+        ``collateral_heating`` is enabled the 4-neighbours receive the
+        pulse attenuated to one pitch distance.
+        """
+        self._check(index)
+        self.counters["heat"] += 1
+        pulse = self.config.pulse
+        self._apply_pulse(index, pulse, distance=0.0)
+        if self.config.collateral_heating:
+            for neighbor in self.geometry.neighbors(index):
+                self._apply_pulse(neighbor, pulse,
+                                  distance=self.geometry.dot.pitch_x)
+
+    def _apply_pulse(self, index: int, pulse: HeatPulse,
+                     distance: float) -> None:
+        temp_c = temperature_at_distance_c(pulse.power_w, distance,
+                                           self.config.thermal)
+        rate = self.config.kinetics.mixing_rate(celsius_to_kelvin(temp_c))
+        factor = math.exp(-rate * pulse.duration_s)
+        self._sharpness[index] *= factor
+        if self._sharpness[index] < HEATED_SHARPNESS_THRESHOLD:
+            # no stable perpendicular state survives
+            self._mag[index] = 0
+
+    # -- bulk / forensic operations --------------------------------------------
+
+    def bulk_erase(self) -> None:
+        """Degauss the whole medium (Section 5.2's bulk-eraser attack).
+
+        All *magnetic* information is cleared; the heated pattern — a
+        structural, not magnetic, property — survives untouched, which
+        is exactly why the attack leaves evidence.
+        """
+        healthy = self._sharpness >= HEATED_SHARPNESS_THRESHOLD
+        self._mag[healthy] = -1
+
+    def image_heated(self, indices: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Forensic magnetic imaging: the heated map as a bool array.
+
+        Models Section 8's "magnetic imaging techniques": an
+        investigator (not the normal read channel) can always see which
+        dots are destroyed.
+        """
+        if indices is None:
+            return (self._sharpness < HEATED_SHARPNESS_THRESHOLD).copy()
+        idx = np.asarray(list(indices), dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.geometry.total_dots):
+            raise DotAddressError("dot index out of range")
+        return self._sharpness[idx] < HEATED_SHARPNESS_THRESHOLD
+
+    def heated_count(self) -> int:
+        """Number of destroyed dots on the whole medium."""
+        return int((self._sharpness < HEATED_SHARPNESS_THRESHOLD).sum())
+
+    def sharpness_of(self, index: int) -> float:
+        """Ground-truth interface sharpness of one dot (diagnostics)."""
+        self._check(index)
+        return float(self._sharpness[index])
+
+    # -- vectorised block helpers (fast paths for the device layer) -----------
+
+    def read_mag_span(self, start: int, end: int) -> np.ndarray:
+        """Vectorised mrb over dots [start, end): returns a 0/1 array.
+
+        Heated dots inside the span read as independent coin flips.
+        Counts ``end - start`` mrb operations.
+        """
+        if not (0 <= start <= end <= self.geometry.total_dots):
+            raise DotAddressError("dot span out of range")
+        self.counters["mrb"] += end - start
+        mag = self._mag[start:end]
+        bits = (mag > 0).astype(np.uint8)
+        heated = self._sharpness[start:end] < HEATED_SHARPNESS_THRESHOLD
+        if heated.any():
+            noise = self._rng.integers(0, 2, size=int(heated.sum()),
+                                       dtype=np.uint8)
+            bits = bits.copy()
+            bits[heated] = noise
+        return bits
+
+    def write_mag_span(self, start: int, bits: Sequence[int]) -> None:
+        """Vectorised mwb: write ``bits`` at consecutive dots from
+        ``start``.  Heated/defective dots silently keep their state."""
+        arr = np.asarray(bits, dtype=np.int8)
+        end = start + len(arr)
+        if not (0 <= start <= end <= self.geometry.total_dots):
+            raise DotAddressError("dot span out of range")
+        if arr.size and (arr.min() < 0 or arr.max() > 1):
+            raise ValueError("bits must be 0 or 1")
+        self.counters["mwb"] += len(arr)
+        span = slice(start, end)
+        writable = self._sharpness[span] >= HEATED_SHARPNESS_THRESHOLD
+        if self._k_scale is not None:
+            writable &= self._k_scale[span] <= self.config.write_field
+        target = np.where(arr > 0, 1, -1).astype(np.int8)
+        self._mag[span] = np.where(writable, target, self._mag[span])
+
+    def heat_span(self, start: int, end: int,
+                  pattern: Optional[Sequence[bool]] = None) -> None:
+        """Heat every dot in [start, end) where ``pattern`` is True
+        (or all of them when ``pattern`` is None)."""
+        if not (0 <= start <= end <= self.geometry.total_dots):
+            raise DotAddressError("dot span out of range")
+        if pattern is None:
+            indices: Iterable[int] = range(start, end)
+        else:
+            if len(pattern) != end - start:
+                raise ValueError("pattern length must match span")
+            indices = (start + i for i, flag in enumerate(pattern) if flag)
+        for index in indices:
+            self.heat_dot(index)
+
+    # -- statistics -------------------------------------------------------------
+
+    def snapshot_states(self, start: int, end: int) -> List[str]:
+        """Fig 2 state letters ('0'/'1'/'H') for dots [start, end)."""
+        if not (0 <= start <= end <= self.geometry.total_dots):
+            raise DotAddressError("dot span out of range")
+        out = []
+        for index in range(start, end):
+            if self._sharpness[index] < HEATED_SHARPNESS_THRESHOLD:
+                out.append("H")
+            else:
+                out.append("1" if self._mag[index] > 0 else "0")
+        return out

@@ -1,0 +1,87 @@
+"""Material-science simulation of the Co/Pt patterned medium.
+
+This package reproduces the physics half of the paper (Sections 6-7):
+
+* :mod:`~repro.physics.constants` — Co/Pt stack and dot geometry.
+* :mod:`~repro.physics.anisotropy` — interface/shape anisotropy balance.
+* :mod:`~repro.physics.annealing` — Arrhenius interface mixing (the
+  irreversible heat operation) and fct CoPt crystallisation.
+* :mod:`~repro.physics.torque` — torque-magnetometry measurement of K
+  (Fig 7's method).
+* :mod:`~repro.physics.xrd` — low/high-angle diffraction (Figs 8, 9).
+* :mod:`~repro.physics.thermal` — tip-current heating and neighbour
+  damage.
+* :mod:`~repro.physics.stoner_wohlfarth` — single-domain switching.
+* :mod:`~repro.physics.mfm` — MFM read-back signal (Fig 1).
+"""
+
+from .anisotropy import AnisotropyModel, calibrated_model, shape_anisotropy
+from .annealing import (
+    DEFAULT_KINETICS,
+    AnnealingKinetics,
+    FilmState,
+    anneal,
+    anneal_series,
+    destruction_temperature,
+)
+from .constants import (
+    AS_GROWN_K,
+    DEFAULT_DOT,
+    DEFAULT_STACK,
+    TORQUE_FIELD,
+    DotGeometry,
+    MultilayerStack,
+)
+from .mfm import ReadHead, ScanLine, detect_bits, scan_dots
+from .stoner_wohlfarth import SwitchingModel, astroid_switching_field
+from .thermal import (
+    DEFAULT_THERMAL,
+    HeatPulse,
+    ThermalParameters,
+    contact_temperature_c,
+    default_pulse,
+    neighbor_damage,
+    power_for_temperature,
+    safe_pitch,
+)
+from .torque import TorqueMeasurement, measure_anisotropy, torque_curve
+from .xrd import XRDScan, bragg_two_theta, high_angle_scan, low_angle_scan
+
+__all__ = [
+    "MultilayerStack",
+    "DotGeometry",
+    "DEFAULT_STACK",
+    "DEFAULT_DOT",
+    "AS_GROWN_K",
+    "TORQUE_FIELD",
+    "AnisotropyModel",
+    "calibrated_model",
+    "shape_anisotropy",
+    "AnnealingKinetics",
+    "DEFAULT_KINETICS",
+    "FilmState",
+    "anneal",
+    "anneal_series",
+    "destruction_temperature",
+    "TorqueMeasurement",
+    "measure_anisotropy",
+    "torque_curve",
+    "XRDScan",
+    "bragg_two_theta",
+    "low_angle_scan",
+    "high_angle_scan",
+    "ThermalParameters",
+    "DEFAULT_THERMAL",
+    "HeatPulse",
+    "default_pulse",
+    "contact_temperature_c",
+    "power_for_temperature",
+    "neighbor_damage",
+    "safe_pitch",
+    "SwitchingModel",
+    "astroid_switching_field",
+    "ReadHead",
+    "ScanLine",
+    "scan_dots",
+    "detect_bits",
+]

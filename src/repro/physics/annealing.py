@@ -1,0 +1,140 @@
+"""Arrhenius interface-mixing kinetics (the heat / annealing process).
+
+The write-once physics of the whole paper reduces to one irreversible
+solid-state process: above a threshold temperature the Co and Pt atoms
+at each interface interdiffuse, the interface anisotropy disappears and
+the easy axis falls in plane (Section 7, Fig 7).  We model this with
+first-order Arrhenius kinetics:
+
+``ds/dt = -k(T) * s``  with  ``k(T) = k0 * exp(-Ea / (kB * T))``
+
+where ``s`` is the interface *sharpness* (1 = as grown).  A second,
+slower channel converts mixed material into fct CoPt grains (the Fig 9
+crystallisation), which can never restore perpendicular anisotropy
+because the grains' easy axes are tilted.
+
+The default constants are calibrated so that a 30-minute anneal leaves
+``K`` untouched up to 500 degC and destroys it above 600 degC, exactly
+the shape of Fig 7.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..units import KB, celsius_to_kelvin
+
+EV = 1.602176634e-19
+
+
+@dataclass(frozen=True)
+class AnnealingKinetics:
+    """Rate parameters for interface mixing and crystallisation.
+
+    Attributes:
+        mixing_ea: activation energy of interface interdiffusion [J].
+        mixing_prefactor: Arrhenius attempt rate for mixing [1/s].
+        crystallization_ea: activation energy of fct CoPt grain
+            formation [J] (higher: grains only grow near 700 degC,
+            matching "at 700 degC grains start to grow").
+        crystallization_prefactor: attempt rate for crystallisation [1/s].
+    """
+
+    mixing_ea: float = 1.68 * EV
+    mixing_prefactor: float = 2.4e6
+    crystallization_ea: float = 2.05 * EV
+    crystallization_prefactor: float = 1.1e7
+
+    def mixing_rate(self, temperature_k: float) -> float:
+        """Interface-mixing rate k(T) [1/s]."""
+        if temperature_k <= 0:
+            raise ValueError("temperature must be positive kelvin")
+        return self.mixing_prefactor * math.exp(-self.mixing_ea / (KB * temperature_k))
+
+    def crystallization_rate(self, temperature_k: float) -> float:
+        """fct CoPt crystallisation rate [1/s]."""
+        if temperature_k <= 0:
+            raise ValueError("temperature must be positive kelvin")
+        return self.crystallization_prefactor * math.exp(
+            -self.crystallization_ea / (KB * temperature_k))
+
+
+DEFAULT_KINETICS = AnnealingKinetics()
+
+
+@dataclass
+class FilmState:
+    """Mutable microstructural state of (a region of) the film.
+
+    Attributes:
+        sharpness: interface sharpness in [0, 1]; 1 = as grown.
+        crystalline_fraction: fraction converted to fct CoPt grains.
+        thermal_history: list of (temperature_k, duration_s) applied.
+    """
+
+    sharpness: float = 1.0
+    crystalline_fraction: float = 0.0
+    thermal_history: List = field(default_factory=list)
+
+    @property
+    def is_destroyed(self) -> bool:
+        """True once the interfaces are effectively gone (< 5% left).
+
+        This is the physical meaning of a *heated* dot: the multilayer
+        structure is irreversibly destroyed (Fig 8's vanished
+        superlattice peak).
+        """
+        return self.sharpness < 0.05
+
+
+def anneal(state: FilmState, temperature_c: float, duration_s: float,
+           kinetics: AnnealingKinetics = DEFAULT_KINETICS) -> FilmState:
+    """Apply an isothermal anneal to ``state`` in place and return it.
+
+    The mixing ODE integrates exactly for an isothermal step:
+    ``s -> s * exp(-k(T) * t)``.  Crystallisation follows
+    Johnson-Mehl-Avrami with exponent 1 on the *mixed* fraction (grains
+    nucleate from mixed material).  Both are one-way: nothing in this
+    module can raise ``sharpness`` — that is the irreversibility the
+    tamper evidence rests on.
+    """
+    if duration_s < 0:
+        raise ValueError("anneal duration must be non-negative")
+    temperature_k = celsius_to_kelvin(temperature_c)
+    k_mix = kinetics.mixing_rate(temperature_k)
+    state.sharpness *= math.exp(-k_mix * duration_s)
+    k_cry = kinetics.crystallization_rate(temperature_k)
+    mixed = 1.0 - state.sharpness
+    growth = 1.0 - math.exp(-k_cry * duration_s)
+    state.crystalline_fraction += (mixed - state.crystalline_fraction) * growth
+    state.crystalline_fraction = min(max(state.crystalline_fraction, 0.0), 1.0)
+    state.thermal_history.append((temperature_k, duration_s))
+    return state
+
+
+def anneal_series(temperatures_c: Sequence[float], duration_s: float = 1800.0,
+                  kinetics: AnnealingKinetics = DEFAULT_KINETICS) -> List[FilmState]:
+    """Anneal one fresh sample per temperature (the Fig 7 protocol:
+    "samples subjected to six different temperatures")."""
+    samples = []
+    for t_c in temperatures_c:
+        sample = FilmState()
+        anneal(sample, t_c, duration_s, kinetics)
+        samples.append(sample)
+    return samples
+
+
+def destruction_temperature(kinetics: AnnealingKinetics = DEFAULT_KINETICS,
+                            duration_s: float = 1800.0,
+                            threshold: float = 0.05) -> float:
+    """Lowest temperature [degC] whose anneal drives sharpness below
+    ``threshold`` — i.e. the minimum usable heat-operation temperature.
+
+    Solved analytically from ``exp(-k(T) t) = threshold``.
+    """
+    needed_rate = -math.log(threshold) / duration_s
+    t_kelvin = kinetics.mixing_ea / (
+        KB * math.log(kinetics.mixing_prefactor / needed_rate))
+    return t_kelvin - 273.15

@@ -1,0 +1,106 @@
+"""Stoner-Wohlfarth single-domain switching model.
+
+The dots are single magnetic domains (Section 6), so magnetic writing
+(``mwb``) is coherent-rotation switching described by the classic
+Stoner-Wohlfarth astroid.  The model supplies:
+
+* the switching field of a dot as a function of the write-field angle,
+* thermal stability (Neel-Arrhenius) of stored bits, and
+* the switching-field distribution across a dot population (used by
+  :mod:`repro.medium.defects` to decide which dots are unreliable and
+  must be handled as bad blocks).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..units import KB, MU0
+from .constants import DEFAULT_DOT, DEFAULT_STACK, DotGeometry, MultilayerStack
+
+#: Neel attempt frequency [Hz].
+ATTEMPT_FREQUENCY = 1.0e9
+
+
+def anisotropy_field(k_eff: float, ms: float) -> float:
+    """H_K = 2 K / (mu0 Ms) [A/m]; zero when K is not perpendicular."""
+    return 2.0 * max(k_eff, 0.0) / (MU0 * ms)
+
+
+def astroid_switching_field(h_k: float, angle_rad: float) -> float:
+    """Switching field [A/m] at write-field ``angle_rad`` off easy axis.
+
+    The Stoner-Wohlfarth astroid:
+    ``h_sw = h_K / (cos^(2/3) psi + sin^(2/3) psi)^(3/2)``.
+    At 0 and 90 degrees this is h_K; at 45 degrees it drops to h_K/2.
+    """
+    psi = abs(angle_rad) % math.pi
+    if psi > math.pi / 2.0:
+        psi = math.pi - psi
+    c = math.cos(psi) ** (2.0 / 3.0)
+    s = math.sin(psi) ** (2.0 / 3.0)
+    return h_k / (c + s) ** 1.5
+
+
+@dataclass
+class SwitchingModel:
+    """Switching behaviour of one dot.
+
+    Attributes:
+        k_eff: effective perpendicular anisotropy [J/m^3].
+        stack: film recipe (for Ms).
+        dot: geometry (for the thermally relevant volume).
+    """
+
+    k_eff: float
+    stack: MultilayerStack = None  # type: ignore[assignment]
+    dot: DotGeometry = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.stack is None:
+            self.stack = DEFAULT_STACK
+        if self.dot is None:
+            self.dot = DEFAULT_DOT
+
+    @property
+    def h_k(self) -> float:
+        """Anisotropy field [A/m]."""
+        return anisotropy_field(self.k_eff, self.stack.ms)
+
+    def switching_field(self, angle_rad: float = math.radians(15.0)) -> float:
+        """Field needed to switch at the writer's effective angle."""
+        return astroid_switching_field(self.h_k, angle_rad)
+
+    def can_write(self, write_field: float,
+                  angle_rad: float = math.radians(15.0)) -> bool:
+        """True when ``write_field`` [A/m] switches the dot."""
+        if self.k_eff <= 0.0:
+            # destroyed dot: no stable perpendicular state to write
+            return False
+        return write_field >= self.switching_field(angle_rad)
+
+    def energy_barrier(self) -> float:
+        """Zero-field reversal barrier K V [J] over the magnetic volume."""
+        magnetic_volume = self.dot.volume * (
+            self.stack.magnetic_thickness / self.stack.total_thickness)
+        return max(self.k_eff, 0.0) * magnetic_volume
+
+    def thermal_stability_ratio(self, temperature_k: float = 300.0) -> float:
+        """The figure of merit Delta = K V / (k_B T); > 40 is archival."""
+        return self.energy_barrier() / (KB * temperature_k)
+
+    def retention_time(self, temperature_k: float = 300.0) -> float:
+        """Neel-Arrhenius mean time before a thermally activated flip [s]."""
+        delta = self.thermal_stability_ratio(temperature_k)
+        if delta > 700.0:  # avoid overflow; practically infinite
+            return math.inf
+        return math.exp(delta) / ATTEMPT_FREQUENCY
+
+    def flip_probability(self, duration_s: float,
+                         temperature_k: float = 300.0) -> float:
+        """Probability that the stored bit flips within ``duration_s``."""
+        tau = self.retention_time(temperature_k)
+        if math.isinf(tau):
+            return 0.0
+        return 1.0 - math.exp(-duration_s / tau)

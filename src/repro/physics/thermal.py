@@ -1,0 +1,168 @@
+"""Probe-tip heating: the physical realisation of ``ewb``.
+
+Section 7: "heating of the magnetic dots will be realised by passing a
+current from the probe tip to the dot", and earlier work showed such
+currents "are even capable of evaporating the material".  The open
+questions the paper lists — energy needed, lateral spread, neighbour
+damage — are exactly what this module models:
+
+* Joule power dissipated at the tip-dot contact produces a peak
+  contact temperature via the classic spreading-resistance formula
+  ``dT = P / (4 k a)`` for a circular contact of radius ``a`` on a
+  half-space of conductivity ``k``.
+* Away from the contact the steady-state excess temperature decays as
+  ``dT(r) = dT * a / r`` (point source on a half-space), *reduced* by a
+  heat-sinking factor when the substrate is engineered to conduct heat
+  down instead of sideways (the magneto-optic trick the paper cites).
+* A neighbour dot at pitch distance experiences that reduced
+  temperature for the pulse duration; feeding it through the annealing
+  kinetics yields the probability of collateral damage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .annealing import DEFAULT_KINETICS, AnnealingKinetics, FilmState, anneal
+from .constants import DEFAULT_DOT, DotGeometry
+
+
+@dataclass(frozen=True)
+class ThermalParameters:
+    """Thermal model parameters.
+
+    Attributes:
+        contact_radius: electrical/thermal contact radius [m].
+        conductivity: effective thermal conductivity of the dot +
+            substrate system [W/m/K].
+        ambient_c: ambient temperature [degC].
+        heat_sink_factor: lateral-decay suppression in (0, 1]; 1 means
+            unengineered (pure half-space spreading), smaller values
+            model a substrate that conducts heat away vertically
+            (Section 7's mitigation).
+    """
+
+    contact_radius: float = 15e-9
+    conductivity: float = 20.0
+    ambient_c: float = 25.0
+    heat_sink_factor: float = 0.35
+
+
+DEFAULT_THERMAL = ThermalParameters()
+
+
+def contact_temperature_c(power_w: float,
+                          params: ThermalParameters = DEFAULT_THERMAL) -> float:
+    """Peak temperature [degC] at the tip-dot contact for ``power_w``."""
+    if power_w < 0:
+        raise ValueError("power must be non-negative")
+    delta = power_w / (4.0 * params.conductivity * params.contact_radius)
+    return params.ambient_c + delta
+
+
+def power_for_temperature(target_c: float,
+                          params: ThermalParameters = DEFAULT_THERMAL) -> float:
+    """Tip power [W] needed to reach ``target_c`` at the contact."""
+    if target_c < params.ambient_c:
+        raise ValueError("target below ambient")
+    return (target_c - params.ambient_c) * 4.0 * params.conductivity * params.contact_radius
+
+
+def temperature_at_distance_c(power_w: float, distance: float,
+                              params: ThermalParameters = DEFAULT_THERMAL) -> float:
+    """Steady-state temperature [degC] at lateral ``distance`` [m]."""
+    if distance <= 0:
+        return contact_temperature_c(power_w, params)
+    peak = contact_temperature_c(power_w, params) - params.ambient_c
+    if distance <= params.contact_radius:
+        return params.ambient_c + peak
+    decay = params.heat_sink_factor * params.contact_radius / distance
+    return params.ambient_c + peak * decay
+
+
+@dataclass
+class HeatPulse:
+    """One ewb heating pulse.
+
+    Attributes:
+        power_w: dissipated tip power [W].
+        duration_s: pulse length [s].
+    """
+
+    power_w: float
+    duration_s: float
+
+    @property
+    def energy_j(self) -> float:
+        """Total pulse energy [J]."""
+        return self.power_w * self.duration_s
+
+
+def default_pulse(params: ThermalParameters = DEFAULT_THERMAL,
+                  kinetics: AnnealingKinetics = DEFAULT_KINETICS,
+                  margin: float = 1.15) -> HeatPulse:
+    """A pulse hot enough to destroy a dot in ~100 microseconds.
+
+    The contact is driven ``margin`` times past the temperature at
+    which a 100 us exposure mixes the interfaces to below 5%.
+    """
+    from .annealing import destruction_temperature
+
+    duration = 100e-6
+    needed_c = destruction_temperature(kinetics, duration_s=duration)
+    power = power_for_temperature(needed_c * margin, params)
+    return HeatPulse(power_w=power, duration_s=duration)
+
+
+def apply_pulse_to_dot(state: FilmState, pulse: HeatPulse,
+                       distance: float = 0.0,
+                       params: ThermalParameters = DEFAULT_THERMAL,
+                       kinetics: AnnealingKinetics = DEFAULT_KINETICS) -> FilmState:
+    """Anneal ``state`` with the temperature the pulse produces at
+    lateral ``distance`` from the heated dot (0 = the dot itself)."""
+    temp_c = temperature_at_distance_c(pulse.power_w, distance, params)
+    return anneal(state, temp_c, pulse.duration_s, kinetics)
+
+
+def neighbor_damage(pulse: HeatPulse,
+                    dot: DotGeometry = DEFAULT_DOT,
+                    params: ThermalParameters = DEFAULT_THERMAL,
+                    kinetics: AnnealingKinetics = DEFAULT_KINETICS) -> float:
+    """Fractional anisotropy loss suffered by the nearest neighbour.
+
+    Returns ``1 - sharpness`` of a pristine dot one pitch away after
+    the pulse; values near 0 mean the layout is safe, values near 1
+    mean heating one dot destroys its neighbours too (the reliability
+    worry that motivates the Manchester spreading of heated bits).
+    """
+    neighbor = FilmState()
+    apply_pulse_to_dot(neighbor, pulse, distance=dot.pitch_x,
+                       params=params, kinetics=kinetics)
+    return 1.0 - neighbor.sharpness
+
+
+def safe_pitch(pulse: HeatPulse,
+               params: ThermalParameters = DEFAULT_THERMAL,
+               kinetics: AnnealingKinetics = DEFAULT_KINETICS,
+               max_damage: float = 0.01,
+               search_max: float = 2e-6) -> float:
+    """Smallest pitch [m] at which neighbour damage stays below
+    ``max_damage``, found by bisection."""
+    lo, hi = params.contact_radius, search_max
+
+    def damage_at(pitch: float) -> float:
+        probe = FilmState()
+        apply_pulse_to_dot(probe, pulse, distance=pitch,
+                           params=params, kinetics=kinetics)
+        return 1.0 - probe.sharpness
+
+    if damage_at(hi) > max_damage:
+        raise ValueError("no safe pitch within search range")
+    for _ in range(80):
+        mid = 0.5 * (lo + hi)
+        if damage_at(mid) > max_damage:
+            lo = mid
+        else:
+            hi = mid
+    return hi

@@ -1,0 +1,142 @@
+"""Torque magnetometry simulation (the Fig 7 measurement method).
+
+The paper: "The anisotropy constants were calculated by a Fourier
+transformation of the torque curve obtained with an applied field of
+1350 kA/m."  We reproduce that *procedure*, not just the answer:
+
+1. For each applied-field angle ``theta_H`` the magnetisation angle
+   ``theta_M`` minimises the free energy
+   ``E = K_u sin^2(theta_M) - mu0 Ms H cos(theta_M - theta_H)``.
+2. The measured torque per unit volume is
+   ``L = -mu0 Ms H sin(theta_M - theta_H)`` (the field pulling the
+   magnetisation back is balanced by the anisotropy torque).
+3. The ``sin(2 theta_H)`` Fourier component of the torque curve gives
+   the measured anisotropy constant (with the classic finite-field
+   shearing correction applied optionally).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..units import MU0
+from .constants import DEFAULT_STACK, TORQUE_FIELD, MultilayerStack
+
+
+def equilibrium_angle(k_u: float, ms: float, h_field: float,
+                      theta_h: float) -> float:
+    """Magnetisation angle minimising the uniaxial + Zeeman energy.
+
+    Solved by damped Newton iteration on the torque-balance equation
+    ``K_u sin(2 theta_M) = mu0 Ms H sin(theta_H - theta_M)``.
+    """
+    if h_field <= 0:
+        raise ValueError("applied field must be positive")
+    zeeman = MU0 * ms * h_field
+    theta_m = theta_h  # strong-field starting guess
+    for _ in range(100):
+        f = k_u * math.sin(2.0 * theta_m) - zeeman * math.sin(theta_h - theta_m)
+        fprime = 2.0 * k_u * math.cos(2.0 * theta_m) + zeeman * math.cos(theta_h - theta_m)
+        if abs(fprime) < 1e-30:
+            break
+        step = f / fprime
+        theta_m -= step
+        if abs(step) < 1e-14:
+            break
+    return theta_m
+
+
+def torque_curve(k_u: float, angles_h: Sequence[float],
+                 ms: float = None, h_field: float = TORQUE_FIELD,
+                 stack: MultilayerStack = None) -> np.ndarray:
+    """Torque per unit volume [J/m^3] at each applied-field angle [rad]."""
+    film = stack or DEFAULT_STACK
+    ms_val = ms if ms is not None else film.ms
+    zeeman = MU0 * ms_val * h_field
+    torques = []
+    for theta_h in angles_h:
+        theta_m = equilibrium_angle(k_u, ms_val, h_field, theta_h)
+        # Torque balance at equilibrium: the Zeeman torque equals the
+        # anisotropy torque K sin(2 theta_M); the magnetometer reads
+        # the latter, which tends to +K sin(2 theta_H) at high field.
+        torques.append(zeeman * math.sin(theta_h - theta_m))
+    return np.asarray(torques)
+
+
+@dataclass
+class TorqueMeasurement:
+    """One simulated torque-magnetometer run.
+
+    Attributes:
+        angles_h: applied-field angles [rad].
+        torque: torque curve [J/m^3].
+        k_measured: anisotropy extracted from the sin(2 theta) Fourier
+            component.
+    """
+
+    angles_h: np.ndarray
+    torque: np.ndarray
+    k_measured: float
+
+
+def measure_anisotropy(k_true: float, n_angles: int = 360,
+                       ms: float = None, h_field: float = TORQUE_FIELD,
+                       noise_level: float = 0.0,
+                       shearing_correction: bool = True,
+                       rng: "np.random.Generator | None" = None,
+                       stack: MultilayerStack = None) -> TorqueMeasurement:
+    """Run the full Fig 7 measurement procedure on a film with ``k_true``.
+
+    Args:
+        k_true: the film's actual uniaxial anisotropy [J/m^3].
+        n_angles: sample count over a full rotation.
+        noise_level: relative RMS instrument noise added to the curve.
+        shearing_correction: apply the first-order finite-field
+            correction ``K = K_meas / (1 - K_meas/(mu0 Ms H))`` that a
+            careful experimentalist applies.
+
+    Returns:
+        A :class:`TorqueMeasurement` whose ``k_measured`` should agree
+        with ``k_true`` to well under a percent at 1350 kA/m.
+    """
+    film = stack or DEFAULT_STACK
+    ms_val = ms if ms is not None else film.ms
+    angles = np.linspace(0.0, 2.0 * math.pi, n_angles, endpoint=False)
+    torque = torque_curve(k_true, angles, ms=ms_val, h_field=h_field, stack=film)
+    if noise_level > 0.0:
+        generator = rng or np.random.default_rng(0)
+        scale = noise_level * max(abs(k_true), 1.0)
+        torque = torque + generator.normal(0.0, scale, size=torque.shape)
+    # Fourier sin(2 theta) component: L(theta) ~ +K sin(2 theta) for
+    # small shearing, so K_meas = (2/N) sum L sin(2 theta).
+    sin2 = np.sin(2.0 * angles)
+    k_meas = 2.0 * float(np.dot(torque, sin2)) / len(angles)
+    if shearing_correction:
+        # Finite-field shearing is second order in K/(mu0 Ms H): the
+        # sin(2 theta_H) amplitude is K (1 - (K/h)^2 / 2 + ...).
+        zeeman = MU0 * ms_val * h_field
+        ratio = k_meas / zeeman
+        denom = 1.0 - 0.5 * ratio * ratio
+        if denom > 0.5:
+            k_meas = k_meas / denom
+    return TorqueMeasurement(angles_h=angles, torque=torque, k_measured=k_meas)
+
+
+def fourier_components(angles: Sequence[float], torque: Sequence[float],
+                       max_harmonic: int = 4) -> List[float]:
+    """Sine-series amplitudes of a torque curve (diagnostics).
+
+    Returns ``[a1, a2, ...]`` where ``L = sum a_n sin(n theta)``; for a
+    pure uniaxial film everything but ``a2`` vanishes.
+    """
+    angles_arr = np.asarray(angles)
+    torque_arr = np.asarray(torque)
+    comps = []
+    for harmonic in range(1, max_harmonic + 1):
+        basis = np.sin(harmonic * angles_arr)
+        comps.append(2.0 * float(np.dot(torque_arr, basis)) / len(angles_arr))
+    return comps

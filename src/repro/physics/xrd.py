@@ -1,0 +1,193 @@
+"""Kinematic X-ray diffraction of the multilayer (Figs 8 and 9).
+
+Two scans are simulated with the same Cu K-alpha source the paper's
+diffractometer used:
+
+* **Low angle** (2-theta from 2 to 14 degrees): reflectivity from the
+  multilayer's periodic electron-density modulation.  A superlattice
+  Bragg peak sits at ``2 theta = 2 asin(lambda / (2 Lambda))`` — about
+  8 degrees for the 1.1 nm Co/Pt period, exactly Fig 8's peak.  The
+  modulation amplitude scales with the interface sharpness, so the
+  annealed sample's peak vanishes.
+
+* **High angle** (2-theta from 30 to 55 degrees): powder-style crystal
+  reflections.  The as-grown 0.55 nm layers give only extremely broad,
+  weak Co and Pt (111) humps (Scherrer broadening from sub-nm
+  crystallites); after annealing, 20 nm fct CoPt grains produce the
+  sharp (111) peak at 41.7 degrees of Fig 9.
+
+Both are pure kinematic sums — adequate because we only need peak
+*positions* and their appearance/disappearance, not absolute
+reflectivities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..units import CU_KALPHA_WAVELENGTH, NM
+from .annealing import FilmState
+from .constants import (
+    CO_FCC_111_D_SPACING,
+    COPT_111_D_SPACING,
+    DEFAULT_STACK,
+    PT_FCC_111_D_SPACING,
+    MultilayerStack,
+)
+
+# Relative electron densities (arbitrary units, ~Z/atomic volume).
+_RHO_PT = 5.2
+_RHO_CO = 2.3
+
+
+@dataclass
+class XRDScan:
+    """A simulated diffraction scan.
+
+    Attributes:
+        two_theta_deg: scan abscissa [degrees].
+        intensity: diffracted intensity [arbitrary units].
+    """
+
+    two_theta_deg: np.ndarray
+    intensity: np.ndarray
+
+    def peak_two_theta(self, lo: float = None, hi: float = None) -> float:
+        """2-theta of the highest intensity inside [lo, hi] degrees."""
+        mask = np.ones_like(self.two_theta_deg, dtype=bool)
+        if lo is not None:
+            mask &= self.two_theta_deg >= lo
+        if hi is not None:
+            mask &= self.two_theta_deg <= hi
+        if not mask.any():
+            raise ValueError("empty 2-theta window")
+        idx = int(np.argmax(np.where(mask, self.intensity, -np.inf)))
+        return float(self.two_theta_deg[idx])
+
+    def peak_intensity(self, lo: float = None, hi: float = None) -> float:
+        """Maximum intensity inside [lo, hi] degrees."""
+        mask = np.ones_like(self.two_theta_deg, dtype=bool)
+        if lo is not None:
+            mask &= self.two_theta_deg >= lo
+        if hi is not None:
+            mask &= self.two_theta_deg <= hi
+        return float(self.intensity[mask].max())
+
+
+def bragg_two_theta(d_spacing: float,
+                    wavelength: float = CU_KALPHA_WAVELENGTH) -> float:
+    """First-order Bragg angle 2-theta [degrees] for ``d_spacing`` [m]."""
+    s = wavelength / (2.0 * d_spacing)
+    if s >= 1.0:
+        raise ValueError("d-spacing below lambda/2: no reflection")
+    return math.degrees(2.0 * math.asin(s))
+
+
+def _density_profile(stack: MultilayerStack, sharpness: float,
+                     dz: float) -> np.ndarray:
+    """Electron-density profile rho(z) through the stack, with the
+    Co/Pt contrast reduced towards the mean as interfaces mix."""
+    mean = (_RHO_CO * stack.t_co + _RHO_PT * stack.t_pt) / stack.bilayer_period
+    n_co = max(int(round(stack.t_co / dz)), 1)
+    n_pt = max(int(round(stack.t_pt / dz)), 1)
+    co = mean + sharpness * (_RHO_CO - mean)
+    pt = mean + sharpness * (_RHO_PT - mean)
+    bilayer = np.concatenate([np.full(n_co, co), np.full(n_pt, pt)])
+    return np.tile(bilayer, stack.n_bilayers)
+
+
+def low_angle_scan(state: FilmState = None,
+                   stack: MultilayerStack = None,
+                   two_theta_deg: Sequence[float] = None,
+                   wavelength: float = CU_KALPHA_WAVELENGTH) -> XRDScan:
+    """Simulate the Fig 8 low-angle reflectivity scan.
+
+    Args:
+        state: microstructure (defaults to as-grown); its ``sharpness``
+            sets the multilayer contrast.
+        two_theta_deg: abscissa; defaults to 2..14 degrees.
+    """
+    film = stack or DEFAULT_STACK
+    sharpness = 1.0 if state is None else state.sharpness
+    if two_theta_deg is None:
+        two_theta_deg = np.linspace(2.0, 14.0, 481)
+    angles = np.asarray(two_theta_deg, dtype=float)
+    dz = 0.05 * NM
+    rho = _density_profile(film, sharpness, dz)
+    rho = rho - rho.mean()  # only the modulation diffracts off-specular
+    z = np.arange(len(rho)) * dz
+    theta = np.radians(angles / 2.0)
+    q = 4.0 * math.pi * np.sin(theta) / wavelength  # [1/m]
+    phases = np.exp(1j * np.outer(q, z))
+    amplitude = phases @ rho * dz
+    intensity = np.abs(amplitude) ** 2
+    # Instrument background + Fresnel-like decay envelope.
+    background = 1e-21 * (angles.min() / angles) ** 2
+    return XRDScan(two_theta_deg=angles, intensity=intensity + background)
+
+
+def _scherrer_fwhm_deg(grain_size: float, two_theta_deg: float,
+                       wavelength: float) -> float:
+    """Scherrer peak width (FWHM, degrees of 2-theta)."""
+    theta = math.radians(two_theta_deg / 2.0)
+    beta = 0.9 * wavelength / (grain_size * math.cos(theta))  # radians
+    return math.degrees(beta)
+
+
+def _gaussian_peak(angles: np.ndarray, center: float, fwhm: float,
+                   height: float) -> np.ndarray:
+    sigma = fwhm / 2.35482
+    return height * np.exp(-0.5 * ((angles - center) / sigma) ** 2)
+
+
+def high_angle_scan(state: FilmState = None,
+                    stack: MultilayerStack = None,
+                    two_theta_deg: Sequence[float] = None,
+                    wavelength: float = CU_KALPHA_WAVELENGTH,
+                    annealed_grain_size: float = 20.0 * NM) -> XRDScan:
+    """Simulate the Fig 9 high-angle scan.
+
+    The as-grown film contributes broad, weak Co(111)/Pt(111) humps
+    whose crystallite size equals the individual layer thickness; the
+    crystallised fraction contributes a sharp fct CoPt (111) peak at
+    41.7 degrees whose width is set by ``annealed_grain_size``.
+    """
+    film = stack or DEFAULT_STACK
+    if state is None:
+        state = FilmState()
+    if two_theta_deg is None:
+        two_theta_deg = np.linspace(30.0, 55.0, 1001)
+    angles = np.asarray(two_theta_deg, dtype=float)
+    intensity = np.full_like(angles, 5.0)  # flat instrument background
+
+    multilayer_fraction = 1.0 - state.crystalline_fraction
+    if multilayer_fraction > 0:
+        for d_spacing, thickness, weight in (
+            (CO_FCC_111_D_SPACING, film.t_co, _RHO_CO),
+            (PT_FCC_111_D_SPACING, film.t_pt, _RHO_PT),
+        ):
+            center = bragg_two_theta(d_spacing, wavelength)
+            fwhm = _scherrer_fwhm_deg(thickness, center, wavelength)
+            height = 40.0 * weight * multilayer_fraction / fwhm
+            intensity += _gaussian_peak(angles, center, fwhm, height)
+
+    if state.crystalline_fraction > 0:
+        center = bragg_two_theta(COPT_111_D_SPACING, wavelength)
+        fwhm = _scherrer_fwhm_deg(annealed_grain_size, center, wavelength)
+        height = 4000.0 * state.crystalline_fraction / fwhm
+        intensity += _gaussian_peak(angles, center, fwhm, height)
+
+    return XRDScan(two_theta_deg=angles, intensity=intensity)
+
+
+def multilayer_peak_visible(scan: XRDScan, lo: float = 6.0, hi: float = 10.0,
+                            contrast: float = 3.0) -> bool:
+    """Decide whether the Fig 8 superlattice peak is visible: peak
+    intensity inside [lo, hi] must exceed ``contrast`` times the median
+    background of the scan."""
+    background = float(np.median(scan.intensity))
+    return scan.peak_intensity(lo, hi) > contrast * background

@@ -1,0 +1,221 @@
+"""The full Section 5 attack matrix, runnable as one call.
+
+Each scenario builds a fresh device + file system with a heated file,
+executes one attack from :mod:`repro.security.attacks` and checks the
+observed behaviour against the paper's prediction.  Used by the test
+suite and by ``benchmarks/bench_security_matrix.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..device.sero import DeviceConfig, SERODevice, VerifyStatus
+from ..errors import ImmutableFileError, ReadError
+from ..fs.fsck import deep_scan
+from ..fs.lfs import FSConfig, SeroFS
+from . import attacks
+from .detection import AttackOutcome, Expectation, SecurityReport
+
+
+def _fresh_fs(total_blocks: int = 256,
+              include_addresses: bool = True) -> Tuple[SERODevice, SeroFS, int]:
+    """Device + FS with one heated target file; returns its line start."""
+    device = SERODevice.create(
+        total_blocks,
+        config=DeviceConfig(include_addresses_in_hash=include_addresses))
+    fs = SeroFS.format(device)
+    fs.create("/ledger.db", b"incriminating-record " * 100)
+    record = fs.heat_file("/ledger.db", timestamp=1)
+    return device, fs, record.start
+
+
+def scenario_mwb_hash() -> AttackOutcome:
+    """5.1 case 1: magnetic writes to the hash block are harmless."""
+    device, _fs, line = _fresh_fs()
+    attacks.mwb_hash(device, line)
+    result = device.verify_line(line)
+    return AttackOutcome(
+        name="mwb hash", expectation=Expectation.HARMLESS,
+        achieved=result.status is VerifyStatus.INTACT,
+        verification=result,
+        notes="hash is read electrically; magnetisation is irrelevant")
+
+
+def scenario_mwb_data() -> AttackOutcome:
+    """5.1 case 2: magnetic rewrite of heated data -> hash mismatch."""
+    device, _fs, line = _fresh_fs()
+    attacks.mwb_data(device, line)
+    result = device.verify_line(line)
+    return AttackOutcome(
+        name="mwb inode/data", expectation=Expectation.DETECTED,
+        achieved=result.status is VerifyStatus.HASH_MISMATCH,
+        verification=result,
+        notes="verify recomputes the line hash over the forged block")
+
+
+def scenario_ewb_hash() -> AttackOutcome:
+    """5.1 case 3: heating hash cells produces illegal HH codes."""
+    device, _fs, line = _fresh_fs()
+    attacks.ewb_hash(device, line, n_cells=2)
+    result = device.verify_line(line)
+    return AttackOutcome(
+        name="ewb hash", expectation=Expectation.DETECTED,
+        achieved=result.status is VerifyStatus.CELL_TAMPERED,
+        verification=result,
+        notes="UH/HU -> HH is the only possible change and is illegal")
+
+
+def scenario_ewb_data() -> AttackOutcome:
+    """5.1 case 4: electrically destroyed data dots -> read error."""
+    device, _fs, line = _fresh_fs()
+    pba = attacks.ewb_data(device, line)
+    read_failed = False
+    try:
+        device.read_block(pba)
+    except ReadError:
+        read_failed = True
+    result = device.verify_line(line)
+    return AttackOutcome(
+        name="ewb inode/data", expectation=Expectation.DETECTED,
+        achieved=read_failed and result.status is VerifyStatus.UNREADABLE,
+        verification=result,
+        notes="destroyed dots appear as a read error; verify cannot pass")
+
+
+def scenario_split_file() -> AttackOutcome:
+    """5.1 split/coalesce: forged sub-line heat is rejected."""
+    device, fs, _line = _fresh_fs(total_blocks=512)
+    fs.create("/big.db", b"x" * (20 * 512))
+    record = fs.heat_file("/big.db", timestamp=2)
+    forged = attacks.split_file(device, record.start)
+    result = device.verify_line(record.start)
+    return AttackOutcome(
+        name="split/coalesce", expectation=Expectation.REJECTED,
+        achieved=forged is not None and result.status is VerifyStatus.INTACT,
+        verification=result,
+        notes="hashes must sit at known (aligned) physical addresses")
+
+
+def scenario_rm() -> AttackOutcome:
+    """5.2: rm on a heated file — refused by the driver, and the
+    forced medium-level variant is tamper-evident."""
+    device, fs, line = _fresh_fs()
+    refused = False
+    try:
+        fs.unlink("/ledger.db")
+    except ImmutableFileError:
+        refused = True
+    attacks.forced_rm(fs, "/ledger.db")
+    result = device.verify_line(line)
+    return AttackOutcome(
+        name="rm heated file", expectation=Expectation.DETECTED,
+        achieved=refused and result.status is VerifyStatus.HASH_MISMATCH,
+        verification=result,
+        notes="link count lives inside the heated line")
+
+
+def scenario_ln() -> AttackOutcome:
+    """5.2: ln on a heated file is refused (link count immutable)."""
+    device, fs, line = _fresh_fs()
+    refused = False
+    try:
+        fs.link("/ledger.db", "/alias.db")
+    except ImmutableFileError:
+        refused = True
+    result = device.verify_line(line)
+    return AttackOutcome(
+        name="ln heated file", expectation=Expectation.REJECTED,
+        achieved=refused and result.status is VerifyStatus.INTACT,
+        verification=result,
+        notes="increasing the reference count would rewrite the inode")
+
+
+def scenario_copy_mask(include_addresses: bool = True) -> AttackOutcome:
+    """5.2: an exact copy cannot mask the original — the physical
+    addresses inside the hash make copies distinguishable.  With the
+    ablated hash (no addresses) the copy *does* pass, which is the
+    DESIGN.md ablation."""
+    device, _fs, line = _fresh_fs(total_blocks=256,
+                                  include_addresses=include_addresses)
+    record = device.line_of_block(line)
+    free_start = None
+    for candidate in range(device.total_blocks - record.n_blocks,
+                           record.n_blocks, -record.n_blocks):
+        span = range(candidate, candidate + record.n_blocks)
+        if not any(device.is_block_heated(pba) for pba in span):
+            free_start = candidate
+            break
+    assert free_start is not None
+    copy_start = attacks.copy_mask(device, line, free_start)
+    original = device.verify_line(line)
+    copy = device.verify_line(copy_start)
+    copy_meta_differs = (
+        copy.stored_hash != original.stored_hash
+        if include_addresses else
+        copy.stored_hash == original.stored_hash)
+    expectation = Expectation.DETECTED if include_addresses else Expectation.HARMLESS
+    achieved = (original.status is VerifyStatus.INTACT and copy_meta_differs)
+    notes = ("copy's hash covers different PBAs -> distinguishable"
+             if include_addresses else
+             "ABLATION: without addresses the copy is indistinguishable")
+    return AttackOutcome(
+        name="copy masking" + ("" if include_addresses else " (no-addr ablation)"),
+        expectation=expectation, achieved=achieved,
+        verification=copy, notes=notes)
+
+
+def scenario_clear_directory() -> AttackOutcome:
+    """5.2: wiping the directory tree — the deep scan recovers the
+    heated file, name hint and all."""
+    device, fs, _line = _fresh_fs()
+    attacks.clear_directory(fs)
+    report = deep_scan(device)
+    recovered = [f for f in report.recovered if f.name_hint == "ledger.db"]
+    achieved = bool(recovered) and recovered[0].data is not None and \
+        recovered[0].verification.status is VerifyStatus.INTACT
+    return AttackOutcome(
+        name="clear directory", expectation=Expectation.RECOVERED,
+        achieved=achieved,
+        verification=recovered[0].verification if recovered else None,
+        notes="fsck deep scan recovers all heated files")
+
+
+def scenario_bulk_erase() -> AttackOutcome:
+    """5.2: bulk erase clears magnetic data but the electrical
+    evidence survives — every line still announces itself and fails
+    verification loudly."""
+    device, _fs, line = _fresh_fs()
+    attacks.bulk_erase(device)
+    recovered = device.scan_lines()
+    found = any(rec.start == line for rec in recovered)
+    result = device.verify_line(line)
+    return AttackOutcome(
+        name="bulk erase", expectation=Expectation.DETECTED,
+        achieved=found and result.tamper_evident,
+        verification=result,
+        notes="heated pattern is structural, not magnetic; it survives")
+
+
+SCENARIOS: Dict[str, Callable[[], AttackOutcome]] = {
+    "mwb-hash": scenario_mwb_hash,
+    "mwb-data": scenario_mwb_data,
+    "ewb-hash": scenario_ewb_hash,
+    "ewb-data": scenario_ewb_data,
+    "split": scenario_split_file,
+    "rm": scenario_rm,
+    "ln": scenario_ln,
+    "copy-mask": scenario_copy_mask,
+    "clear-dir": scenario_clear_directory,
+    "bulk-erase": scenario_bulk_erase,
+}
+
+
+def run_attack_matrix(names: Optional[list] = None) -> SecurityReport:
+    """Run all (or the named) attack scenarios; returns the report."""
+    report = SecurityReport()
+    for name, scenario in SCENARIOS.items():
+        if names is not None and name not in names:
+            continue
+        report.add(scenario())
+    return report

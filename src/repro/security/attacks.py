@@ -1,0 +1,221 @@
+"""Attack implementations for the Section 5 security analysis.
+
+Every attack manipulates the *medium* (or issues raw device commands),
+modelling the insider who "can disconnect the storage device
+temporarily from the system, then connect it to a laptop with the
+appropriate interface".  None of them go through driver policy — the
+point of the analysis is that policy cannot stop them, only the
+physics plus the verify operation can expose them.
+
+The four integrity cases of Section 5.1:
+
+========================= ==========================================
+attack                     expected outcome
+========================= ==========================================
+``mwb_hash``               no effect (hash is read electrically)
+``mwb_data``               detected: verify -> HASH_MISMATCH
+``ewb_hash``               detected: verify -> CELL_TAMPERED (HH)
+``ewb_data``               detected: data block unreadable
+========================= ==========================================
+
+plus the availability attacks of Section 5.2 (forced rm, copy-mask,
+directory wipe, bulk erase) and the split/coalesce forgery.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+import numpy as np
+
+from ..device.sector import BLOCK_SIZE, E_REGION_DOTS, encode_frame
+from ..device.sero import SERODevice
+from ..fs.lfs import SeroFS
+from ..fs.segment import BlockState
+
+
+# ---------------------------------------------------------------------------
+# Section 5.1 — integrity
+
+
+def mwb_hash(device: SERODevice, line_start: int, n_dots: int = 64) -> int:
+    """Magnetically rewrite dots of the electrically written hash block.
+
+    "Changing the magnetisation of an electrically written bit of the
+    hash has no effect, as only the presence or the absence of a
+    magnetic dot is relevant."  Returns dots written.
+    """
+    start, _ = device.geometry.block_span(line_start)
+    for index in range(start, start + min(n_dots, E_REGION_DOTS)):
+        device.medium.write_mag(index, 1)
+    return min(n_dots, E_REGION_DOTS)
+
+
+def mwb_data(device: SERODevice, line_start: int,
+             target_offset: int = 1, forged: Optional[bytes] = None) -> int:
+    """Magnetically overwrite a data block inside a heated line.
+
+    The forged frame is written with the *correct* physical address
+    and CRC (the attacker controls a laptop, not a toy), so only the
+    line hash can betray it.  Returns the PBA attacked.
+    """
+    record = device.line_of_block(line_start)
+    if record is None:
+        raise ValueError(f"no heated line at {line_start}")
+    pba = record.start + target_offset
+    payload = forged if forged is not None else b"FORGED!!" * 64
+    payload = (payload + b"\x00" * BLOCK_SIZE)[:BLOCK_SIZE]
+    bits = encode_frame(pba, payload)
+    start, _ = device.geometry.block_span(pba)
+    device.medium.write_mag_span(start, bits)
+    return pba
+
+
+def ewb_hash(device: SERODevice, line_start: int, n_cells: int = 1) -> List[int]:
+    """Heat the unheated dot of ``n_cells`` hash cells (UH/HU -> HH).
+
+    "HH is an illegal code, and thus represents evidence of
+    tampering."  Returns the dot indices heated.
+    """
+    start, _ = device.geometry.block_span(line_start)
+    heated_map = device.medium.image_heated(
+        range(start, start + E_REGION_DOTS))
+    burned: List[int] = []
+    for cell in range(E_REGION_DOTS // 2):
+        if len(burned) >= n_cells:
+            break
+        d0, d1 = 2 * cell, 2 * cell + 1
+        if heated_map[d0] and not heated_map[d1]:
+            device.medium.heat_dot(start + d1)
+            burned.append(start + d1)
+        elif heated_map[d1] and not heated_map[d0]:
+            device.medium.heat_dot(start + d0)
+            burned.append(start + d0)
+    return burned
+
+
+def ewb_data(device: SERODevice, line_start: int,
+             target_offset: int = 1, n_dots: int = 64) -> int:
+    """Electrically destroy dots of a data block.
+
+    "An electrically written bit in the data, which destroys the
+    magnetic properties of the relevant dot, appears as a read error."
+    Returns the PBA attacked.
+    """
+    record = device.line_of_block(line_start)
+    if record is None:
+        raise ValueError(f"no heated line at {line_start}")
+    pba = record.start + target_offset
+    start, _ = device.geometry.block_span(pba)
+    for index in range(start, start + n_dots):
+        device.medium.heat_dot(index)
+    return pba
+
+
+def split_file(device: SERODevice, line_start: int) -> Optional[int]:
+    """Try the Section 5.1 split attack: craft a fake hash block +
+    fake inode in the middle of a heated file's data region and heat
+    the sub-line, hoping the device accepts the second half as a
+    genuine file.
+
+    The device "insists that hashes are written at known physical
+    addresses": sub-line starts are rejected unless aligned, and any
+    aligned sub-range overlaps the existing line, which the heat
+    operation refuses.  Returns the PBA where the forged heat was
+    attempted, or None if no plausible target exists.
+    """
+    record = device.line_of_block(line_start)
+    if record is None or record.n_blocks < 4:
+        return None
+    forged_start = record.start + record.n_blocks // 2
+    from ..errors import AlignmentError, HeatError
+
+    try:
+        device.heat_line(forged_start, record.n_blocks // 2)
+    except (AlignmentError, HeatError):
+        return forged_start
+    return forged_start
+
+
+# ---------------------------------------------------------------------------
+# Section 5.2 — availability
+
+
+def forced_rm(fs: SeroFS, path: str) -> int:
+    """Delete a heated file the hard way: wipe the directory entry and
+    magnetically rewrite the heated inode with link_count = 0.
+
+    The inode write lands inside the heated line, so the next verify
+    shows HASH_MISMATCH — "writing the inode ... will be
+    tamper-evident because the hash is invalidated."  Returns the
+    inode's PBA.
+    """
+    ino, inode = fs._lookup(path)
+    inode_pba = fs.imap[ino]
+    # 1. remove the directory entry through a raw parent rewrite
+    parent, name = fs._lookup_parent(path)
+    entries = fs._dir_entries(parent)
+    entries.pop(name, None)
+    from ..fs.directory import pack_entries
+
+    fs._write_file_blocks(parent, pack_entries(entries))
+    # 2. force the inode's link count to zero on the medium
+    inode.link_count = 0
+    bits = encode_frame(inode_pba, inode.pack())
+    start, _ = fs.device.geometry.block_span(inode_pba)
+    fs.device.medium.write_mag_span(start, bits)
+    return inode_pba
+
+
+def copy_mask(device: SERODevice, line_start: int,
+              free_start: int) -> int:
+    """Copy a heated file's data blocks to ``free_start`` and heat the
+    copy, attempting to pass it off as the original.
+
+    With addresses inside the hash "a copy can always be distinguished
+    from an original": the copy's line metadata names different PBAs.
+    Returns the copy's line start.
+    """
+    record = device.line_of_block(line_start)
+    if record is None:
+        raise ValueError(f"no heated line at {line_start}")
+    n = record.n_blocks
+    if free_start % n:
+        raise ValueError("copy target must be line-aligned")
+    for offset in range(1, n):
+        payload = device.read_block(record.start + offset)
+        device.write_block(free_start + offset, payload)
+    device.heat_line(free_start, n, timestamp=record.timestamp)
+    return free_start
+
+
+def clear_directory(fs: SeroFS) -> None:
+    """Wipe the root directory (and the checkpoint copies) on the
+    medium, destroying every path to every file.
+
+    The heated files themselves remain recoverable: "a fsck style scan
+    of the medium would definitely recover (albeit slowly) all the
+    heated files."
+    """
+    from ..fs.directory import pack_entries
+    from ..fs.lfs import ROOT_INO
+
+    root = fs._read_inode(ROOT_INO)
+    fs._write_file_blocks(root, pack_entries({}))
+    # and the checkpoints, for good measure
+    for copy in (0, 1):
+        start = fs._checkpoint_region(copy)
+        bits = encode_frame(start, b"\x00" * BLOCK_SIZE)
+        dot_start, _ = fs.device.geometry.block_span(start)
+        fs.device.medium.write_mag_span(dot_start, bits)
+
+
+def bulk_erase(device: SERODevice) -> None:
+    """Degauss the whole medium (Gutmann-style, done properly).
+
+    "This would clear all magnetically written information.  However
+    all electrically written information is still present, thus
+    providing the required evidence of tampering."
+    """
+    device.medium.bulk_erase()

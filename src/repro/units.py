@@ -1,0 +1,76 @@
+"""Physical units and constants used across the physics simulation.
+
+All quantities in the library are SI unless a suffix says otherwise
+(``_nm``, ``_deg`` ...).  The helpers here keep unit conversions in one
+place so the physics modules read like the equations in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+# -- fundamental constants ---------------------------------------------------
+
+MU0 = 4.0e-7 * math.pi
+"""Vacuum permeability [T m / A]."""
+
+KB = 1.380649e-23
+"""Boltzmann constant [J / K]."""
+
+ELEMENTARY_CHARGE = 1.602176634e-19
+"""Elementary charge [C]."""
+
+CU_KALPHA_WAVELENGTH = 1.5406e-10
+"""Cu K-alpha X-ray wavelength [m] (standard lab diffractometer source)."""
+
+# -- unit conversion helpers -------------------------------------------------
+
+NM = 1e-9
+UM = 1e-6
+MM = 1e-3
+ANGSTROM = 1e-10
+
+KJ_PER_M3 = 1e3
+"""Multiplier converting kJ/m^3 to J/m^3 (anisotropy constants in the
+paper are quoted in kJ/m^3, e.g. the 80 kJ/m^3 of the as-grown film)."""
+
+KA_PER_M = 1e3
+"""Multiplier converting kA/m to A/m (the torque measurements use an
+applied field of 1350 kA/m)."""
+
+
+def celsius_to_kelvin(t_celsius: float) -> float:
+    """Convert a temperature from degrees Celsius to Kelvin."""
+    return t_celsius + 273.15
+
+
+def kelvin_to_celsius(t_kelvin: float) -> float:
+    """Convert a temperature from Kelvin to degrees Celsius."""
+    return t_kelvin - 273.15
+
+
+def deg_to_rad(angle_deg: float) -> float:
+    """Convert degrees to radians."""
+    return math.radians(angle_deg)
+
+
+def rad_to_deg(angle_rad: float) -> float:
+    """Convert radians to degrees."""
+    return math.degrees(angle_rad)
+
+
+# -- storage-unit helpers ----------------------------------------------------
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+
+def bits_to_bytes(nbits: int) -> int:
+    """Number of whole bytes needed to hold ``nbits`` bits."""
+    return (nbits + 7) // 8
+
+
+def is_power_of_two(n: int) -> bool:
+    """True when ``n`` is a positive integral power of two."""
+    return n > 0 and (n & (n - 1)) == 0

@@ -1,0 +1,28 @@
+"""Workload generators for the evaluation benchmarks.
+
+* :mod:`~repro.workloads.synthetic` — seeded file-operation mixes.
+* :mod:`~repro.workloads.database` — the paper's motivating database +
+  audit-snapshot application.
+* :mod:`~repro.workloads.archival` — SOX-style compliance retention.
+* :mod:`~repro.workloads.traces` — record / serialise / replay.
+"""
+
+from .archival import ComplianceArchive, RetentionBatch
+from .database import SimpleDatabase, oltp_then_snapshot
+from .synthetic import FileOp, OpKind, SyntheticWorkload, apply_op, payload_for, run_workload
+from .traces import Trace, record_workload
+
+__all__ = [
+    "FileOp",
+    "OpKind",
+    "SyntheticWorkload",
+    "apply_op",
+    "payload_for",
+    "run_workload",
+    "SimpleDatabase",
+    "oltp_then_snapshot",
+    "ComplianceArchive",
+    "RetentionBatch",
+    "Trace",
+    "record_workload",
+]

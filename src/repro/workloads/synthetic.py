@@ -1,0 +1,166 @@
+"""Synthetic file workload generators.
+
+Deterministic (seeded) generators for the aging and lifetime
+benchmarks: file sizes follow a lognormal distribution (the classic
+file-system finding), operations are drawn from a configurable
+create/rewrite/delete/heat mix, and every generated operation is a
+plain data object so traces can be recorded and replayed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+
+class OpKind(enum.Enum):
+    """Workload operation kinds."""
+
+    CREATE = "create"
+    REWRITE = "rewrite"
+    APPEND = "append"
+    DELETE = "delete"
+    HEAT = "heat"
+    READ = "read"
+
+
+@dataclass(frozen=True)
+class FileOp:
+    """One workload operation.
+
+    Attributes:
+        kind: what to do.
+        path: target file path.
+        size: payload size for create/rewrite/append (bytes).
+        seed: per-op content seed (reproducible payloads).
+    """
+
+    kind: OpKind
+    path: str
+    size: int = 0
+    seed: int = 0
+
+
+def payload_for(op: FileOp) -> bytes:
+    """Deterministic payload bytes for a create/rewrite/append op."""
+    rng = np.random.default_rng(op.seed)
+    return rng.integers(0, 256, size=op.size, dtype=np.uint8).tobytes()
+
+
+@dataclass
+class SyntheticWorkload:
+    """Seeded random workload over a flat namespace.
+
+    Attributes:
+        n_files: initial file population.
+        n_ops: operations to generate after population.
+        mean_size: lognormal mean file size [bytes].
+        sigma: lognormal sigma (spread).
+        p_rewrite / p_append / p_delete / p_heat / p_read: op mix for
+            the post-population phase (remainder goes to CREATE).
+        seed: master RNG seed.
+    """
+
+    n_files: int = 32
+    n_ops: int = 200
+    mean_size: float = 4096.0
+    sigma: float = 0.8
+    p_rewrite: float = 0.45
+    p_append: float = 0.15
+    p_delete: float = 0.05
+    p_heat: float = 0.05
+    p_read: float = 0.20
+    seed: int = 1
+
+    def _size(self, rng: np.random.Generator) -> int:
+        mu = np.log(self.mean_size) - self.sigma ** 2 / 2.0
+        return max(int(rng.lognormal(mu, self.sigma)), 16)
+
+    def generate(self) -> Iterator[FileOp]:
+        """Yield the operation stream."""
+        rng = np.random.default_rng(self.seed)
+        live: List[str] = []
+        heated: set = set()
+        counter = 0
+        for i in range(self.n_files):
+            path = f"/f{counter:05d}"
+            counter += 1
+            live.append(path)
+            yield FileOp(OpKind.CREATE, path, self._size(rng),
+                         seed=int(rng.integers(1 << 31)))
+        for _ in range(self.n_ops):
+            roll = rng.random()
+            mutable = [p for p in live if p not in heated]
+            if roll < self.p_rewrite and mutable:
+                path = mutable[int(rng.integers(len(mutable)))]
+                yield FileOp(OpKind.REWRITE, path, self._size(rng),
+                             seed=int(rng.integers(1 << 31)))
+            elif roll < self.p_rewrite + self.p_append and mutable:
+                path = mutable[int(rng.integers(len(mutable)))]
+                yield FileOp(OpKind.APPEND, path, self._size(rng) // 4 + 16,
+                             seed=int(rng.integers(1 << 31)))
+            elif roll < self.p_rewrite + self.p_append + self.p_delete and mutable:
+                path = mutable[int(rng.integers(len(mutable)))]
+                live.remove(path)
+                yield FileOp(OpKind.DELETE, path)
+            elif roll < self.p_rewrite + self.p_append + self.p_delete \
+                    + self.p_heat and mutable:
+                path = mutable[int(rng.integers(len(mutable)))]
+                heated.add(path)
+                yield FileOp(OpKind.HEAT, path)
+            elif roll < self.p_rewrite + self.p_append + self.p_delete \
+                    + self.p_heat + self.p_read and live:
+                path = live[int(rng.integers(len(live)))]
+                yield FileOp(OpKind.READ, path)
+            else:
+                path = f"/f{counter:05d}"
+                counter += 1
+                live.append(path)
+                yield FileOp(OpKind.CREATE, path, self._size(rng),
+                             seed=int(rng.integers(1 << 31)))
+
+
+def apply_op(fs, op: FileOp) -> Optional[bytes]:
+    """Apply one op to a SeroFS; returns read data for READ ops.
+
+    Unavailable targets (already deleted, heated, out of space) are
+    surfaced to the caller — workload drivers decide what to tolerate.
+    """
+    from .. import errors
+
+    if op.kind is OpKind.CREATE:
+        fs.create(op.path, payload_for(op))
+    elif op.kind is OpKind.REWRITE:
+        fs.write(op.path, payload_for(op))
+    elif op.kind is OpKind.APPEND:
+        fs.append(op.path, payload_for(op))
+    elif op.kind is OpKind.DELETE:
+        fs.unlink(op.path)
+    elif op.kind is OpKind.HEAT:
+        fs.heat_file(op.path)
+    elif op.kind is OpKind.READ:
+        return fs.read(op.path)
+    else:  # pragma: no cover - enum is closed
+        raise errors.ReproError(f"unknown op {op.kind}")
+    return None
+
+
+def run_workload(fs, workload: SyntheticWorkload,
+                 stop_on_nospace: bool = True) -> dict:
+    """Drive a workload against ``fs``; returns operation counters."""
+    from ..errors import NoSpaceError
+
+    counts = {kind.value: 0 for kind in OpKind}
+    counts["nospace"] = 0
+    for op in workload.generate():
+        try:
+            apply_op(fs, op)
+            counts[op.kind.value] += 1
+        except NoSpaceError:
+            counts["nospace"] += 1
+            if stop_on_nospace:
+                break
+    return counts

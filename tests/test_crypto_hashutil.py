@@ -1,0 +1,48 @@
+"""Line-hash construction tests (address binding = anti-copy-masking)."""
+
+import pytest
+
+from repro.crypto.hashutil import HASH_SIZE, line_hash
+
+
+def test_hash_length():
+    assert len(line_hash([1], [b"x" * 512])) == HASH_SIZE == 32
+
+
+def test_deterministic():
+    assert line_hash([1, 2], [b"a", b"b"]) == line_hash([1, 2], [b"a", b"b"])
+
+
+def test_data_sensitivity():
+    assert line_hash([1], [b"a"]) != line_hash([1], [b"b"])
+
+
+def test_address_sensitivity():
+    # the Section 5.2 defence: same data at different PBAs hashes differently
+    assert line_hash([1], [b"a"]) != line_hash([2], [b"a"])
+
+
+def test_without_addresses_copies_collide():
+    # the deliberate ablation mode
+    h1 = line_hash([1], [b"a"], include_addresses=False)
+    h2 = line_hash([99], [b"a"], include_addresses=False)
+    assert h1 == h2
+
+
+def test_order_sensitivity():
+    assert line_hash([1, 2], [b"a", b"b"]) != line_hash([1, 2], [b"b", b"a"])
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(ValueError):
+        line_hash([1, 2], [b"a"])
+
+
+def test_negative_address_rejected():
+    with pytest.raises(ValueError):
+        line_hash([-1], [b"a"])
+
+
+def test_block_boundary_ambiguity_prevented():
+    # address framing prevents "ab"+"c" == "a"+"bc" collisions
+    assert line_hash([1, 2], [b"ab", b"c"]) != line_hash([1, 2], [b"a", b"bc"])

@@ -1,0 +1,111 @@
+"""Manchester cell codec tests (the Fig 3 / Molnar encoding)."""
+
+import pytest
+
+from repro.crypto.manchester import (
+    CellState,
+    bits_to_bytes,
+    bytes_to_bits,
+    classify_cell,
+    decode_bytes,
+    decode_pattern,
+    encode_bits,
+    encode_bytes,
+)
+from repro.errors import InvalidCellError
+
+
+def test_encode_zero_is_hu():
+    assert encode_bits([0]) == [True, False]
+
+
+def test_encode_one_is_uh():
+    assert encode_bits([1]) == [False, True]
+
+
+def test_encode_rejects_non_binary():
+    with pytest.raises(ValueError):
+        encode_bits([2])
+
+
+def test_cell_classification():
+    assert classify_cell(False, False) is CellState.UNUSED
+    assert classify_cell(True, False) is CellState.ZERO
+    assert classify_cell(False, True) is CellState.ONE
+    assert classify_cell(True, True) is CellState.TAMPERED
+
+
+@pytest.mark.parametrize("data", [b"", b"\x00", b"\xff", b"\xa5\x5a", bytes(range(256))])
+def test_bytes_roundtrip(data):
+    assert decode_bytes(encode_bytes(data)) == data
+
+
+def test_every_written_cell_has_exactly_one_heated_dot():
+    pattern = encode_bytes(bytes(range(64)))
+    for i in range(0, len(pattern), 2):
+        assert pattern[i] ^ pattern[i + 1]  # exactly one True
+
+
+def test_heated_dot_never_has_heated_cell_neighbour():
+    # within a cell, at most one H: the reliability property of Sec. 3
+    pattern = encode_bytes(b"\x0f\xf0" * 8)
+    for i in range(0, len(pattern), 2):
+        assert not (pattern[i] and pattern[i + 1])
+
+
+def test_decode_reports_tampered_cells():
+    pattern = encode_bits([1, 0, 1])
+    pattern[0] = True  # cell 0 becomes HH (was UH)
+    result = decode_pattern(pattern)
+    assert result.is_tampered
+    assert result.tampered_cells == [0]
+    assert not result.is_complete
+
+
+def test_decode_reports_unused_cells():
+    pattern = encode_bits([1, 0]) + [False, False]
+    result = decode_pattern(pattern)
+    assert result.unused_cells == [2]
+    assert not result.is_tampered
+
+
+def test_to_bytes_refuses_incomplete():
+    result = decode_pattern([False, False] * 8)
+    with pytest.raises(InvalidCellError):
+        result.to_bytes()
+
+
+def test_odd_pattern_rejected():
+    with pytest.raises(ValueError):
+        decode_pattern([True])
+
+
+def test_tampering_is_one_way_from_any_written_cell():
+    # from 0 (HU) or 1 (UH), heating the other dot always gives HH
+    for bits in ([0], [1]):
+        pattern = encode_bits(bits)
+        pattern[0] = True
+        pattern[1] = True
+        assert decode_pattern(pattern).is_tampered
+
+
+def test_bits_bytes_helpers_roundtrip():
+    data = bytes(range(32))
+    assert bits_to_bytes(bytes_to_bits(data)) == data
+
+
+def test_bits_to_bytes_needs_multiple_of_eight():
+    with pytest.raises(ValueError):
+        bits_to_bytes([1, 0, 1])
+
+
+def test_msb_first_order():
+    assert bytes_to_bits(b"\x80")[0] == 1
+    assert bytes_to_bits(b"\x01")[-1] == 1
+
+
+def test_decode_result_positions_stay_aligned():
+    pattern = encode_bits([1, 1, 0])
+    pattern[2] = True  # cell 1 -> HH
+    result = decode_pattern(pattern)
+    assert result.bits == [1, None, 0]

@@ -1,0 +1,110 @@
+"""Rivest-Shamir WOM code tests."""
+
+import itertools
+
+import pytest
+
+from repro.crypto.wom import (
+    EXPANSION,
+    SYMBOL_SIZE,
+    WOMBlock,
+    decode_bits,
+    decode_word,
+    encode_bits,
+    encode_pair,
+    rewrite_word,
+)
+from repro.errors import InvalidCellError
+
+ALL_PAIRS = [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+@pytest.mark.parametrize("value", ALL_PAIRS)
+def test_generation1_roundtrip(value):
+    word = encode_pair(value, 1)
+    assert decode_word(word) == (value, 1)
+
+
+@pytest.mark.parametrize("value", ALL_PAIRS)
+def test_generation2_roundtrip(value):
+    word = encode_pair(value, 2)
+    assert decode_word(word) == (value, 2)
+
+
+def test_generation_weights():
+    for value in ALL_PAIRS:
+        assert sum(encode_pair(value, 1)) <= 1
+        assert sum(encode_pair(value, 2)) >= 2
+
+
+def test_rewrite_never_clears_bits():
+    # the write-once property: generation 2 only sets more bits
+    for old, new in itertools.product(ALL_PAIRS, ALL_PAIRS):
+        word1 = encode_pair(old, 1)
+        word2 = rewrite_word(word1, new)
+        for before, after in zip(word1, word2):
+            assert not (before and not after)
+        expected_gen = 1 if old == new else 2
+        assert decode_word(word2) == (new, expected_gen)
+
+
+def test_rewrite_of_generation2_fails():
+    word = encode_pair((0, 1), 2)
+    with pytest.raises(InvalidCellError):
+        rewrite_word(word, (1, 1))
+
+
+def test_invalid_generation():
+    with pytest.raises(ValueError):
+        encode_pair((0, 0), 3)
+
+
+def test_bad_word_length():
+    with pytest.raises(ValueError):
+        decode_word((1, 0))
+
+
+def test_flat_encode_decode_roundtrip():
+    bits = [1, 0, 0, 1, 1, 1, 0, 0]
+    assert decode_bits(encode_bits(bits)) == bits
+
+
+def test_flat_encode_needs_even_bits():
+    with pytest.raises(ValueError):
+        encode_bits([1])
+
+
+def test_block_two_generations():
+    block = WOMBlock.blank(4)
+    block.write([0, 1, 1, 0, 0, 0, 1, 1])
+    assert block.read() == [0, 1, 1, 0, 0, 0, 1, 1]
+    block.write([1, 1, 0, 0, 0, 1, 0, 0])
+    assert block.read() == [1, 1, 0, 0, 0, 1, 0, 0]
+
+
+def test_block_third_write_of_changed_symbol_fails():
+    block = WOMBlock.blank(1)
+    block.write([0, 1])
+    block.write([1, 0])
+    with pytest.raises(InvalidCellError):
+        block.write([1, 1])
+
+
+def test_block_unchanged_symbol_costs_nothing():
+    block = WOMBlock.blank(1)
+    block.write([0, 1])
+    block.write([0, 1])  # same value: no generation consumed
+    block.write([1, 0])  # still possible
+
+
+def test_block_overflow_rejected():
+    block = WOMBlock.blank(1)
+    with pytest.raises(ValueError):
+        block.write([1, 0, 1, 0])
+
+
+def test_expansion_beats_manchester():
+    from repro.crypto.manchester import EXPANSION as MANCHESTER_EXPANSION
+
+    assert EXPANSION < MANCHESTER_EXPANSION
+    assert SYMBOL_SIZE == 3

@@ -1,0 +1,80 @@
+"""Bit-operation tests: the Fig 2 state machine via mwb/mrb/ewb/erb."""
+
+import pytest
+
+from repro.device.bitops import BitOps
+from repro.medium.geometry import MediumGeometry
+from repro.medium.medium import PatternedMedium
+
+
+@pytest.fixture
+def ops() -> BitOps:
+    geom = MediumGeometry(cols=64, rows=2, dots_per_block=16)
+    return BitOps(PatternedMedium(geom))
+
+
+def test_mwb_transitions_0_to_1_and_back(ops):
+    ops.mwb(0, 1)
+    assert ops.mrb(0) == 1
+    ops.mwb(0, 0)
+    assert ops.mrb(0) == 0
+
+
+def test_ewb_is_one_way(ops):
+    ops.mwb(0, 1)
+    ops.ewb(0)
+    assert ops.medium.is_heated(0)
+    ops.mwb(0, 1)  # Fig 2: mwb on H has no effect
+    assert ops.medium.is_heated(0)
+
+
+def test_erb_returns_u_for_healthy_dot(ops):
+    for bit in (0, 1):
+        ops.mwb(1, bit)
+        assert ops.erb(1) == "U"
+
+
+def test_erb_restores_original_value(ops):
+    # "the two inversions ensure that the original magnetic data is
+    # restored for dots that have not been heated"
+    ops.mwb(2, 1)
+    ops.erb(2)
+    assert ops.mrb(2) == 1
+    ops.mwb(2, 0)
+    ops.erb(2)
+    assert ops.mrb(2) == 0
+
+
+def test_erb_detects_heated_dot_with_enough_rounds(ops):
+    ops.ewb(3)
+    detections = sum(1 for _ in range(50) if ops.erb(3, rounds=4) == "H")
+    # escape probability (1/4)^4 ~ 0.4%: essentially always detected
+    assert detections >= 48
+
+
+def test_erb_single_round_misses_sometimes(ops):
+    # the raw five-step sequence misses a heated dot w.p. ~1/4
+    ops.ewb(4)
+    misses = sum(1 for _ in range(400) if ops.erb(4, rounds=1) == "U")
+    assert 40 < misses < 160  # ~100 expected
+
+
+def test_erb_rounds_validation(ops):
+    with pytest.raises(ValueError):
+        ops.erb(0, rounds=0)
+
+
+def test_erb_bit_cost_is_five_for_single_round(ops):
+    # "The erb operation is at least 5 times slower than mrb"
+    assert ops.bit_cost(rounds=1) == 5
+    assert ops.bit_cost(rounds=3) == 13
+
+
+def test_erb_costs_real_medium_operations(ops):
+    before = dict(ops.medium.counters)
+    ops.mwb(5, 1)
+    ops.erb(5, rounds=1)
+    delta_reads = ops.medium.counters["mrb"] - before["mrb"]
+    delta_writes = ops.medium.counters["mwb"] - before["mwb"] - 1
+    assert delta_reads == 3
+    assert delta_writes == 2

@@ -1,0 +1,86 @@
+"""Hamming(72,64) SECDED codec tests."""
+
+import numpy as np
+import pytest
+
+from repro.device import ecc
+from repro.errors import ReadError
+
+
+def test_roundtrip_no_errors():
+    data = bytes(range(64))
+    bits = ecc.encode(data)
+    result = ecc.decode(bits)
+    assert result.data == data
+    assert result.corrected == 0
+
+
+def test_codeword_length():
+    assert ecc.codeword_length(8) == 72
+    assert ecc.codeword_length(536) == 4824
+    with pytest.raises(ValueError):
+        ecc.codeword_length(7)
+
+
+def test_encode_rejects_partial_words():
+    with pytest.raises(ValueError):
+        ecc.encode(b"short")
+
+
+def test_single_bit_error_corrected_every_position():
+    data = b"\xa5" * 8
+    clean = ecc.encode(data)
+    for position in range(ecc.CODE_BITS):
+        corrupted = clean.copy()
+        corrupted[position] ^= 1
+        result = ecc.decode(corrupted)
+        assert result.data == data
+        assert result.corrected == 1
+
+
+def test_single_error_per_word_in_multiword_frame():
+    data = bytes(range(256)) * 2  # 64 words
+    clean = ecc.encode(data)
+    corrupted = clean.copy()
+    # one flipped bit in each of three different words
+    for word in (0, 30, 63):
+        corrupted[word * ecc.CODE_BITS + 17] ^= 1
+    result = ecc.decode(corrupted)
+    assert result.data == data
+    assert result.corrected == 3
+
+
+def test_double_bit_error_detected_not_miscorrected():
+    data = b"\x37" * 8
+    clean = ecc.encode(data)
+    corrupted = clean.copy()
+    corrupted[5] ^= 1
+    corrupted[40] ^= 1
+    with pytest.raises(ReadError):
+        ecc.decode(corrupted)
+
+
+def test_overall_parity_bit_flip_is_benign():
+    data = b"\x00" * 8
+    clean = ecc.encode(data)
+    corrupted = clean.copy()
+    corrupted[0] ^= 1  # the overall-parity position
+    result = ecc.decode(corrupted)
+    assert result.data == data
+
+
+def test_random_payloads_roundtrip():
+    rng = np.random.default_rng(9)
+    for _ in range(20):
+        data = rng.integers(0, 256, size=64, dtype=np.uint8).tobytes()
+        assert ecc.decode(ecc.encode(data)).data == data
+
+
+def test_decode_requires_whole_codewords():
+    with pytest.raises(ValueError):
+        ecc.decode(np.zeros(71, dtype=np.uint8))
+
+
+def test_all_ones_payload():
+    data = b"\xff" * 64
+    assert ecc.decode(ecc.encode(data)).data == data

@@ -1,0 +1,104 @@
+"""Sector framing tests (magnetic frames + electrical payloads)."""
+
+import numpy as np
+import pytest
+
+from repro.device.sector import (
+    BLOCK_SIZE,
+    DOTS_PER_BLOCK,
+    E_PAYLOAD_BYTES,
+    ElectricalPayload,
+    decode_frame,
+    encode_frame,
+)
+from repro.errors import ReadError, WriteError
+
+
+def test_frame_roundtrip():
+    payload = bytes(range(256)) * 2
+    frame = decode_frame(encode_frame(7, payload), expected_pba=7)
+    assert frame.payload == payload
+    assert frame.pba == 7
+    assert frame.corrected_bits == 0
+
+
+def test_overhead_close_to_paper_budget():
+    # "about 15% sector overhead" — ours is 17.8%
+    overhead = (DOTS_PER_BLOCK - BLOCK_SIZE * 8) / (BLOCK_SIZE * 8)
+    assert 0.10 < overhead < 0.20
+
+
+def test_wrong_payload_size_rejected():
+    with pytest.raises(WriteError):
+        encode_frame(0, b"short")
+
+
+def test_negative_pba_rejected():
+    with pytest.raises(WriteError):
+        encode_frame(-1, b"\x00" * BLOCK_SIZE)
+
+
+def test_address_mismatch_detected():
+    # Section 3: the FS must "recognize when data is in the right place"
+    bits = encode_frame(3, b"\x00" * BLOCK_SIZE)
+    with pytest.raises(ReadError, match="not in the right place"):
+        decode_frame(bits, expected_pba=9)
+
+
+def test_unwritten_block_decodes_as_read_error():
+    blank = np.zeros(DOTS_PER_BLOCK, dtype=np.uint8)
+    with pytest.raises(ReadError):
+        decode_frame(blank)
+
+
+def test_single_bit_error_silently_corrected():
+    bits = encode_frame(1, b"\xaa" * BLOCK_SIZE)
+    bits = bits.copy()
+    bits[100] ^= 1
+    frame = decode_frame(bits, expected_pba=1)
+    assert frame.payload == b"\xaa" * BLOCK_SIZE
+    assert frame.corrected_bits == 1
+
+
+def test_garbage_fails_crc_or_ecc():
+    rng = np.random.default_rng(0)
+    bits = rng.integers(0, 2, size=DOTS_PER_BLOCK, dtype=np.uint8)
+    with pytest.raises(ReadError):
+        decode_frame(bits)
+
+
+def test_wrong_length_rejected():
+    with pytest.raises(ReadError):
+        decode_frame(np.zeros(100, dtype=np.uint8))
+
+
+def test_electrical_payload_roundtrip():
+    ep = ElectricalPayload(line_start=64, n_blocks_log2=3,
+                           line_hash=b"\x5a" * 32, timestamp=99, flags=1)
+    packed = ep.pack()
+    assert len(packed) == E_PAYLOAD_BYTES
+    out = ElectricalPayload.unpack(packed)
+    assert out.line_start == 64
+    assert out.n_blocks_log2 == 3
+    assert out.line_hash == b"\x5a" * 32
+    assert out.timestamp == 99
+    assert out.flags == 1
+
+
+def test_electrical_payload_crc_detects_corruption():
+    packed = bytearray(ElectricalPayload(
+        line_start=0, n_blocks_log2=1, line_hash=b"\x00" * 32).pack())
+    packed[40] ^= 0xFF
+    with pytest.raises(ReadError):
+        ElectricalPayload.unpack(bytes(packed))
+
+
+def test_electrical_payload_bad_hash_size():
+    with pytest.raises(WriteError):
+        ElectricalPayload(line_start=0, n_blocks_log2=1,
+                          line_hash=b"short").pack()
+
+
+def test_electrical_payload_wrong_length():
+    with pytest.raises(ReadError):
+        ElectricalPayload.unpack(b"\x00" * 10)

@@ -1,0 +1,219 @@
+"""SERODevice tests: the Section 3 sector/heat/verify contract."""
+
+import pytest
+
+from repro.device.sector import BLOCK_SIZE, E_PAYLOAD_BYTES
+from repro.device.sero import DeviceConfig, SERODevice, VerifyStatus
+from repro.errors import (
+    AlignmentError,
+    BadBlockError,
+    HeatedBlockError,
+    HeatError,
+    ReadError,
+    WriteError,
+)
+from repro.medium.medium import MediumConfig
+
+PAYLOAD = bytes(range(256)) * 2
+
+
+def _heated(device, start=0, n=4):
+    for pba in range(start + 1, start + n):
+        device.write_block(pba, PAYLOAD)
+    return device.heat_line(start, n, timestamp=5)
+
+
+def test_block_roundtrip(small_device):
+    small_device.write_block(3, PAYLOAD)
+    assert small_device.read_block(3) == PAYLOAD
+
+
+def test_unwritten_block_read_fails(small_device):
+    with pytest.raises(ReadError):
+        small_device.read_block(5)
+
+
+def test_pba_range_checked(small_device):
+    with pytest.raises(ReadError):
+        small_device.read_block(10_000)
+
+
+def test_heat_line_basic(small_device):
+    record = _heated(small_device)
+    assert record.start == 0
+    assert record.n_blocks == 4
+    assert len(record.line_hash) == 32
+    assert record.timestamp == 5
+
+
+def test_heated_data_blocks_still_read_magnetically(small_device):
+    _heated(small_device)
+    # "Blocks 1..2^N-1 of a heated line can still be read magnetically"
+    assert small_device.read_block(1) == PAYLOAD
+
+
+def test_hash_block_not_readable_magnetically(small_device):
+    _heated(small_device)
+    with pytest.raises(HeatedBlockError):
+        small_device.read_block(0)
+
+
+def test_writes_into_heated_line_refused(small_device):
+    _heated(small_device)
+    with pytest.raises(HeatedBlockError):
+        small_device.write_block(2, PAYLOAD)
+
+
+def test_write_protect_can_be_disabled():
+    device = SERODevice.create(64, config=DeviceConfig(
+        enforce_write_protect=False))
+    _heated(device)
+    device.write_block(2, b"\x00" * BLOCK_SIZE)  # the raw attacker path
+    assert device.verify_line(0).status is VerifyStatus.HASH_MISMATCH
+
+
+def test_verify_intact(small_device):
+    _heated(small_device)
+    result = small_device.verify_line(0)
+    assert result.status is VerifyStatus.INTACT
+    assert not result.tamper_evident
+    assert result.stored_hash == result.computed_hash
+
+
+def test_line_alignment_enforced(small_device):
+    with pytest.raises(AlignmentError):
+        small_device.heat_line(1, 4)  # unaligned start
+    with pytest.raises(AlignmentError):
+        small_device.heat_line(0, 3)  # not a power of two
+    with pytest.raises(AlignmentError):
+        small_device.heat_line(0, 1)  # no data blocks
+    with pytest.raises(AlignmentError):
+        small_device.heat_line(60, 8)  # past the end (64-block device)
+
+
+def test_overlapping_line_rejected(small_device):
+    _heated(small_device, start=0, n=4)
+    with pytest.raises(AlignmentError):
+        small_device.heat_line(0, 8)  # would engulf the existing line
+
+
+def test_reheat_same_line_is_harmless(small_device):
+    _heated(small_device, start=0, n=4)
+    record = small_device.heat_line(0, 4, timestamp=5)
+    assert record.n_blocks == 4
+    assert small_device.verify_line(0).status is VerifyStatus.INTACT
+
+
+def test_reheat_with_changed_data_leaves_evidence():
+    # heat, then force-change a data block, then re-heat: the new hash
+    # differs, the ews produces HH cells and the heat fails loudly
+    device = SERODevice.create(64, config=DeviceConfig(
+        enforce_write_protect=False))
+    _heated(device, start=0, n=4)
+    device.write_block(1, b"\x11" * BLOCK_SIZE)
+    with pytest.raises(HeatError):
+        device.heat_line(0, 4, timestamp=6)
+    assert device.verify_line(0).status is VerifyStatus.CELL_TAMPERED
+
+
+def test_capacity_accounting(small_device):
+    before = small_device.capacity_report()
+    _heated(small_device, start=8, n=8)
+    after = small_device.capacity_report()
+    assert after["heated_blocks"] == before["heated_blocks"] + 8
+    assert after["writable_blocks"] == before["writable_blocks"] - 8
+
+
+def test_line_of_block_lookup(small_device):
+    record = _heated(small_device, start=0, n=4)
+    for pba in range(4):
+        assert small_device.line_of_block(pba).start == record.start
+    assert small_device.line_of_block(4) is None
+    assert small_device.is_block_heated(2)
+    assert not small_device.is_block_heated(9)
+
+
+def test_scan_lines_recovers_registry(small_device):
+    _heated(small_device, start=0, n=4)
+    _heated(small_device, start=8, n=8)
+    # forget everything, rediscover electrically
+    recovered = small_device.scan_lines()
+    starts = sorted(rec.start for rec in recovered)
+    assert starts == [0, 8]
+    assert small_device.is_block_heated(10)
+
+
+def test_load_line_single(small_device):
+    record = _heated(small_device, start=16, n=4)
+    small_device._lines.clear()
+    small_device._block_to_line.clear()
+    loaded = small_device.load_line(16)
+    assert loaded is not None
+    assert loaded.line_hash == record.line_hash
+
+
+def test_load_line_on_virgin_block_returns_none(small_device):
+    assert small_device.load_line(32) is None
+
+
+def test_probe_block_electrical(small_device):
+    _heated(small_device, start=0, n=4)
+    assert small_device.probe_block_electrical(0)
+    assert not small_device.probe_block_electrical(10)
+
+
+def test_ews_validates_payload_size(small_device):
+    with pytest.raises(WriteError):
+        small_device.ews_block(0, b"short")
+
+
+def test_format_populates_bad_blocks():
+    device = SERODevice.create(
+        32, medium_config=MediumConfig(switching_sigma=0.5, write_field=1.0,
+                                       seed=3))
+    device.format()
+    assert device.bad_blocks
+    bad = next(iter(device.bad_blocks))
+    with pytest.raises(BadBlockError):
+        device.read_block(bad)
+
+
+def test_heat_refuses_lines_with_bad_blocks():
+    device = SERODevice.create(
+        32, medium_config=MediumConfig(switching_sigma=0.5, write_field=1.0,
+                                       seed=3))
+    device.format()
+    bad = min(device.bad_blocks)
+    line_start = (bad // 4) * 4
+    with pytest.raises(BadBlockError):
+        device.heat_line(line_start, 4)
+
+
+def test_format_after_heating_refused(small_device):
+    _heated(small_device)
+    with pytest.raises(WriteError):
+        small_device.format()
+
+
+def test_verify_all(small_device):
+    _heated(small_device, start=0, n=4)
+    _heated(small_device, start=8, n=8)
+    results = small_device.verify_all()
+    assert len(results) == 2
+    assert all(r.status is VerifyStatus.INTACT for r in results)
+
+
+def test_decommission_detection():
+    device = SERODevice.create(8)
+    for pba in (1, 2, 3, 5, 6, 7):
+        device.write_block(pba, PAYLOAD)
+    device.heat_line(0, 4)
+    assert not device.is_decommissionable()
+    device.heat_line(4, 4)
+    assert device.is_decommissionable()
+
+
+def test_timestamp_survives_scan(small_device):
+    _heated(small_device, start=0, n=4)
+    recovered = small_device.scan_lines()
+    assert recovered[0].timestamp == 5

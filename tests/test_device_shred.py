@@ -1,0 +1,83 @@
+"""Shred-operation tests (Section 8 deletion)."""
+
+import pytest
+
+from repro.device.sero import SERODevice, VerifyStatus
+from repro.device.shred import (
+    ShredError,
+    classify_destroyed_line,
+    is_line_shredded,
+    shred_line,
+    shredded_lines,
+)
+from repro.errors import ReadError
+from repro.security import attacks
+
+PAYLOAD = b"\x5c" * 512
+
+
+@pytest.fixture
+def device_with_line(small_device):
+    for pba in range(1, 4):
+        small_device.write_block(pba, PAYLOAD)
+    small_device.heat_line(0, 4, timestamp=1)
+    return small_device
+
+
+def test_shred_destroys_data(device_with_line):
+    report = shred_line(device_with_line, 0)
+    assert report.data_blocks == 3
+    assert report.dots_heated > 0
+    with pytest.raises(ReadError):
+        device_with_line.read_block(1)
+
+
+def test_shred_requires_heated_line(small_device):
+    with pytest.raises(ShredError):
+        shred_line(small_device, 0)
+
+
+def test_shred_requires_line_start(device_with_line):
+    with pytest.raises(ShredError):
+        shred_line(device_with_line, 1)
+
+
+def test_shredded_signature(device_with_line):
+    assert not is_line_shredded(device_with_line, 0)
+    shred_line(device_with_line, 0)
+    assert is_line_shredded(device_with_line, 0)
+    assert shredded_lines(device_with_line) == [0]
+
+
+def test_shred_is_still_tamper_evident(device_with_line):
+    # the hash block survives: the line announces destroyed data
+    shred_line(device_with_line, 0)
+    result = device_with_line.verify_line(0)
+    assert result.tamper_evident
+    assert result.status is VerifyStatus.UNREADABLE
+
+
+def test_classification_distinguishes_shred_from_tamper(device_with_line):
+    assert classify_destroyed_line(device_with_line, 0) == "intact"
+    # partial ewb tampering is NOT a shred
+    attacks.ewb_data(device_with_line, 0, n_dots=64)
+    assert classify_destroyed_line(device_with_line, 0) == "tampered"
+    # a full shred is
+    shred_line(device_with_line, 0)
+    assert classify_destroyed_line(device_with_line, 0) == "shredded"
+
+
+def test_shred_charges_heat_time(device_with_line):
+    device_with_line.account.reset()
+    shred_line(device_with_line, 0)
+    assert device_with_line.account.by_category.get("ewb", 0.0) > 0
+
+
+def test_shred_leaves_other_lines_alone(small_device):
+    for pba in list(range(1, 4)) + list(range(9, 16)):
+        small_device.write_block(pba, PAYLOAD)
+    small_device.heat_line(0, 4)
+    small_device.heat_line(8, 8)
+    shred_line(small_device, 0)
+    assert small_device.verify_line(8).status is VerifyStatus.INTACT
+    assert shredded_lines(small_device) == [0]

@@ -1,0 +1,97 @@
+"""Timing model and scanner tests (the Section 3 cost structure)."""
+
+import pytest
+
+from repro.device.scanner import Scanner
+from repro.device.timing import CostAccount, TimingModel
+from repro.medium.geometry import geometry_for_blocks
+
+
+def test_erb_is_five_bit_ops():
+    timing = TimingModel()
+    assert timing.t_erb == pytest.approx(
+        3 * timing.t_mrb + 2 * timing.t_mwb)
+    assert timing.t_erb >= 5 * min(timing.t_mrb, timing.t_mwb)
+
+
+def test_ewb_much_slower_than_mwb():
+    timing = TimingModel()
+    assert timing.t_ewb >= 50 * timing.t_mwb
+
+
+def test_transfer_time_uses_parallelism():
+    timing = TimingModel(parallelism=64)
+    one = timing.transfer_time(64, timing.t_mrb)
+    two = timing.transfer_time(128, timing.t_mrb)
+    assert two == pytest.approx(2 * one)
+    assert timing.transfer_time(1, timing.t_mrb) == one  # ceil
+
+
+def test_transfer_negative_bits_rejected():
+    with pytest.raises(ValueError):
+        TimingModel().transfer_time(-1, 1e-6)
+
+
+def test_seek_time_distance_component():
+    timing = TimingModel()
+    near = timing.seek_time(1e-6)
+    far = timing.seek_time(100e-6)
+    assert far > near > timing.seek_settle
+
+
+def test_cost_account_accumulates():
+    account = CostAccount()
+    account.charge("mrb", 0.5e-3)
+    account.charge("mrb", 0.5e-3)
+    account.charge("seek", 1e-3)
+    assert account.elapsed == pytest.approx(2e-3)
+    assert account.by_category["mrb"] == pytest.approx(1e-3)
+    assert account.op_counts["seek"] == 1
+
+
+def test_cost_account_rejects_negative():
+    with pytest.raises(ValueError):
+        CostAccount().charge("x", -1.0)
+
+
+def test_cost_account_reset():
+    account = CostAccount()
+    account.charge("x", 1.0)
+    account.reset()
+    assert account.elapsed == 0.0
+    assert not account.by_category
+
+
+def _scanner() -> Scanner:
+    from repro.device.sector import DOTS_PER_BLOCK
+
+    geom = geometry_for_blocks(64, DOTS_PER_BLOCK)
+    return Scanner(geometry=geom, timing=TimingModel(), account=CostAccount())
+
+
+def test_sequential_access_is_free_after_first_seek():
+    scanner = _scanner()
+    scanner.seek_to_block(1)
+    charged = [scanner.seek_to_block(pba) for pba in range(2, 10)]
+    assert all(t == 0.0 for t in charged)
+
+
+def test_random_access_pays_seeks():
+    scanner = _scanner()
+    scanner.seek_to_block(0)
+    assert scanner.seek_to_block(40) > 0.0
+    assert scanner.seek_to_block(3) > 0.0
+
+
+def test_transfer_charges_by_kind():
+    scanner = _scanner()
+    t_read = scanner.transfer(4824, "mrb")
+    t_heat = scanner.transfer(4824, "ewb")
+    assert t_heat > 10 * t_read
+    assert scanner.account.by_category["ewb"] == pytest.approx(t_heat)
+
+
+def test_str_rendering():
+    account = CostAccount()
+    account.charge("mrb", 1e-3)
+    assert "mrb" in str(account)

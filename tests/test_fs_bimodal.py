@@ -1,0 +1,63 @@
+"""Bimodality metric tests (Section 4.1's clustering argument)."""
+
+from repro.device.sero import SERODevice
+from repro.fs.bimodal import bimodality, cleaner_waste_fraction
+from repro.fs.lfs import FSConfig, SeroFS
+
+
+def _fs(placement: str) -> SeroFS:
+    return SeroFS.format(SERODevice.create(512),
+                         FSConfig(heat_placement=placement))
+
+
+def test_fresh_fs_is_trivially_bimodal():
+    fs = _fs("cluster")
+    report = bimodality(fs)
+    assert report.mostly_heated == 0
+    assert report.mixed == 0
+    assert report.index == 1.0
+
+
+def test_cluster_placement_stays_bimodal():
+    fs = _fs("cluster")
+    for i in range(6):
+        fs.create(f"/f{i}", bytes([i]) * 3000)
+    for i in range(6):
+        fs.heat_file(f"/f{i}")
+    report = bimodality(fs)
+    assert report.index >= 0.9
+
+
+def test_naive_placement_creates_mixed_segments():
+    cluster = _fs("cluster")
+    naive = _fs("naive")
+    for fs in (cluster, naive):
+        for i in range(6):
+            fs.create(f"/f{i}", bytes([i]) * 3000)
+        # interleave live writes with heats to force mixing
+        for i in range(6):
+            fs.heat_file(f"/f{i}")
+            fs.create(f"/live{i}", bytes([i]) * 3000)
+    assert bimodality(naive).mixed >= bimodality(cluster).mixed
+
+
+def test_waste_fraction_zero_when_segregated():
+    fs = _fs("cluster")
+    fs.create("/f", b"x" * 3000)
+    assert cleaner_waste_fraction(fs) >= 0.0
+
+
+def test_report_fraction_list_covers_segments():
+    fs = _fs("cluster")
+    report = bimodality(fs)
+    n_segments = sum(1 for _ in fs.table.iter_segments())
+    assert len(report.fractions) == n_segments
+
+
+def test_thresholds_configurable():
+    fs = _fs("cluster")
+    fs.create("/f", b"x" * 3000)
+    fs.heat_file("/f")
+    strict = bimodality(fs, hot_threshold=0.99, cold_threshold=0.01)
+    assert strict.mostly_heated + strict.mostly_unheated + strict.mixed == \
+        len(strict.fractions)

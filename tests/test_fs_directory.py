@@ -1,0 +1,61 @@
+"""Directory serialisation and path helpers."""
+
+import pytest
+
+from repro.errors import FileSystemError, ReadError
+from repro.fs.directory import pack_entries, split_path, unpack_entries
+from repro.fs.inode import FileType
+
+
+def test_roundtrip_empty():
+    assert unpack_entries(pack_entries({})) == {}
+
+
+def test_roundtrip_entries():
+    entries = {
+        "alpha": (FileType.REGULAR, 2),
+        "beta": (FileType.DIRECTORY, 3),
+        "γ-utf8": (FileType.REGULAR, 4),
+    }
+    assert unpack_entries(pack_entries(entries)) == entries
+
+
+def test_entries_sorted_canonically():
+    a = pack_entries({"b": (FileType.REGULAR, 1), "a": (FileType.REGULAR, 2)})
+    b = pack_entries({"a": (FileType.REGULAR, 2), "b": (FileType.REGULAR, 1)})
+    assert a == b  # canonical serialisation
+
+
+def test_empty_name_rejected():
+    with pytest.raises(FileSystemError):
+        pack_entries({"": (FileType.REGULAR, 1)})
+
+
+def test_slash_in_name_rejected():
+    with pytest.raises(FileSystemError):
+        pack_entries({"a/b": (FileType.REGULAR, 1)})
+
+
+def test_name_too_long_rejected():
+    with pytest.raises(FileSystemError):
+        pack_entries({"x" * 300: (FileType.REGULAR, 1)})
+
+
+def test_truncated_payload_detected():
+    payload = pack_entries({"abc": (FileType.REGULAR, 9)})
+    with pytest.raises(ReadError):
+        unpack_entries(payload[:-5])
+    with pytest.raises(ReadError):
+        unpack_entries(b"")
+
+
+def test_split_path():
+    assert split_path("/") == []
+    assert split_path("/a") == ["a"]
+    assert split_path("/a/b/c") == ["a", "b", "c"]
+    assert split_path("/a//b/") == ["a", "b"]
+
+
+def test_split_path_requires_absolute():
+    with pytest.raises(FileSystemError):
+        split_path("relative/path")

@@ -1,0 +1,107 @@
+"""Inode and pointer-block serialisation tests."""
+
+import pytest
+
+from repro.device.sector import BLOCK_SIZE
+from repro.errors import FileSystemError, ReadError
+from repro.fs.inode import (
+    MAX_FILE_BLOCKS,
+    MAX_FILE_SIZE,
+    N_DIRECT,
+    N_INDIRECT,
+    POINTERS_PER_INDIRECT,
+    FileType,
+    Inode,
+    pack_pointer_block,
+    unpack_pointer_block,
+)
+
+
+def test_roundtrip_minimal():
+    inode = Inode(ino=7, name_hint="file.txt")
+    out = Inode.unpack(inode.pack())
+    assert out.ino == 7
+    assert out.ftype is FileType.REGULAR
+    assert out.name_hint == "file.txt"
+    assert out.direct == []
+    assert out.indirect == []
+
+
+def test_roundtrip_full_pointers():
+    inode = Inode(ino=1, ftype=FileType.DIRECTORY, link_count=3,
+                  size=99999, mtime=42, name_hint="big",
+                  direct=list(range(100, 100 + N_DIRECT)),
+                  indirect=list(range(5000, 5000 + N_INDIRECT)))
+    out = Inode.unpack(inode.pack())
+    assert out.direct == inode.direct
+    assert out.indirect == inode.indirect
+    assert out.link_count == 3
+    assert out.size == 99999
+    assert out.mtime == 42
+    assert out.ftype is FileType.DIRECTORY
+
+
+def test_packed_size_is_one_block():
+    assert len(Inode(ino=1).pack()) == BLOCK_SIZE
+
+
+def test_crc_detects_corruption():
+    payload = bytearray(Inode(ino=1).pack())
+    payload[20] ^= 0xFF
+    with pytest.raises(ReadError):
+        Inode.unpack(bytes(payload))
+
+
+def test_data_block_is_not_an_inode():
+    with pytest.raises(ReadError):
+        Inode.unpack(b"\x00" * BLOCK_SIZE)
+
+
+def test_name_hint_truncated_to_64_bytes():
+    inode = Inode(ino=1, name_hint="x" * 100)
+    assert len(Inode.unpack(inode.pack()).name_hint) == 64
+
+
+def test_unicode_name_hint():
+    inode = Inode(ino=1, name_hint="résumé")
+    assert Inode.unpack(inode.pack()).name_hint == "résumé"
+
+
+def test_too_many_pointers_rejected():
+    with pytest.raises(FileSystemError):
+        Inode(ino=1, direct=list(range(N_DIRECT + 1))).pack()
+    with pytest.raises(FileSystemError):
+        Inode(ino=1, indirect=list(range(N_INDIRECT + 1))).pack()
+
+
+def test_n_blocks_from_size():
+    assert Inode(ino=1, size=0).n_blocks == 0
+    assert Inode(ino=1, size=1).n_blocks == 1
+    assert Inode(ino=1, size=BLOCK_SIZE).n_blocks == 1
+    assert Inode(ino=1, size=BLOCK_SIZE + 1).n_blocks == 2
+
+
+def test_max_file_size_consistent():
+    assert MAX_FILE_SIZE == MAX_FILE_BLOCKS * BLOCK_SIZE
+    assert MAX_FILE_BLOCKS == N_DIRECT + N_INDIRECT * POINTERS_PER_INDIRECT
+
+
+def test_pointer_block_roundtrip():
+    ptrs = list(range(10, 40))
+    assert unpack_pointer_block(pack_pointer_block(ptrs)) == ptrs
+
+
+def test_pointer_block_full_and_empty():
+    full = list(range(POINTERS_PER_INDIRECT))
+    assert unpack_pointer_block(pack_pointer_block(full)) == full
+    assert unpack_pointer_block(pack_pointer_block([])) == []
+
+
+def test_pointer_block_overflow():
+    with pytest.raises(FileSystemError):
+        pack_pointer_block(list(range(POINTERS_PER_INDIRECT + 1)))
+
+
+def test_pointer_block_wrong_size():
+    with pytest.raises(ReadError):
+        unpack_pointer_block(b"\x00" * 100)

@@ -1,0 +1,284 @@
+"""SeroFS end-to-end behaviour tests (Section 4)."""
+
+import pytest
+
+from repro.device.sero import SERODevice, VerifyStatus
+from repro.errors import (
+    DirectoryNotEmptyError,
+    FileExistsError_,
+    FileNotFoundError_,
+    FileSystemError,
+    ImmutableFileError,
+    NoSpaceError,
+    NotADirectoryError_,
+)
+from repro.fs.inode import FileType, MAX_FILE_SIZE
+from repro.fs.lfs import FSConfig, SeroFS
+from repro.fs.segment import BlockState
+
+
+def test_format_creates_root(fs):
+    assert fs.listdir("/") == []
+    assert fs.stat("/").ftype is FileType.DIRECTORY
+
+
+def test_create_read_roundtrip(fs):
+    fs.create("/a.txt", b"hello")
+    assert fs.read("/a.txt") == b"hello"
+    assert fs.stat("/a.txt").size == 5
+
+
+def test_empty_file(fs):
+    fs.create("/empty")
+    assert fs.read("/empty") == b""
+
+
+def test_multiblock_file(fs):
+    data = bytes(range(256)) * 10  # 2560 bytes, 5 blocks
+    fs.create("/multi", data)
+    assert fs.read("/multi") == data
+
+
+def test_indirect_pointer_file(fs):
+    data = b"\xab" * (50 * 512)  # 50 blocks: needs indirect pointers
+    fs.create("/big", data)
+    assert fs.read("/big") == data
+
+
+def test_file_too_large_rejected(fs):
+    with pytest.raises(FileSystemError):
+        fs.create("/huge", b"\x00" * (MAX_FILE_SIZE + 1))
+
+
+def test_create_duplicate_rejected(fs):
+    fs.create("/dup", b"x")
+    with pytest.raises(FileExistsError_):
+        fs.create("/dup", b"y")
+
+
+def test_nested_directories(fs):
+    fs.mkdir("/a")
+    fs.mkdir("/a/b")
+    fs.create("/a/b/c.txt", b"deep")
+    assert fs.read("/a/b/c.txt") == b"deep"
+    assert fs.listdir("/a") == ["b"]
+
+
+def test_missing_file(fs):
+    with pytest.raises(FileNotFoundError_):
+        fs.read("/ghost")
+
+
+def test_read_directory_rejected(fs):
+    fs.mkdir("/d")
+    with pytest.raises(FileSystemError):
+        fs.read("/d")
+
+
+def test_listdir_on_file_rejected(fs):
+    fs.create("/f", b"")
+    with pytest.raises(NotADirectoryError_):
+        fs.listdir("/f")
+
+
+def test_write_replaces_content(fs):
+    fs.create("/f", b"old content here")
+    fs.write("/f", b"new")
+    assert fs.read("/f") == b"new"
+    assert fs.stat("/f").size == 3
+
+
+def test_rewrite_marks_old_blocks_dead(fs):
+    fs.create("/f", b"x" * 2048)
+    dead_before = fs.table.dead_blocks()
+    fs.write("/f", b"y" * 2048)
+    assert fs.table.dead_blocks() > dead_before
+
+
+def test_append(fs):
+    fs.create("/log", b"line1\n")
+    fs.append("/log", b"line2\n")
+    assert fs.read("/log") == b"line1\nline2\n"
+
+
+def test_unlink(fs):
+    fs.create("/gone", b"data")
+    fs.unlink("/gone")
+    with pytest.raises(FileNotFoundError_):
+        fs.read("/gone")
+
+
+def test_unlink_frees_blocks(fs):
+    fs.create("/gone", b"z" * 4096)
+    live_before = fs.table.counts()["live"]
+    fs.unlink("/gone")
+    assert fs.table.counts()["live"] < live_before
+
+
+def test_hard_links(fs):
+    fs.create("/orig", b"shared")
+    fs.link("/orig", "/alias")
+    assert fs.read("/alias") == b"shared"
+    assert fs.stat("/orig").link_count == 2
+    fs.unlink("/orig")
+    assert fs.read("/alias") == b"shared"  # survives: link count was 2
+
+
+def test_rmdir(fs):
+    fs.mkdir("/d")
+    fs.rmdir("/d")
+    assert fs.listdir("/") == []
+
+
+def test_rmdir_non_empty_refused(fs):
+    fs.mkdir("/d")
+    fs.create("/d/f", b"")
+    with pytest.raises(DirectoryNotEmptyError):
+        fs.rmdir("/d")
+
+
+def test_rmdir_root_refused(fs):
+    with pytest.raises(FileSystemError):
+        fs.rmdir("/")
+
+
+def test_heat_file_basic(fs):
+    fs.create("/seal", b"audit trail " * 50)
+    record = fs.heat_file("/seal", timestamp=77)
+    assert record.timestamp == 77
+    assert fs.stat("/seal").heated
+    assert fs.verify_file("/seal").status is VerifyStatus.INTACT
+
+
+def test_heated_file_still_readable(fs):
+    data = b"evidence " * 100
+    fs.create("/seal", data)
+    fs.heat_file("/seal")
+    assert fs.read("/seal") == data
+
+
+def test_heated_file_immutable(fs):
+    fs.create("/seal", b"x")
+    fs.heat_file("/seal")
+    with pytest.raises(ImmutableFileError):
+        fs.write("/seal", b"y")
+    with pytest.raises(ImmutableFileError):
+        fs.unlink("/seal")
+    with pytest.raises(ImmutableFileError):
+        fs.link("/seal", "/alias")
+    with pytest.raises(ImmutableFileError):
+        fs.heat_file("/seal")  # already heated
+
+
+def test_heat_unknown_file(fs):
+    with pytest.raises(FileNotFoundError_):
+        fs.heat_file("/nothing")
+
+
+def test_verify_unheated_file_rejected(fs):
+    fs.create("/plain", b"x")
+    with pytest.raises(FileSystemError):
+        fs.verify_file("/plain")
+
+
+def test_heat_clusters_file_contiguously(fs):
+    # scatter the file by interleaved writes, then heat: the line must
+    # be one contiguous aligned extent
+    fs.create("/a", b"a" * 1500)
+    fs.create("/b", b"b" * 1500)
+    fs.write("/a", b"A" * 1500)
+    record = fs.heat_file("/a")
+    assert record.start % record.n_blocks == 0
+    for pba in range(record.start, record.start + record.n_blocks):
+        assert fs.table.state(pba) is BlockState.HEATED
+
+
+def test_heat_line_length_is_padded_power_of_two(fs):
+    fs.create("/five", b"z" * (5 * 512))  # 5 data + 1 inode + 1 hash = 7
+    record = fs.heat_file("/five")
+    assert record.n_blocks == 8
+
+
+def test_heat_indirect_file(fs):
+    data = b"q" * (50 * 512)
+    fs.create("/big", data)
+    record = fs.heat_file("/big")
+    assert fs.read("/big") == data
+    assert fs.verify_file("/big").status is VerifyStatus.INTACT
+    assert record.n_blocks == 64  # 50 data + 1 indirect + 1 inode + 1 hash
+
+
+def test_cluster_placement_puts_lines_at_device_end(fs):
+    fs.create("/f", b"x" * 600)
+    record = fs.heat_file("/f")
+    assert record.start > fs.device.total_blocks // 2
+
+
+def test_naive_placement_puts_lines_at_front(device):
+    fs = SeroFS.format(device, FSConfig(heat_placement="naive"))
+    fs.create("/f", b"x" * 600)
+    record = fs.heat_file("/f")
+    assert record.start < device.total_blocks // 2
+
+
+def test_verify_all_files(fs):
+    for name in ("a", "b"):
+        fs.create(f"/{name}", name.encode() * 300)
+        fs.heat_file(f"/{name}")
+    results = fs.verify_all_files()
+    assert len(results) == 2
+    assert all(r.status is VerifyStatus.INTACT for r in results.values())
+
+
+def test_checkpoint_mount_roundtrip(fs, device):
+    fs.mkdir("/dir")
+    fs.create("/dir/f", b"persisted")
+    fs.create("/sealed", b"forever")
+    fs.heat_file("/sealed", timestamp=3)
+    fs.checkpoint()
+    remounted = SeroFS.mount(device)
+    assert remounted.read("/dir/f") == b"persisted"
+    assert remounted.read("/sealed") == b"forever"
+    assert remounted.stat("/sealed").heated
+    assert remounted.verify_file("/sealed").status is VerifyStatus.INTACT
+
+
+def test_mount_uses_latest_checkpoint(fs, device):
+    fs.create("/v1", b"1")
+    fs.checkpoint()
+    fs.create("/v2", b"2")
+    fs.checkpoint()
+    remounted = SeroFS.mount(device)
+    assert remounted.read("/v2") == b"2"
+
+
+def test_mutations_after_mount(fs, device):
+    fs.create("/f", b"before")
+    fs.checkpoint()
+    remounted = SeroFS.mount(device)
+    remounted.write("/f", b"after")
+    remounted.create("/g", b"new")
+    assert remounted.read("/f") == b"after"
+    assert remounted.read("/g") == b"new"
+
+
+def test_out_of_space():
+    fs = SeroFS.format(SERODevice.create(32))
+    with pytest.raises(NoSpaceError):
+        for i in range(100):
+            fs.create(f"/fill{i}", b"\xdd" * 4096)
+
+
+def test_stats_keys(fs):
+    fs.create("/f", b"x")
+    stats = fs.stats()
+    for key in ("blocks_written", "blocks_live", "blocks_free",
+                "lines_heated", "device_time_s"):
+        assert key in stats
+
+
+def test_tick_advances(fs):
+    t0 = fs.tick
+    fs.create("/f", b"x")
+    fs.write("/f", b"y")
+    assert fs.tick == t0 + 2

@@ -1,0 +1,68 @@
+"""Evidence-bag tests (Section 8 forensics)."""
+
+import pytest
+
+from repro.device.sero import SERODevice, VerifyStatus
+from repro.errors import IntegrityError
+from repro.fs.lfs import SeroFS
+from repro.integrity.evidence import EvidenceBag
+from repro.security import attacks
+
+
+@pytest.fixture
+def bag(fs) -> EvidenceBag:
+    return EvidenceBag(fs, "/case-42")
+
+
+def test_add_seals_immediately(bag, fs):
+    item = bag.add("exhibit-a", b"smoking gun " * 20)
+    assert fs.stat("/case-42/exhibit-a").heated
+    assert fs.device.verify_line(item.line_start).status is VerifyStatus.INTACT
+
+
+def test_exhibits_readable_after_sealing(bag, fs):
+    bag.add("log", b"intrusion at 03:14\n" * 10)
+    assert fs.read("/case-42/log") == b"intrusion at 03:14\n" * 10
+
+
+def test_close_writes_heated_manifest(bag, fs):
+    bag.add("a", b"1")
+    bag.add("b", b"2")
+    manifest = bag.close()
+    assert fs.stat("/case-42/MANIFEST").heated
+    assert manifest.size > 0
+    assert bag.is_intact()
+
+
+def test_no_adds_after_close(bag):
+    bag.close()
+    with pytest.raises(IntegrityError):
+        bag.add("late", b"z")
+
+
+def test_double_close_rejected(bag):
+    bag.close()
+    with pytest.raises(IntegrityError):
+        bag.close()
+
+
+def test_audit_flags_tampering(bag, fs):
+    item = bag.add("target", b"tamper me " * 30)
+    bag.close()
+    attacks.mwb_data(fs.device, item.line_start)
+    audit = bag.audit()
+    assert audit["target"].tamper_evident
+    assert not bag.is_intact()
+    # the manifest still proves what SHOULD be there
+    assert audit["MANIFEST"].status is VerifyStatus.INTACT
+
+
+def test_slash_in_name_rejected(bag):
+    with pytest.raises(IntegrityError):
+        bag.add("a/b", b"")
+
+
+def test_items_listing(bag):
+    bag.add("x", b"1")
+    bag.add("y", b"2")
+    assert [i.name for i in bag.items] == ["x", "y"]

@@ -1,0 +1,104 @@
+"""Fossilised index tests (Section 4.2)."""
+
+import pytest
+
+from repro.crypto.sha256 import sha256_digest
+from repro.device.sero import SERODevice, VerifyStatus
+from repro.errors import FossilSlotError, IntegrityError
+from repro.integrity.fossil import SLOTS, FossilizedIndex, digit_path
+
+
+@pytest.fixture
+def index() -> FossilizedIndex:
+    return FossilizedIndex(SERODevice.create(1024), arena_start=16,
+                           arena_blocks=960)
+
+
+def _hashes(n, tag=b"rec"):
+    return [sha256_digest(i.to_bytes(4, "big"), tag) for i in range(n)]
+
+
+def test_insert_and_contains(index):
+    hashes = _hashes(20)
+    for h in hashes:
+        index.insert(h)
+    assert all(index.contains(h) for h in hashes)
+
+
+def test_absent_record_not_found(index):
+    index.insert(sha256_digest(b"present"))
+    assert not index.contains(sha256_digest(b"absent"))
+
+
+def test_duplicate_insert_rejected(index):
+    h = sha256_digest(b"once")
+    index.insert(h)
+    with pytest.raises(FossilSlotError):
+        index.insert(h)
+
+
+def test_path_is_deterministic():
+    h = sha256_digest(b"path")
+    assert list(digit_path(h))[:8] == list(digit_path(h))[:8]
+    assert all(0 <= d < SLOTS for d in list(digit_path(h))[:16])
+
+
+def test_nodes_seal_when_full(index):
+    # insert until at least one node fills its 8 slots
+    for h in _hashes(60):
+        index.insert(h)
+    assert index.sealed_nodes
+    for result in index.verify_sealed().values():
+        assert result.status is VerifyStatus.INTACT
+
+
+def test_sealed_nodes_still_answer_lookups(index):
+    hashes = _hashes(60)
+    for h in hashes:
+        index.insert(h)
+    assert all(index.contains(h) for h in hashes)
+
+
+def test_inserts_continue_below_sealed_nodes(index):
+    hashes = _hashes(100)
+    for h in hashes:
+        index.insert(h)
+    assert index.records == 100
+    assert index.node_count > 1
+
+
+def test_zero_hash_reserved(index):
+    with pytest.raises(IntegrityError):
+        index.insert(b"\x00" * 32)
+
+
+def test_wrong_hash_size_rejected(index):
+    with pytest.raises(IntegrityError):
+        index.insert(b"short")
+
+
+def test_rebuild_from_device(index):
+    hashes = _hashes(60)
+    for h in hashes:
+        index.insert(h)
+    sealed_before = set(index.sealed_nodes)
+    records_before = index.records
+    recovered = index.rebuild_from_device()
+    assert recovered == index.node_count
+    assert index.records == records_before
+    assert set(index.sealed_nodes) == sealed_before
+    assert all(index.contains(h) for h in hashes)
+
+
+def test_arena_exhaustion():
+    tiny = FossilizedIndex(SERODevice.create(64), arena_start=16,
+                           arena_blocks=4)
+    # root consumed 2 blocks; one child is possible, then exhaustion
+    with pytest.raises(IntegrityError):
+        for h in _hashes(200):
+            tiny.insert(h)
+
+
+def test_arena_alignment():
+    with pytest.raises(IntegrityError):
+        FossilizedIndex(SERODevice.create(64), arena_start=5, arena_blocks=10)

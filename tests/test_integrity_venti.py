@@ -1,0 +1,141 @@
+"""Venti content-addressed store tests (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.device.sero import SERODevice, VerifyStatus
+from repro.errors import IntegrityError, UnknownScoreError
+from repro.integrity.venti import FANOUT, NODE_PAYLOAD, VentiStore, node_score
+
+
+@pytest.fixture
+def store() -> VentiStore:
+    return VentiStore(SERODevice.create(512), arena_start=16,
+                      arena_blocks=480)
+
+
+def test_put_get_roundtrip(store):
+    score = store.put(b"archival data")
+    assert store.get(score) == b"archival data"
+
+
+def test_scores_are_content_addresses(store):
+    a = store.put(b"same")
+    b = store.put(b"same")
+    assert a == b  # dedup: identical content, identical address
+    assert store.blocks_used() <= 2
+
+
+def test_different_content_different_scores(store):
+    assert store.put(b"a") != store.put(b"b")
+
+
+def test_unknown_score_rejected(store):
+    with pytest.raises(UnknownScoreError):
+        store.get(b"\x00" * 32)
+
+
+def test_oversized_leaf_rejected(store):
+    with pytest.raises(IntegrityError):
+        store.put(b"\x00" * (NODE_PAYLOAD + 1))
+
+
+def test_stream_roundtrip_small(store):
+    assert store.read_stream(store.put_stream(b"tiny")) == b"tiny"
+
+
+def test_stream_roundtrip_empty(store):
+    assert store.read_stream(store.put_stream(b"")) == b""
+
+
+def test_stream_roundtrip_multilevel(store):
+    # force at least two pointer levels: > FANOUT leaves
+    data = bytes(np.random.default_rng(1).integers(
+        0, 256, NODE_PAYLOAD * (FANOUT + 3), dtype=np.uint8))
+    root = store.put_stream(data)
+    assert store.read_stream(root) == data
+
+
+def test_verify_tree_intact(store):
+    root = store.put_stream(b"x" * 3000)
+    assert store.verify_tree(root) == []
+
+
+def test_verify_tree_detects_node_tampering(store):
+    data = b"y" * 3000
+    root = store.put_stream(data)
+    # overwrite one leaf's block behind the store's back
+    leaf_score = store.put(data[:NODE_PAYLOAD])
+    pba, _ = store._index[leaf_score]
+    store.device.write_block(pba, b"\x00" * 512)
+    bad = store.verify_tree(root)
+    assert leaf_score in bad
+
+
+def test_get_detects_score_mismatch(store):
+    score = store.put(b"check me")
+    pba, _ = store._index[score]
+    forged = b"FORGED" + b"\x00" * 506
+    store.device.write_block(pba, forged)
+    with pytest.raises((IntegrityError, Exception)):
+        store.get(score)
+
+
+def test_seal_heats_a_line(store):
+    root = store.put_stream(b"seal target " * 10)
+    start = store.seal(root, timestamp=9)
+    assert store.verify_sealed(root).status is VerifyStatus.INTACT
+    assert store.device.is_block_heated(start)
+
+
+def test_seal_idempotent(store):
+    root = store.put_stream(b"idem")
+    assert store.seal(root) == store.seal(root)
+
+
+def test_sealed_root_protects_hierarchy(store):
+    # the paper's point: heating the root secures the whole tree,
+    # because every child is reachable only through verified scores
+    data = b"ledger" * 500
+    root = store.put_stream(data)
+    store.seal(root)
+    assert store.read_stream(root) == data
+    assert store.verify_tree(root) == []
+    # tamper any node: the walk flags it even though only the root is RO
+    any_leaf = store.put(data[:NODE_PAYLOAD])
+    pba, _ = store._index[any_leaf]
+    store.device.write_block(pba, b"\xff" * 512)
+    assert store.verify_tree(root)
+
+
+def test_snapshot_creates_sealed_records(store):
+    root = store.snapshot("monday", b"daily state " * 20, timestamp=1)
+    assert store.read_stream(root) == b"daily state " * 20
+    assert len(store.sealed_scores) >= 2  # record + root
+
+
+def test_verify_sealed_requires_seal(store):
+    score = store.put(b"not sealed")
+    with pytest.raises(IntegrityError):
+        store.verify_sealed(score)
+
+
+def test_arena_exhaustion(
+
+):
+    store = VentiStore(SERODevice.create(64), arena_start=16, arena_blocks=4)
+    store.put(b"1")
+    store.put(b"2")
+    store.put(b"3")
+    store.put(b"4")
+    with pytest.raises(IntegrityError):
+        store.put(b"5")
+
+
+def test_arena_alignment_required():
+    with pytest.raises(IntegrityError):
+        VentiStore(SERODevice.create(64), arena_start=3, arena_blocks=10)
+
+
+def test_node_score_domain_separation():
+    assert node_score(1, b"payload") != node_score(2, b"payload")

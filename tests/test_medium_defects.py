@@ -1,0 +1,54 @@
+"""Format-time defect scan tests (bad blocks vs heated blocks)."""
+
+import pytest
+
+from repro.medium.defects import defective_dots_in_block, scan_for_defects
+from repro.medium.geometry import MediumGeometry
+from repro.medium.medium import MediumConfig, PatternedMedium
+
+
+def _medium(sigma: float, seed: int = 5) -> PatternedMedium:
+    geom = MediumGeometry(cols=64, rows=8, dots_per_block=16)
+    return PatternedMedium(geom, MediumConfig(switching_sigma=sigma,
+                                              write_field=1.0, seed=seed))
+
+
+def test_perfect_medium_has_no_bad_blocks():
+    report = scan_for_defects(_medium(0.0))
+    assert not report.bad_blocks
+    assert report.defective_dots == 0
+    assert report.bad_fraction == 0.0
+
+
+def test_defective_medium_finds_bad_blocks():
+    report = scan_for_defects(_medium(0.5), tolerance=1)
+    assert report.defective_dots > 0
+    assert report.bad_blocks
+    assert 0.0 < report.bad_fraction <= 1.0
+
+
+def test_tolerance_absorbs_isolated_defects():
+    medium = _medium(0.3)
+    strict = scan_for_defects(medium, tolerance=0)
+    lax = scan_for_defects(medium, tolerance=8)
+    assert len(lax.bad_blocks) <= len(strict.bad_blocks)
+
+
+def test_heated_blocks_not_misinterpreted_as_bad():
+    # Section 3: "a heated block should not be misinterpreted as a bad
+    # block" — the scan runs at format time, before heating; here we
+    # check the ground-truth helper excludes heated dots.
+    medium = _medium(0.0)
+    medium.heat_dot(3)
+    assert defective_dots_in_block(medium, 0) == []
+
+
+def test_scan_leaves_medium_erased():
+    medium = _medium(0.0)
+    scan_for_defects(medium)
+    assert medium.read_mag_span(0, 64).sum() == 0
+
+
+def test_scan_counts_blocks():
+    report = scan_for_defects(_medium(0.0))
+    assert report.scanned_blocks == 32

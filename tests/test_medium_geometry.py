@@ -1,0 +1,81 @@
+"""Dot-matrix geometry and physical addressing tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DotAddressError
+from repro.medium.geometry import MediumGeometry, geometry_for_blocks
+
+
+@pytest.fixture
+def geom() -> MediumGeometry:
+    return MediumGeometry(cols=40, rows=5, dots_per_block=10)
+
+
+def test_totals(geom):
+    assert geom.total_dots == 200
+    assert geom.blocks_per_row == 4
+    assert geom.total_blocks == 20
+
+
+def test_dot_position_roundtrip(geom):
+    for index in (0, 39, 40, 199):
+        row, col = geom.dot_position(index)
+        assert geom.dot_index(row, col) == index
+
+
+def test_dot_position_out_of_range(geom):
+    with pytest.raises(DotAddressError):
+        geom.dot_position(200)
+    with pytest.raises(DotAddressError):
+        geom.dot_index(5, 0)
+
+
+def test_block_span(geom):
+    assert geom.block_span(0) == (0, 10)
+    assert geom.block_span(19) == (190, 200)
+    with pytest.raises(DotAddressError):
+        geom.block_span(20)
+
+
+def test_block_of_dot_inverse_of_span(geom):
+    for pba in range(geom.total_blocks):
+        start, end = geom.block_span(pba)
+        assert geom.block_of_dot(start) == pba
+        assert geom.block_of_dot(end - 1) == pba
+
+
+def test_blocks_never_straddle_rows():
+    with pytest.raises(ConfigurationError):
+        MediumGeometry(cols=15, rows=2, dots_per_block=10)
+
+
+def test_positive_dimensions_required():
+    with pytest.raises(ConfigurationError):
+        MediumGeometry(cols=0, rows=1, dots_per_block=1)
+
+
+def test_physical_coordinates_scale_with_pitch(geom):
+    x0, y0 = geom.physical_coordinates(0)
+    x1, y1 = geom.physical_coordinates(1)
+    assert (x0, y0) == (0.0, 0.0)
+    assert x1 == pytest.approx(geom.dot.pitch_x)
+    assert y1 == 0.0
+
+
+def test_neighbors_interior_and_corner(geom):
+    interior = geom.dot_index(2, 20)
+    assert len(geom.neighbors(interior)) == 4
+    assert len(geom.neighbors(0)) == 2  # corner
+
+
+def test_geometry_for_blocks_capacity():
+    geom = geometry_for_blocks(100, dots_per_block=64, blocks_per_row=8)
+    assert geom.total_blocks >= 100
+    assert geom.dots_per_block == 64
+
+
+def test_geometry_for_blocks_small_counts():
+    geom = geometry_for_blocks(3, dots_per_block=16, blocks_per_row=8)
+    assert geom.total_blocks >= 3
+    with pytest.raises(ConfigurationError):
+        geometry_for_blocks(0, dots_per_block=16)

@@ -1,0 +1,92 @@
+"""Anisotropy energy-balance tests (Section 7 physics)."""
+
+import math
+
+import pytest
+
+from repro.physics.anisotropy import (
+    AnisotropyModel,
+    calibrated_model,
+    demagnetizing_factors,
+    shape_anisotropy,
+)
+from repro.physics.constants import DEFAULT_DOT, DEFAULT_STACK
+
+
+def test_as_grown_film_matches_paper():
+    # Fig 7: the unannealed film has K = 80 kJ/m^3
+    model = calibrated_model(80e3)
+    assert model.k_eff(1.0) == pytest.approx(80e3, rel=1e-6)
+
+
+def test_film_easy_axis_flips_in_plane_when_mixed():
+    # the SERO premise: destroyed interfaces -> in-plane easy axis
+    model = AnisotropyModel()
+    assert model.is_perpendicular(1.0)
+    assert not model.is_perpendicular(0.0)
+    assert model.k_eff(0.0) < 0
+
+
+def test_dot_easy_axis_flips_too():
+    model = AnisotropyModel(dot=DEFAULT_DOT)
+    assert model.is_perpendicular(1.0)
+    assert not model.is_perpendicular(0.0)
+
+
+def test_k_eff_monotonic_in_sharpness():
+    model = AnisotropyModel()
+    values = [model.k_eff(s / 10.0) for s in range(11)]
+    assert values == sorted(values)
+
+
+def test_easy_axis_angle_binary():
+    model = AnisotropyModel(dot=DEFAULT_DOT)
+    assert model.easy_axis_angle(1.0) == 0.0
+    assert model.easy_axis_angle(0.0) == pytest.approx(math.pi / 2.0)
+
+
+def test_crystalline_fraction_removes_multilayer_phase():
+    model = AnisotropyModel()
+    assert model.k_eff(1.0, crystalline_fraction=0.5) < model.k_eff(1.0)
+    # fully crystallised: only the demag penalty remains
+    assert model.k_eff(1.0, 1.0) == pytest.approx(-model.demagnetizing_term())
+
+
+def test_sharpness_bounds_enforced():
+    model = AnisotropyModel()
+    with pytest.raises(ValueError):
+        model.interface_term(1.5)
+    with pytest.raises(ValueError):
+        model.k_eff(1.0, crystalline_fraction=-0.1)
+
+
+def test_demag_factors_trace_one():
+    na, nb, nc = demagnetizing_factors(100e-9, 20e-9)
+    assert na + nb + nc == pytest.approx(1.0)
+    assert nc > na  # flat dot: perpendicular is the hard axis
+
+
+def test_demag_factors_limits():
+    # very flat dot approaches the thin-film limit
+    _, _, n_perp = demagnetizing_factors(1.0, 1e-9)
+    assert n_perp > 0.99
+
+
+def test_shape_anisotropy_positive_for_flat_dot():
+    assert shape_anisotropy(DEFAULT_STACK.ms, 100e-9, 20e-9) > 0
+
+
+def test_shape_anisotropy_rejects_bad_geometry():
+    with pytest.raises(ValueError):
+        demagnetizing_factors(0.0, 1e-9)
+
+
+def test_anisotropy_field_positive_and_zero_when_destroyed():
+    model = AnisotropyModel(dot=DEFAULT_DOT)
+    assert model.anisotropy_field(1.0) > 0
+    assert model.anisotropy_field(0.0) == 0.0
+
+
+def test_calibrated_model_unreachable_target():
+    with pytest.raises(ValueError):
+        calibrated_model(-200e3)

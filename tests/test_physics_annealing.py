@@ -1,0 +1,98 @@
+"""Arrhenius interface-mixing tests (the Fig 7 kinetics)."""
+
+import pytest
+
+from repro.physics.annealing import (
+    DEFAULT_KINETICS,
+    AnnealingKinetics,
+    FilmState,
+    anneal,
+    anneal_series,
+    destruction_temperature,
+)
+
+ANNEAL_TIME = 1800.0  # the 30-minute reference anneal
+
+
+def test_fresh_film_is_sharp():
+    state = FilmState()
+    assert state.sharpness == 1.0
+    assert not state.is_destroyed
+
+
+def test_low_temperature_anneal_harmless():
+    # Fig 7: K maintained up to 500 C
+    state = anneal(FilmState(), 300.0, ANNEAL_TIME)
+    assert state.sharpness > 0.999
+
+
+def test_500c_still_mostly_intact():
+    state = anneal(FilmState(), 500.0, ANNEAL_TIME)
+    assert state.sharpness > 0.9
+
+
+def test_700c_destroys_interfaces():
+    # Fig 7/8: above 600 C the multilayer is destroyed
+    state = anneal(FilmState(), 700.0, ANNEAL_TIME)
+    assert state.is_destroyed
+    assert state.sharpness < 0.01
+
+
+def test_sharpness_never_increases():
+    # irreversibility: the physical root of tamper evidence
+    state = FilmState()
+    previous = state.sharpness
+    for temp in (200.0, 400.0, 650.0, 100.0, 25.0):
+        anneal(state, temp, 600.0)
+        assert state.sharpness <= previous
+        previous = state.sharpness
+
+
+def test_crystallization_only_near_700c():
+    mild = anneal(FilmState(), 500.0, ANNEAL_TIME)
+    hot = anneal(FilmState(), 700.0, ANNEAL_TIME)
+    assert mild.crystalline_fraction < 0.01
+    assert hot.crystalline_fraction > 0.1
+
+
+def test_anneal_series_is_per_sample():
+    temps = [25.0, 300.0, 400.0, 500.0, 600.0, 700.0]
+    samples = anneal_series(temps)
+    assert len(samples) == 6
+    sharp = [s.sharpness for s in samples]
+    assert sharp == sorted(sharp, reverse=True)
+
+
+def test_thermal_history_recorded():
+    state = anneal(FilmState(), 400.0, 60.0)
+    assert len(state.thermal_history) == 1
+    temp_k, duration = state.thermal_history[0]
+    assert temp_k == pytest.approx(673.15)
+    assert duration == 60.0
+
+
+def test_negative_duration_rejected():
+    with pytest.raises(ValueError):
+        anneal(FilmState(), 300.0, -1.0)
+
+
+def test_nonpositive_temperature_rejected():
+    with pytest.raises(ValueError):
+        DEFAULT_KINETICS.mixing_rate(0.0)
+
+
+def test_destruction_temperature_between_500_and_700():
+    temp = destruction_temperature(duration_s=ANNEAL_TIME)
+    assert 500.0 < temp < 700.0
+
+
+def test_destruction_temperature_rises_for_short_pulses():
+    slow = destruction_temperature(duration_s=1800.0)
+    fast = destruction_temperature(duration_s=1e-4)
+    assert fast > slow
+
+
+def test_custom_kinetics():
+    eager = AnnealingKinetics(mixing_ea=1.0e-19)
+    state = anneal(FilmState(), 300.0, 1.0, kinetics=eager)
+    assert state.sharpness < 1.0

@@ -1,0 +1,67 @@
+"""MFM read-back signal tests (Fig 1)."""
+
+import numpy as np
+import pytest
+
+from repro.physics.mfm import (
+    detect_bits,
+    dot_moment,
+    healthy_peak_amplitude,
+    scan_dots,
+)
+
+
+def test_fig1_three_dot_pattern():
+    # top half of Fig 1: up, down, up -> +, -, + peaks
+    line = scan_dots([(1, False), (-1, False), (1, False)])
+    bits = detect_bits(line, 3)
+    assert bits == ["1", "0", "1"]
+
+
+def test_fig1_destroyed_dot_peak_disappears():
+    # bottom half of Fig 1: the heated dot's peak is gone
+    line = scan_dots([(1, False), (-1, False), (1, True)])
+    bits = detect_bits(line, 3)
+    assert bits[:2] == ["1", "0"]
+    assert bits[2] == "H"
+
+
+def test_opposite_magnetisation_gives_opposite_peaks():
+    up = scan_dots([(1, False)])
+    down = scan_dots([(-1, False)])
+    assert np.max(up.signal) == pytest.approx(-np.min(down.signal), rel=0.05)
+
+
+def test_heated_dot_signal_much_weaker():
+    healthy = healthy_peak_amplitude()
+    heated = scan_dots([(1, True)])
+    assert np.max(np.abs(heated.signal)) < 0.4 * healthy
+
+
+def test_dot_moment_healthy_is_out_of_plane():
+    mx, mz = dot_moment(1, heated=False)
+    assert mx == 0.0 and mz > 0
+    mx, mz = dot_moment(-1, heated=False)
+    assert mz < 0
+
+
+def test_dot_moment_heated_is_in_plane():
+    mx, mz = dot_moment(1, heated=True)
+    assert mz == 0.0 and mx > 0
+
+
+def test_dot_moment_invalid_magnetisation():
+    with pytest.raises(ValueError):
+        dot_moment(0, heated=False)
+
+
+def test_long_pattern_detection():
+    pattern = [(1, False), (-1, False)] * 4
+    line = scan_dots(pattern)
+    assert detect_bits(line, 8) == ["1", "0"] * 4
+
+
+def test_peak_at_requires_samples():
+    line = scan_dots([(1, False)])
+    with pytest.raises(ValueError):
+        line.peak_at(1.0, 1e-9)  # window far off the scan

@@ -1,0 +1,71 @@
+"""Stoner-Wohlfarth switching model tests."""
+
+import math
+
+import pytest
+
+from repro.physics.stoner_wohlfarth import (
+    SwitchingModel,
+    anisotropy_field,
+    astroid_switching_field,
+)
+
+
+def test_astroid_extremes():
+    h_k = 100e3
+    assert astroid_switching_field(h_k, 0.0) == pytest.approx(h_k)
+    assert astroid_switching_field(h_k, math.pi / 2) == pytest.approx(h_k)
+
+
+def test_astroid_minimum_at_45_degrees():
+    h_k = 100e3
+    assert astroid_switching_field(h_k, math.radians(45.0)) == pytest.approx(h_k / 2)
+
+
+def test_astroid_symmetry():
+    h_k = 100e3
+    for deg in (10.0, 30.0, 60.0):
+        a = astroid_switching_field(h_k, math.radians(deg))
+        b = astroid_switching_field(h_k, math.radians(180.0 - deg))
+        assert a == pytest.approx(b)
+
+
+def test_anisotropy_field_zero_when_in_plane():
+    assert anisotropy_field(-10e3, 360e3) == 0.0
+    assert anisotropy_field(50e3, 360e3) > 0
+
+
+def test_healthy_dot_writable_at_margin():
+    model = SwitchingModel(k_eff=100e3)
+    field = 1.2 * model.switching_field()
+    assert model.can_write(field)
+    assert not model.can_write(0.5 * model.switching_field())
+
+
+def test_destroyed_dot_never_writable():
+    model = SwitchingModel(k_eff=-10e3)
+    assert not model.can_write(1e9)
+
+
+def test_energy_barrier_scales_with_k():
+    small = SwitchingModel(k_eff=50e3)
+    large = SwitchingModel(k_eff=100e3)
+    assert large.energy_barrier() == pytest.approx(2 * small.energy_barrier())
+
+
+def test_archival_thermal_stability():
+    # a healthy 100 nm dot must hold data for years (Delta >> 40)
+    model = SwitchingModel(k_eff=100e3)
+    assert model.thermal_stability_ratio() > 40.0
+    assert model.retention_time() > 3.15e7  # a year in seconds
+
+
+def test_flip_probability_bounds():
+    model = SwitchingModel(k_eff=100e3)
+    p = model.flip_probability(duration_s=86400.0)
+    assert 0.0 <= p < 1e-6
+
+
+def test_small_k_means_volatile():
+    weak = SwitchingModel(k_eff=100.0)  # nearly isotropic dot
+    assert weak.flip_probability(1.0) > 0.5

@@ -1,0 +1,85 @@
+"""Tip-heating model tests (the ewb physics, Section 7)."""
+
+import pytest
+
+from repro.physics.annealing import FilmState
+from repro.physics.thermal import (
+    DEFAULT_THERMAL,
+    HeatPulse,
+    ThermalParameters,
+    apply_pulse_to_dot,
+    contact_temperature_c,
+    default_pulse,
+    neighbor_damage,
+    power_for_temperature,
+    safe_pitch,
+    temperature_at_distance_c,
+)
+
+
+def test_contact_temperature_linear_in_power():
+    t1 = contact_temperature_c(1e-3)
+    t2 = contact_temperature_c(2e-3)
+    ambient = DEFAULT_THERMAL.ambient_c
+    assert (t2 - ambient) == pytest.approx(2 * (t1 - ambient))
+
+
+def test_power_temperature_inverse():
+    power = power_for_temperature(800.0)
+    assert contact_temperature_c(power) == pytest.approx(800.0)
+
+
+def test_power_below_ambient_rejected():
+    with pytest.raises(ValueError):
+        power_for_temperature(0.0)
+
+
+def test_negative_power_rejected():
+    with pytest.raises(ValueError):
+        contact_temperature_c(-1.0)
+
+
+def test_temperature_decays_with_distance():
+    pulse = default_pulse()
+    temps = [temperature_at_distance_c(pulse.power_w, d)
+             for d in (0.0, 50e-9, 200e-9, 1e-6)]
+    assert temps == sorted(temps, reverse=True)
+    assert temps[-1] < temps[0] / 10
+
+
+def test_default_pulse_destroys_target_dot():
+    pulse = default_pulse()
+    dot = FilmState()
+    apply_pulse_to_dot(dot, pulse, distance=0.0)
+    assert dot.is_destroyed
+
+
+def test_default_pulse_spares_neighbor_at_200nm_pitch():
+    # Section 7's engineering goal: heat sinks keep neighbours safe
+    assert neighbor_damage(default_pulse()) < 0.01
+
+
+def test_neighbor_damage_grows_without_heat_sinking():
+    sunk = ThermalParameters(heat_sink_factor=0.35)
+    bare = ThermalParameters(heat_sink_factor=1.0)
+    pulse = default_pulse(sunk)
+    damage_sunk = neighbor_damage(pulse, params=sunk)
+    damage_bare = neighbor_damage(pulse, params=bare)
+    assert damage_bare >= damage_sunk
+
+
+def test_safe_pitch_below_200nm():
+    pitch = safe_pitch(default_pulse())
+    assert 0 < pitch < 200e-9
+
+
+def test_safe_pitch_unreachable_raises():
+    # a monstrous pulse cannot be made safe within the search range
+    monster = HeatPulse(power_w=10.0, duration_s=1.0)
+    with pytest.raises(ValueError):
+        safe_pitch(monster, search_max=100e-9)
+
+
+def test_pulse_energy():
+    pulse = HeatPulse(power_w=2e-3, duration_s=1e-4)
+    assert pulse.energy_j == pytest.approx(2e-7)

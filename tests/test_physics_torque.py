@@ -1,0 +1,71 @@
+"""Torque magnetometry simulation tests (the Fig 7 measurement)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.physics.constants import TORQUE_FIELD
+from repro.physics.torque import (
+    equilibrium_angle,
+    fourier_components,
+    measure_anisotropy,
+    torque_curve,
+)
+
+
+def test_measured_k_matches_true_k():
+    for k_true in (80e3, 40e3, 10e3):
+        m = measure_anisotropy(k_true)
+        assert m.k_measured == pytest.approx(k_true, rel=2e-3)
+
+
+def test_negative_k_measured_correctly():
+    # an in-plane (destroyed) film gives a negative constant
+    m = measure_anisotropy(-15e3)
+    assert m.k_measured == pytest.approx(-15e3, rel=2e-3)
+
+
+def test_zero_k_gives_zero():
+    assert measure_anisotropy(0.0).k_measured == pytest.approx(0.0, abs=1.0)
+
+
+def test_torque_curve_is_sin2theta_like():
+    angles = np.linspace(0, 2 * math.pi, 360, endpoint=False)
+    curve = torque_curve(50e3, angles)
+    comps = fourier_components(angles, curve)
+    assert abs(comps[1]) > 10 * max(abs(comps[0]), abs(comps[2]))
+
+
+def test_torque_vanishes_on_axes():
+    # along the easy and hard axes the torque is zero by symmetry
+    curve = torque_curve(50e3, [0.0, math.pi / 2.0, math.pi])
+    assert np.allclose(curve, 0.0, atol=1e-6)
+
+
+def test_equilibrium_angle_tracks_field_at_high_field():
+    theta = equilibrium_angle(50e3, 360e3, 10 * TORQUE_FIELD, 0.7)
+    assert theta == pytest.approx(0.7, abs=0.02)
+
+
+def test_equilibrium_angle_lags_towards_easy_axis():
+    theta_h = math.radians(45.0)
+    theta_m = equilibrium_angle(80e3, 360e3, TORQUE_FIELD, theta_h)
+    assert 0.0 < theta_m < theta_h  # pulled towards the easy axis at 0
+
+
+def test_noise_tolerance():
+    m = measure_anisotropy(80e3, noise_level=0.05,
+                           rng=np.random.default_rng(42))
+    assert m.k_measured == pytest.approx(80e3, rel=0.05)
+
+
+def test_invalid_field_rejected():
+    with pytest.raises(ValueError):
+        equilibrium_angle(1e3, 1e5, 0.0, 0.1)
+
+
+def test_measurement_returns_full_curve():
+    m = measure_anisotropy(30e3, n_angles=180)
+    assert len(m.angles_h) == 180
+    assert len(m.torque) == 180

@@ -1,0 +1,78 @@
+"""Kinematic XRD tests (Figs 8 and 9)."""
+
+import numpy as np
+import pytest
+
+from repro.physics.annealing import FilmState, anneal
+from repro.physics.constants import COPT_111_D_SPACING
+from repro.physics.xrd import (
+    bragg_two_theta,
+    high_angle_scan,
+    low_angle_scan,
+    multilayer_peak_visible,
+)
+
+
+@pytest.fixture(scope="module")
+def annealed_state():
+    state = FilmState()
+    anneal(state, 700.0, 1800.0)
+    return state
+
+
+def test_bragg_relation():
+    # 1.1 nm multilayer period -> 2theta ~ 8 degrees for Cu K-alpha
+    assert bragg_two_theta(1.1e-9) == pytest.approx(8.0, abs=0.3)
+
+
+def test_bragg_rejects_tiny_spacing():
+    with pytest.raises(ValueError):
+        bragg_two_theta(0.05e-9)
+
+
+def test_fig8_as_grown_peak_near_8_degrees():
+    scan = low_angle_scan()
+    assert multilayer_peak_visible(scan)
+    assert scan.peak_two_theta(6.0, 10.0) == pytest.approx(8.0, abs=0.5)
+
+
+def test_fig8_annealed_peak_vanishes(annealed_state):
+    scan = low_angle_scan(annealed_state)
+    assert not multilayer_peak_visible(scan)
+
+
+def test_fig8_peak_amplitude_tracks_sharpness():
+    # partially mixed film: reduced but still present contrast
+    half = FilmState(sharpness=0.5)
+    full = low_angle_scan().peak_intensity(6.0, 10.0)
+    reduced = low_angle_scan(half).peak_intensity(6.0, 10.0)
+    assert 0.0 < reduced < full
+
+
+def test_fig9_annealed_copt_peak_at_41_7(annealed_state):
+    scan = high_angle_scan(annealed_state)
+    assert scan.peak_two_theta(38.0, 46.0) == pytest.approx(41.7, abs=0.2)
+
+
+def test_fig9_as_grown_has_no_sharp_peak(annealed_state):
+    fresh = high_angle_scan()
+    hot = high_angle_scan(annealed_state)
+    window = (40.0, 43.0)
+    assert hot.peak_intensity(*window) > 10 * fresh.peak_intensity(*window)
+
+
+def test_copt_d_spacing_consistent_with_paper():
+    assert bragg_two_theta(COPT_111_D_SPACING) == pytest.approx(41.7, abs=0.1)
+
+
+def test_scan_peak_helpers_validate_window():
+    scan = low_angle_scan()
+    with pytest.raises(ValueError):
+        scan.peak_two_theta(100.0, 120.0)
+
+
+def test_custom_two_theta_axis():
+    axis = np.linspace(4.0, 12.0, 100)
+    scan = low_angle_scan(two_theta_deg=axis)
+    assert scan.two_theta_deg.shape == (100,)
+    assert scan.intensity.shape == (100,)

@@ -1,0 +1,71 @@
+"""Unit helpers and exception hierarchy tests."""
+
+import math
+
+import pytest
+
+from repro import errors
+from repro.units import (
+    bits_to_bytes,
+    celsius_to_kelvin,
+    deg_to_rad,
+    is_power_of_two,
+    kelvin_to_celsius,
+    rad_to_deg,
+)
+
+
+def test_temperature_conversions_inverse():
+    for t in (-40.0, 0.0, 25.0, 700.0):
+        assert kelvin_to_celsius(celsius_to_kelvin(t)) == pytest.approx(t)
+
+
+def test_absolute_zero():
+    assert celsius_to_kelvin(-273.15) == pytest.approx(0.0)
+
+
+def test_angle_conversions():
+    assert deg_to_rad(180.0) == pytest.approx(math.pi)
+    assert rad_to_deg(math.pi / 2) == pytest.approx(90.0)
+
+
+def test_bits_to_bytes_ceiling():
+    assert bits_to_bytes(0) == 0
+    assert bits_to_bytes(1) == 1
+    assert bits_to_bytes(8) == 1
+    assert bits_to_bytes(9) == 2
+
+
+@pytest.mark.parametrize("n, expected", [
+    (1, True), (2, True), (4096, True),
+    (0, False), (-4, False), (3, False), (6, False),
+])
+def test_is_power_of_two(n, expected):
+    assert is_power_of_two(n) is expected
+
+
+def test_exception_hierarchy_roots():
+    # every library exception is catchable as ReproError
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception) \
+                and obj is not errors.ReproError:
+            assert issubclass(obj, errors.ReproError), name
+
+
+def test_tamper_evident_family():
+    assert issubclass(errors.HashMismatchError, errors.TamperEvidentError)
+    assert issubclass(errors.InvalidCellError, errors.TamperEvidentError)
+
+
+def test_device_family():
+    for exc in (errors.BadBlockError, errors.ReadError, errors.WriteError,
+                errors.HeatedBlockError, errors.HeatError,
+                errors.AlignmentError):
+        assert issubclass(exc, errors.DeviceError)
+
+
+def test_fs_family():
+    for exc in (errors.NoSpaceError, errors.FileNotFoundError_,
+                errors.ImmutableFileError, errors.DirectoryNotEmptyError):
+        assert issubclass(exc, errors.FileSystemError)
