@@ -1,0 +1,84 @@
+"""Span-engine speedup baseline: scalar reference vs vectorized paths.
+
+The electrical hot paths (``ers_block``, ``heat_line``'s verify-back,
+``verify_line``, ``scan_lines``) historically executed the five-step
+erb protocol one dot at a time in Python — a single 8-block
+``heat_line`` issued ~270k scalar ``read_mag``/``write_mag`` calls.
+This bench runs every hot path in both modes on identically-seeded
+devices, prints the before/after wall-clock baseline, and enforces the
+PR's acceptance floor: >= 8x on ``ers_block`` and >= 5x end-to-end on
+``heat_line`` + ``verify_line`` + ``scan_lines``.
+
+(The verdict equivalence of the two modes is asserted separately in
+``tests/test_span_engine.py``; this file only measures.)
+"""
+
+import time
+
+from repro.analysis.report import format_table
+from repro.device.sero import DeviceConfig, SERODevice
+
+PAYLOAD = bytes(range(256)) * 2
+TOTAL_BLOCKS = 32
+
+
+def _device(span: bool) -> SERODevice:
+    device = SERODevice.create(
+        TOTAL_BLOCKS, config=DeviceConfig(span_engine=span))
+    for pba in range(1, 8):
+        device.write_block(pba, PAYLOAD)
+    return device
+
+
+def _best(fn, repeat=3) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _measure(span: bool) -> dict:
+    device = _device(span)
+
+    # heat_line: each repetition heats a fresh line of the device
+    heats = []
+    for i, start in enumerate((0, 8, 16)):
+        for pba in range(start + 1, start + 8):
+            if pba > 7:  # blocks 1..7 already written
+                device.write_block(pba, PAYLOAD)
+        t0 = time.perf_counter()
+        device.heat_line(start, 8, timestamp=i)
+        heats.append(time.perf_counter() - t0)
+    times = {"heat_line": min(heats)}
+
+    times["ers_block (written)"] = _best(lambda: device.ers_block(0))
+    times["ers_block (virgin)"] = _best(lambda: device.ers_block(24))
+    times["verify_line"] = _best(lambda: device.verify_line(0))
+    times["scan_lines"] = _best(device.scan_lines)
+    return times
+
+
+def _sweep():
+    scalar = _measure(span=False)
+    span = _measure(span=True)
+    rows = [[op, scalar[op] * 1e3, span[op] * 1e3, scalar[op] / span[op]]
+            for op in scalar]
+    return rows
+
+
+def test_span_engine_speedups(benchmark, show):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    show(format_table(
+        ["operation", "scalar [ms]", "span [ms]", "speedup"],
+        [[r[0], round(r[1], 2), round(r[2], 2), round(r[3], 1)]
+         for r in rows],
+        title="span engine — scalar reference vs vectorized wall clock"))
+    by_op = {r[0]: r for r in rows}
+    assert by_op["ers_block (written)"][3] >= 8.0
+    assert by_op["ers_block (virgin)"][3] >= 8.0
+    e2e_ops = ("heat_line", "verify_line", "scan_lines")
+    e2e = sum(by_op[op][1] for op in e2e_ops) / \
+        sum(by_op[op][2] for op in e2e_ops)
+    assert e2e >= 5.0

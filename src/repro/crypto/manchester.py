@@ -21,6 +21,13 @@ neighbour inside a cell, which spreads heat-damage risk (Section 3).
 The codec below works on sequences of booleans where ``True`` means
 *heated*.  Decoding classifies every cell and never silently accepts
 an illegal pattern.
+
+The byte-level entry points (:func:`encode_bytes`, :func:`decode_bytes`,
+:func:`bytes_to_bits`, :func:`bits_to_bytes`) are vectorized with
+numpy (``unpackbits``/``packbits`` plus strided cell classification);
+set the module flag ``USE_VECTORIZED = False`` (or the environment
+variable ``REPRO_SPAN_ENGINE=0`` before import) to fall back to the
+scalar per-cell reference loops.
 """
 
 from __future__ import annotations
@@ -29,7 +36,13 @@ import enum
 from dataclasses import dataclass
 from typing import List, Sequence
 
+import numpy as np
+
 from ..errors import InvalidCellError
+from ..vectorize import span_engine_default
+
+#: Use the numpy fast paths for the byte-level codec entry points.
+USE_VECTORIZED = span_engine_default()
 
 
 class CellState(enum.Enum):
@@ -66,9 +79,19 @@ def encode_bits(bits: Sequence[int]) -> List[bool]:
     return pattern
 
 
-def encode_bytes(data: bytes) -> List[bool]:
-    """Encode ``data`` MSB-first into a heated-dot pattern."""
-    return encode_bits(bytes_to_bits(data))
+def encode_bytes(data: bytes) -> Sequence[bool]:
+    """Encode ``data`` MSB-first into a heated-dot pattern.
+
+    The vectorized path returns a bool ndarray, the scalar reference a
+    list; both behave identically under ``len``/indexing/iteration.
+    """
+    if not USE_VECTORIZED:
+        return encode_bits(bytes_to_bits(data))
+    bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+    pattern = np.zeros(bits.size * CELL_SIZE, dtype=bool)
+    pattern[0::2] = bits == 0
+    pattern[1::2] = bits == 1
+    return pattern
 
 
 def classify_cell(first: bool, second: bool) -> CellState:
@@ -125,6 +148,25 @@ def decode_pattern(pattern: Sequence[bool]) -> DecodeResult:
     """
     if len(pattern) % CELL_SIZE:
         raise ValueError("Manchester pattern length must be even")
+    if not USE_VECTORIZED:
+        return _decode_pattern_scalar(pattern)
+    arr = np.asarray(pattern, dtype=bool)
+    first = arr[0::2]
+    second = arr[1::2]
+    tampered = np.flatnonzero(first & second)
+    unused = np.flatnonzero(~first & ~second)
+    # 1 where ONE, 0 where ZERO, placeholder elsewhere
+    bits: List = second.astype(np.int64).tolist()
+    for index in tampered:
+        bits[index] = None
+    for index in unused:
+        bits[index] = None
+    return DecodeResult(bits=bits, tampered_cells=tampered.tolist(),
+                        unused_cells=unused.tolist())
+
+
+def _decode_pattern_scalar(pattern: Sequence[bool]) -> DecodeResult:
+    """Per-cell reference decoder."""
     bits: List = []
     tampered: List[int] = []
     unused: List[int] = []
@@ -145,7 +187,19 @@ def decode_pattern(pattern: Sequence[bool]) -> DecodeResult:
 
 def decode_bytes(pattern: Sequence[bool]) -> bytes:
     """Decode a pattern straight to bytes, raising on tamper/unused."""
-    return decode_pattern(pattern).to_bytes()
+    if not USE_VECTORIZED:
+        return _decode_pattern_scalar(pattern).to_bytes()
+    arr = np.asarray(pattern, dtype=bool)
+    if arr.size % CELL_SIZE:
+        raise ValueError("Manchester pattern length must be even")
+    first = arr[0::2]
+    second = arr[1::2]
+    if (first == second).any():
+        # tampered (HH) or unused (UU) cells: fall back for the
+        # detailed error message
+        return decode_pattern(pattern).to_bytes()
+    # every cell holds exactly one heated dot: the bit is dot two
+    return bits_to_bytes(second)
 
 
 # -- bit packing helpers -----------------------------------------------------
@@ -153,6 +207,8 @@ def decode_bytes(pattern: Sequence[bool]) -> bytes:
 
 def bytes_to_bits(data: bytes) -> List[int]:
     """Unpack bytes into a list of bits, most significant bit first."""
+    if USE_VECTORIZED:
+        return np.unpackbits(np.frombuffer(data, dtype=np.uint8)).tolist()
     bits: List[int] = []
     for byte in data:
         for shift in range(7, -1, -1):
@@ -164,6 +220,9 @@ def bits_to_bytes(bits: Sequence[int]) -> bytes:
     """Pack an MSB-first bit sequence (multiple of 8 long) into bytes."""
     if len(bits) % 8:
         raise ValueError("bit sequence length must be a multiple of 8")
+    if USE_VECTORIZED:
+        arr = np.asarray(bits, dtype=np.uint8) & 1
+        return np.packbits(arr).tobytes()
     out = bytearray()
     for index in range(0, len(bits), 8):
         byte = 0

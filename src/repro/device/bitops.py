@@ -22,6 +22,9 @@ top, see :mod:`repro.device.sector`).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from ..medium.medium import PatternedMedium
 
@@ -66,6 +69,21 @@ class BitOps:
             if self.mrb(index) != original:
                 return "H"
         return "U"
+
+    def erb_span(self, start: int, end: int, rounds: int = 1) -> np.ndarray:
+        """Vectorised erb over dots [start, end).
+
+        Returns a bool array where True corresponds to the scalar
+        :meth:`erb` verdict ``"H"``.  Protocol semantics (miss
+        probability, counter increments, early exit on the first
+        failed verification) match the scalar sequence exactly; only
+        the RNG consumption order differs.
+        """
+        return self.medium.erb_span(start, end, rounds)
+
+    def erb_at(self, indices: Sequence[int], rounds: int = 1) -> np.ndarray:
+        """Vectorised erb at scattered (unique) dot ``indices``."""
+        return self.medium.erb_at(indices, rounds)
 
     def bit_cost(self, rounds: int = 1) -> int:
         """Number of magnetic bit ops one erb consumes (5 for the

@@ -13,6 +13,7 @@ seek + transfer charges on the device's :class:`CostAccount`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..medium.geometry import MediumGeometry
 from .timing import CostAccount, TimingModel
@@ -79,28 +80,33 @@ class Scanner:
         x, y = self._field_position(pba)
         distance = max(abs(x - self._x), abs(y - self._y))
         self._last_block = pba
-        if distance == 0.0 and pba == self._last_block:
-            self._x, self._y = x, y
+        self._x, self._y = x, y
         if distance == 0.0:
             return 0.0  # already on target: no mechanical motion
         seek = self.timing.seek_time(distance)
         self.account.charge("seek", seek)
-        self._x, self._y = x, y
         return seek
 
-    def transfer(self, nbits: int, kind: str) -> float:
+    def transfer(self, nbits: int, kind: str,
+                 per_bit: Optional[float] = None) -> float:
         """Charge a transfer of ``nbits`` of the given kind.
 
         Args:
             nbits: bit count moved under the probe array.
             kind: one of ``"mrb"``, ``"mwb"``, ``"ewb"``, ``"erb"``.
+            per_bit: per-bit time override.  erb transfers pass
+                :meth:`~repro.device.timing.TimingModel.t_erb_for` here
+                so multi-round electrical reads are charged their true
+                ``1 + 4*rounds`` bit-operation cost (the default
+                ``t_erb`` covers only the single-round sequence).
         """
-        per_bit = {
-            "mrb": self.timing.t_mrb,
-            "mwb": self.timing.t_mwb,
-            "ewb": self.timing.t_ewb,
-            "erb": self.timing.t_erb,
-        }[kind]
+        if per_bit is None:
+            per_bit = {
+                "mrb": self.timing.t_mrb,
+                "mwb": self.timing.t_mwb,
+                "ewb": self.timing.t_ewb,
+                "erb": self.timing.t_erb,
+            }[kind]
         t = self.timing.transfer_time(nbits, per_bit)
         self.account.charge(kind, t, ops=nbits)
         return t

@@ -41,6 +41,7 @@ from ..medium.defects import scan_for_defects
 from ..medium.geometry import MediumGeometry, geometry_for_blocks
 from ..medium.medium import MediumConfig, PatternedMedium
 from ..units import is_power_of_two
+from ..vectorize import span_engine_default
 from .bitops import BitOps
 from .sector import (
     BLOCK_SIZE,
@@ -76,6 +77,12 @@ class DeviceConfig:
             (HH) cell escapes one pass as a plausible bit with ~12%
             probability; re-reading makes the CELL_TAMPERED verdict —
             rather than the weaker UNREADABLE — near-certain.
+        span_engine: run the electrical paths (ers_block, probing,
+            payload decode) on the vectorized span engine instead of
+            the scalar per-dot reference protocol.  Defaults to True
+            (override globally with REPRO_SPAN_ENGINE=0).  Both paths
+            implement identical protocol semantics; the scalar one is
+            kept as the executable reference for equivalence tests.
     """
 
     erb_rounds: int = 2
@@ -84,6 +91,15 @@ class DeviceConfig:
     defect_tolerance: int = 4
     enforce_write_protect: bool = True
     verify_retries: int = 3
+    span_engine: bool = field(default_factory=span_engine_default)
+
+
+#: Manchester cell codes used by the span engine:
+#: ``2 * first_dot_heated + second_dot_heated``.
+_CODE_UNUSED, _CODE_ONE, _CODE_ZERO, _CODE_TAMPERED = 0, 1, 2, 3
+_CODE_TO_STATE = (CellState.UNUSED, CellState.ONE,
+                  CellState.ZERO, CellState.TAMPERED)
+_CODE_TO_BIT = (None, 1, 0, None)
 
 
 @dataclass(frozen=True)
@@ -277,12 +293,13 @@ class SERODevice:
         if len(payload) != E_PAYLOAD_BYTES:
             raise WriteError(
                 f"electrical payload must be {E_PAYLOAD_BYTES} bytes")
-        pattern = encode_bytes(payload)
+        pattern = np.asarray(encode_bytes(payload), dtype=bool)
         assert len(pattern) == E_REGION_DOTS
         start, _end = self.geometry.block_span(pba)
         self.scanner.seek_to_block(pba)
-        self.scanner.transfer(sum(pattern), "ewb")
-        self.medium.heat_span(start, start + E_REGION_DOTS, pattern)
+        self.scanner.transfer(int(pattern.sum()), "ewb")
+        self.medium.heat_span(start, start + E_REGION_DOTS, pattern,
+                              vectorized=self.config.span_engine)
 
     def ers_block(self, pba: int) -> Tuple[List[CellState], List[int]]:
         """Electrical read sector: decode the 2048 Manchester cells.
@@ -293,13 +310,64 @@ class SERODevice:
         ``ers_cell_retries`` times: a heated dot can escape one erb
         with probability (1/4)**rounds, so an apparently unused cell in
         an otherwise written block is most likely a misread.
+
+        Runs on the vectorized span engine unless
+        ``config.span_engine`` selects the scalar reference protocol;
+        verdicts, retry policy and cost accounting are identical.
+        """
+        codes = self._ers_codes(pba)
+        states = [_CODE_TO_STATE[c] for c in codes]
+        bits = [_CODE_TO_BIT[c] for c in codes]
+        return states, bits
+
+    def _ers_codes(self, pba: int) -> np.ndarray:
+        """ers a block to an array of Manchester cell codes.
+
+        Seeks, reads every cell (with the unused-cell retry policy)
+        and charges the scanner; returns an int8 array of ``E_CELLS``
+        cell codes (``_CODE_*``).
         """
         self._check_pba(pba)
         start, _end = self.geometry.block_span(pba)
         self.scanner.seek_to_block(pba)
         rounds = self.config.erb_rounds
-        states: List[CellState] = []
-        bits: List[Optional[int]] = []
+        if self.config.span_engine:
+            codes, erb_ops = self._ers_cells_span(start, rounds)
+        else:
+            codes, erb_ops = self._ers_cells_scalar(start, rounds)
+        # one erb costs 1 + 4*rounds bit operations (BitOps.bit_cost)
+        self.scanner.transfer(erb_ops, "erb",
+                              per_bit=self.timing.t_erb_for(rounds))
+        return codes
+
+    def _ers_cells_span(self, start: int,
+                        rounds: int) -> Tuple[np.ndarray, int]:
+        """Span-engine cell read: bulk erb plus vectorized retries."""
+        heated = self.bitops.erb_span(start, start + E_REGION_DOTS, rounds)
+        erb_ops = E_REGION_DOTS
+        first = heated[0::2].copy()
+        second = heated[1::2].copy()
+        unresolved = np.flatnonzero(~first & ~second)
+        for _ in range(self.config.ers_cell_retries):
+            if unresolved.size == 0:
+                break
+            idx = np.empty(2 * unresolved.size, dtype=np.int64)
+            idx[0::2] = start + 2 * unresolved
+            idx[1::2] = idx[0::2] + 1
+            h = self.bitops.erb_at(idx, rounds)
+            erb_ops += int(idx.size)
+            h0 = h[0::2]
+            h1 = h[1::2]
+            first[unresolved] |= h0
+            second[unresolved] |= h1
+            unresolved = unresolved[~(h0 | h1)]
+        codes = (first.astype(np.int8) << 1) | second.astype(np.int8)
+        return codes, erb_ops
+
+    def _ers_cells_scalar(self, start: int,
+                          rounds: int) -> Tuple[np.ndarray, int]:
+        """Scalar reference cell read: the paper's per-dot protocol."""
+        codes = np.empty(E_CELLS, dtype=np.int8)
         erb_ops = 0
         for cell in range(E_CELLS):
             d0 = start + 2 * cell
@@ -318,35 +386,22 @@ class SERODevice:
                     state = new_state
                     break
                 retries += 1
-            states.append(state)
-            if state is CellState.ZERO:
-                bits.append(0)
-            elif state is CellState.ONE:
-                bits.append(1)
-            else:
-                bits.append(None)
-        self.scanner.transfer(erb_ops * (1 + 4 * rounds) // 5, "erb")
-        return states, bits
+            codes[cell] = (int(first) << 1) | int(second)
+        return codes, erb_ops
 
     def _ers_payload(self, pba: int) -> Tuple[Optional[bytes], List[int], bool]:
         """Decode an electrical block to payload bytes.
 
         Returns ``(payload_or_None, tampered_cells, looks_virgin)``.
         """
-        states, bits = self.ers_block(pba)
-        tampered = [i for i, s in enumerate(states) if s is CellState.TAMPERED]
-        unused = [i for i, s in enumerate(states) if s is CellState.UNUSED]
-        if len(unused) == E_CELLS:
+        codes = self._ers_codes(pba)
+        tampered = np.flatnonzero(codes == _CODE_TAMPERED).tolist()
+        unused = codes == _CODE_UNUSED
+        if unused.all():
             return None, tampered, True
-        if tampered or unused:
+        if tampered or unused.any():
             return None, tampered, False
-        out = bytearray()
-        for index in range(0, E_CELLS, 8):
-            byte = 0
-            for bit in bits[index:index + 8]:
-                byte = (byte << 1) | bit
-            out.append(byte)
-        return bytes(out), tampered, False
+        return np.packbits(codes == _CODE_ONE).tobytes(), tampered, False
 
     # -- the heat operation -----------------------------------------------------------
 
@@ -493,14 +548,24 @@ class SERODevice:
         start, _end = self.geometry.block_span(pba)
         self.scanner.seek_to_block(pba)
         rounds = self.config.erb_rounds
-        heated = False
-        for cell in range(probe_cells):
-            d0 = start + 2 * cell
-            if self.bitops.erb(d0, rounds) == "H" or \
-               self.bitops.erb(d0 + 1, rounds) == "H":
-                heated = True
-                break
-        self.scanner.transfer(2 * probe_cells * (1 + 4 * rounds) // 5, "erb")
+        if self.config.span_engine:
+            # The scalar loop stops at the first H; a dot is only ever
+            # skipped after detection has already succeeded, so probing
+            # the whole window at once has the same detection
+            # probability (and the same fixed scanner charge below).
+            heated = bool(
+                self.bitops.erb_span(start, start + 2 * probe_cells,
+                                     rounds).any())
+        else:
+            heated = False
+            for cell in range(probe_cells):
+                d0 = start + 2 * cell
+                if self.bitops.erb(d0, rounds) == "H" or \
+                   self.bitops.erb(d0 + 1, rounds) == "H":
+                    heated = True
+                    break
+        self.scanner.transfer(2 * probe_cells, "erb",
+                              per_bit=self.timing.t_erb_for(rounds))
         return heated
 
     def load_line(self, start: int) -> Optional[LineRecord]:

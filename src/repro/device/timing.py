@@ -48,6 +48,14 @@ class TimingModel:
         Section 3 (1 mrb + 2 mwb + 2 mrb), hence exactly 5 bit ops."""
         return 3.0 * self.t_mrb + 2.0 * self.t_mwb
 
+    def t_erb_for(self, rounds: int = 1) -> float:
+        """Electrical bit read time [s] with ``rounds`` invert/verify
+        rounds: 1 + 2*rounds mrb plus 2*rounds mwb, i.e. the
+        ``1 + 4*rounds`` bit operations of ``BitOps.bit_cost``."""
+        if rounds < 1:
+            raise ValueError("erb needs at least one verification round")
+        return (1 + 2 * rounds) * self.t_mrb + 2 * rounds * self.t_mwb
+
     def transfer_time(self, nbits: int, t_bit: float) -> float:
         """Time to move ``nbits`` with per-bit cost ``t_bit`` across the
         probe array."""

@@ -25,7 +25,7 @@ magnetic write, used by investigators and by the bulk-erase analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -41,6 +41,7 @@ from ..physics.thermal import (
     temperature_at_distance_c,
 )
 from ..units import KB, celsius_to_kelvin
+from ..vectorize import span_engine_default
 from .dot import HEATED_SHARPNESS_THRESHOLD, DotView
 from .geometry import MediumGeometry
 
@@ -283,19 +284,122 @@ class PatternedMedium:
         self._mag[span] = np.where(writable, target, self._mag[span])
 
     def heat_span(self, start: int, end: int,
-                  pattern: Optional[Sequence[bool]] = None) -> None:
+                  pattern: Optional[Sequence[bool]] = None,
+                  vectorized: Optional[bool] = None) -> None:
         """Heat every dot in [start, end) where ``pattern`` is True
-        (or all of them when ``pattern`` is None)."""
+        (or all of them when ``pattern`` is None).
+
+        With ``vectorized`` left at None the Arrhenius factor is
+        batched over the whole pattern with numpy (unless the
+        REPRO_SPAN_ENGINE switch disables it); ``collateral_heating``
+        always takes the scalar per-dot path because each heated dot
+        must also pulse its matrix neighbours.
+        """
         if not (0 <= start <= end <= self.geometry.total_dots):
             raise DotAddressError("dot span out of range")
         if pattern is None:
-            indices: Iterable[int] = range(start, end)
+            idx = np.arange(start, end, dtype=np.int64)
         else:
             if len(pattern) != end - start:
                 raise ValueError("pattern length must match span")
-            indices = (start + i for i, flag in enumerate(pattern) if flag)
-        for index in indices:
-            self.heat_dot(index)
+            idx = start + np.flatnonzero(np.asarray(pattern, dtype=bool))
+        if vectorized is None:
+            vectorized = span_engine_default()
+        if self.config.collateral_heating or not vectorized:
+            for index in idx:
+                self.heat_dot(int(index))
+            return
+        self._heat_many(idx)
+
+    def _heat_many(self, idx: np.ndarray) -> None:
+        """Vectorised heat pulses at dot indices ``idx`` (no collateral).
+
+        The pulse, and therefore the mixing rate and Arrhenius factor,
+        is identical for every target dot, so the factor is computed
+        once and applied as one array multiply instead of one
+        ``math.exp`` per dot.
+        """
+        if idx.size == 0:
+            return
+        self.counters["heat"] += int(idx.size)
+        pulse = self.config.pulse
+        temp_c = temperature_at_distance_c(pulse.power_w, 0.0,
+                                           self.config.thermal)
+        rate = self.config.kinetics.mixing_rate(celsius_to_kelvin(temp_c))
+        factor = math.exp(-rate * pulse.duration_s)
+        self._sharpness[idx] *= factor
+        destroyed = idx[self._sharpness[idx] < HEATED_SHARPNESS_THRESHOLD]
+        # no stable perpendicular state survives
+        self._mag[destroyed] = 0
+
+    # -- the electrical-read span engine ---------------------------------------
+
+    def erb_span(self, start: int, end: int, rounds: int = 1) -> np.ndarray:
+        """Vectorised erb over dots [start, end).
+
+        Performs the paper's five-step invert/verify protocol (plus
+        ``rounds - 1`` repeats) as whole-array operations and returns a
+        bool array where True means the dot failed a verification
+        (``"H"``).  Semantics match :meth:`repro.device.bitops.BitOps.erb`
+        per dot: a heated dot escapes with probability
+        ``(1/4)**rounds``, and the mrb/mwb counters advance exactly as
+        the scalar sequence would, including the early exit at the
+        first failed verification read.
+        """
+        if not (0 <= start <= end <= self.geometry.total_dots):
+            raise DotAddressError("dot span out of range")
+        return self._erb_many(np.arange(start, end, dtype=np.int64), rounds)
+
+    def erb_at(self, indices: Sequence[int], rounds: int = 1) -> np.ndarray:
+        """Vectorised erb at (unique) scattered dot ``indices``."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.geometry.total_dots):
+            raise DotAddressError("dot index out of range")
+        return self._erb_many(idx, rounds)
+
+    def _erb_many(self, idx: np.ndarray, rounds: int) -> np.ndarray:
+        if rounds < 1:
+            raise ValueError("erb needs at least one verification round")
+        n = int(idx.size)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        heated = self._sharpness[idx] < HEATED_SHARPNESS_THRESHOLD
+        writable = ~heated
+        if self._k_scale is not None:
+            writable &= self._k_scale[idx] <= self.config.write_field
+        n_verifies = 2 * rounds
+        # Index of the first failed verification read per dot;
+        # n_verifies means every verification passed ("U").
+        fail_at = np.full(n, n_verifies, dtype=np.int64)
+        # A defective (unwritable, unheated) dot fails the very first
+        # verification: the inverse write latches nothing and the
+        # stored bit reads back unchanged.
+        fail_at[~heated & ~writable] = 0
+        n_heated = int(heated.sum())
+        if n_heated:
+            # Every verification read of a heated dot is a coin flip
+            # that matches the expected value with probability 1/2, so
+            # the whole sequence passes with probability (1/4)**rounds.
+            passes = self._rng.integers(
+                0, 2, size=(n_heated, n_verifies), dtype=np.uint8)
+            fails = passes == 0
+            any_fail = fails.any(axis=1)
+            first_fail = np.where(any_fail, fails.argmax(axis=1), n_verifies)
+            fail_at[heated] = first_fail
+        # No physical write is needed: heated and defective dots never
+        # latch a field pulse, and each writable dot's inverse write is
+        # exactly undone by its restore write, so the net magnetisation
+        # is provably unchanged ("the two inversions ensure that the
+        # original magnetic data is restored", Section 3).
+        # Counters: a dot whose first failure is verification v consumed
+        # v+1 inverse/restore writes and 1 + (v+1) reads before the
+        # scalar sequence returns "H"; a passing dot consumed the full
+        # 2*rounds writes and 1 + 2*rounds reads.
+        verifies = np.minimum(fail_at + 1, n_verifies)
+        total_verifies = int(verifies.sum())
+        self.counters["mrb"] += n + total_verifies
+        self.counters["mwb"] += total_verifies
+        return fail_at < n_verifies
 
     # -- statistics -------------------------------------------------------------
 
@@ -303,10 +407,7 @@ class PatternedMedium:
         """Fig 2 state letters ('0'/'1'/'H') for dots [start, end)."""
         if not (0 <= start <= end <= self.geometry.total_dots):
             raise DotAddressError("dot span out of range")
-        out = []
-        for index in range(start, end):
-            if self._sharpness[index] < HEATED_SHARPNESS_THRESHOLD:
-                out.append("H")
-            else:
-                out.append("1" if self._mag[index] > 0 else "0")
-        return out
+        span = slice(start, end)
+        out = np.where(self._mag[span] > 0, "1", "0")
+        out[self._sharpness[span] < HEATED_SHARPNESS_THRESHOLD] = "H"
+        return out.tolist()

@@ -1,0 +1,35 @@
+"""Central switch for the vectorized span-engine fast paths.
+
+The hot electrical paths (erb spans, Manchester coding, CRCs, bulk
+heating) each have two implementations: a scalar *reference* path that
+follows the paper's per-dot protocol literally, and a numpy *span*
+path that performs the same protocol as whole-array operations.  The
+span path is the default; the scalar path stays available so tests can
+assert scalar<->span equivalence and so a reader can always fall back
+to the literal protocol.
+
+Setting the environment variable ``REPRO_SPAN_ENGINE`` to ``0``,
+``false``, ``no``, ``off`` or ``scalar`` before import makes every
+module default to the scalar reference path.  Individual layers can
+also be switched at runtime:
+
+* :class:`repro.device.sero.DeviceConfig` has a ``span_engine`` field;
+* :mod:`repro.crypto.manchester` / :mod:`repro.crypto.crc` expose a
+  module-level ``USE_VECTORIZED`` flag;
+* :meth:`repro.medium.medium.PatternedMedium.heat_span` takes a
+  ``vectorized`` keyword.
+"""
+
+from __future__ import annotations
+
+import os
+
+_FALSEY = ("0", "false", "no", "off", "scalar")
+
+
+def span_engine_default() -> bool:
+    """Whether the vectorized span engine is enabled by default."""
+    value = os.environ.get("REPRO_SPAN_ENGINE")
+    if value is None:
+        return True
+    return value.strip().lower() not in _FALSEY
