@@ -13,13 +13,18 @@ PR's acceptance floor: >= 8x on ``ers_block`` and >= 5x end-to-end on
 ``tests/test_span_engine.py``; this file only measures.)
 """
 
+import json
 import time
+from pathlib import Path
 
 from repro.analysis.report import format_table
 from repro.device.sero import DeviceConfig, SERODevice
 
+REPO_ROOT = Path(__file__).resolve().parents[1]
 PAYLOAD = bytes(range(256)) * 2
 TOTAL_BLOCKS = 32
+FLOORS = {"ers_block (written)": 8.0, "ers_block (virgin)": 8.0,
+          "end-to-end": 5.0}
 
 
 def _device(span: bool) -> SERODevice:
@@ -76,9 +81,19 @@ def test_span_engine_speedups(benchmark, show):
          for r in rows],
         title="span engine — scalar reference vs vectorized wall clock"))
     by_op = {r[0]: r for r in rows}
-    assert by_op["ers_block (written)"][3] >= 8.0
-    assert by_op["ers_block (virgin)"][3] >= 8.0
     e2e_ops = ("heat_line", "verify_line", "scan_lines")
     e2e = sum(by_op[op][1] for op in e2e_ops) / \
         sum(by_op[op][2] for op in e2e_ops)
-    assert e2e >= 5.0
+    payload = {
+        "bench": "span_engine",
+        "rows": [{"operation": r[0], "scalar_ms": round(r[1], 3),
+                  "span_ms": round(r[2], 3), "speedup": round(r[3], 1)}
+                 for r in rows],
+        "end_to_end_speedup": round(e2e, 1),
+        "floors": FLOORS,
+    }
+    (REPO_ROOT / "BENCH_span_engine.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+    assert by_op["ers_block (written)"][3] >= FLOORS["ers_block (written)"]
+    assert by_op["ers_block (virgin)"][3] >= FLOORS["ers_block (virgin)"]
+    assert e2e >= FLOORS["end-to-end"]

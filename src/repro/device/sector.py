@@ -51,11 +51,8 @@ E_PAYLOAD_BYTES = E_CELLS // 8  # 256
 E_MAGIC = 0xE5E0
 
 
-def encode_frame(pba: int, payload: bytes) -> np.ndarray:
-    """Encode a magnetic sector frame for block ``pba``.
-
-    Returns the 4824-element 0/1 dot pattern.
-    """
+def _frame_bytes(pba: int, payload: bytes) -> bytes:
+    """The raw (pre-ECC) frame bytes for block ``pba``."""
     if len(payload) != BLOCK_SIZE:
         raise WriteError(f"payload must be {BLOCK_SIZE} bytes, got {len(payload)}")
     if pba < 0:
@@ -67,7 +64,27 @@ def encode_frame(pba: int, payload: bytes) -> np.ndarray:
     pcrc = crc32(body)
     frame = body + struct.pack(">I", pcrc) + b"\x00" * _PAD_BYTES
     assert len(frame) == FRAME_BYTES
-    return ecc.encode(frame)
+    return frame
+
+
+def encode_frame(pba: int, payload: bytes) -> np.ndarray:
+    """Encode a magnetic sector frame for block ``pba``.
+
+    Returns the 4824-element 0/1 dot pattern.
+    """
+    return ecc.encode(_frame_bytes(pba, payload))
+
+
+def encode_frame_run(first_pba: int, payloads: "list[bytes]") -> np.ndarray:
+    """Encode frames for consecutive blocks starting at ``first_pba``.
+
+    The SECDED code treats every 8-byte word independently, so one ECC
+    pass over the joined frame bytes is bit-identical to per-frame
+    :func:`encode_frame` calls; returns the concatenated dot pattern.
+    """
+    frames = b"".join(_frame_bytes(first_pba + i, payload)
+                      for i, payload in enumerate(payloads))
+    return ecc.encode(frames)
 
 
 @dataclass
@@ -85,18 +102,9 @@ class DecodedFrame:
     corrected_bits: int
 
 
-def decode_frame(bits: np.ndarray, expected_pba: Optional[int] = None) -> DecodedFrame:
-    """Decode a dot pattern back to a sector frame.
-
-    Raises :class:`~repro.errors.ReadError` on ECC/CRC/magic failure or
-    when the header address disagrees with ``expected_pba`` — the check
-    that lets the file system "recognize when data is in the right
-    place" (Section 3).
-    """
-    if len(bits) != FRAME_BITS:
-        raise ReadError(f"frame must be {FRAME_BITS} bits, got {len(bits)}")
-    result = ecc.decode(bits)
-    frame = result.data
+def _parse_frame(frame: bytes, corrected: int,
+                 expected_pba: Optional[int]) -> DecodedFrame:
+    """Validate decoded frame bytes (magic, CRCs, address binding)."""
     magic, pba, _flags = struct.unpack(">HQH", frame[:12])
     (hcrc,) = struct.unpack(">H", frame[12:14])
     if magic != HEADER_MAGIC:
@@ -112,8 +120,40 @@ def decode_frame(bits: np.ndarray, expected_pba: Optional[int] = None) -> Decode
         raise ReadError(
             f"sector address mismatch: header says {pba}, device read "
             f"from {expected_pba} (data is not in the right place)")
-    return DecodedFrame(pba=pba, payload=payload,
-                        corrected_bits=result.corrected)
+    return DecodedFrame(pba=pba, payload=payload, corrected_bits=corrected)
+
+
+def decode_frame(bits: np.ndarray, expected_pba: Optional[int] = None) -> DecodedFrame:
+    """Decode a dot pattern back to a sector frame.
+
+    Raises :class:`~repro.errors.ReadError` on ECC/CRC/magic failure or
+    when the header address disagrees with ``expected_pba`` — the check
+    that lets the file system "recognize when data is in the right
+    place" (Section 3).
+    """
+    if len(bits) != FRAME_BITS:
+        raise ReadError(f"frame must be {FRAME_BITS} bits, got {len(bits)}")
+    result = ecc.decode(bits)
+    return _parse_frame(result.data, result.corrected, expected_pba)
+
+
+def decode_frame_run(bits: np.ndarray, first_pba: int) -> "list[DecodedFrame]":
+    """Decode the dot pattern of a run of consecutive blocks.
+
+    One ECC pass over all frames (codewords are independent 8-byte
+    words), then the per-frame header/CRC/address checks.  Any ECC,
+    framing or address failure raises :class:`~repro.errors.ReadError`,
+    exactly as the first failing per-block :func:`decode_frame` would.
+    Each returned frame's ``corrected_bits`` carries the *run-wide*
+    correction count (the ECC pass is shared).
+    """
+    if len(bits) % FRAME_BITS:
+        raise ReadError(f"run must be a multiple of {FRAME_BITS} bits")
+    result = ecc.decode(bits)
+    count = len(bits) // FRAME_BITS
+    return [_parse_frame(
+        result.data[i * FRAME_BYTES:(i + 1) * FRAME_BYTES],
+        result.corrected, first_pba + i) for i in range(count)]
 
 
 # ---------------------------------------------------------------------------

@@ -51,7 +51,9 @@ from .sector import (
     E_REGION_DOTS,
     ElectricalPayload,
     decode_frame,
+    decode_frame_run,
     encode_frame,
+    encode_frame_run,
 )
 from .scanner import Scanner
 from .timing import CostAccount, TimingModel
@@ -198,7 +200,8 @@ class SERODevice:
             raise WriteError("cannot format: device already has heated lines")
         report = scan_for_defects(self.medium,
                                   tolerance=self.config.defect_tolerance,
-                                  e_region_dots=E_REGION_DOTS)
+                                  e_region_dots=E_REGION_DOTS,
+                                  vectorized=self.config.span_engine)
         self.bad_blocks = set(report.bad_blocks)
         self.fragile_blocks = set(report.fragile_blocks)
 
@@ -261,6 +264,24 @@ class SERODevice:
         bits = self.medium.read_mag_span(start, end)
         return decode_frame(bits, expected_pba=pba).payload
 
+    def _mrs_run(self, first: int, count: int) -> List[bytes]:
+        """mrs a run of ``count`` consecutive blocks in one span read.
+
+        The sled walks the run exactly as ``count`` sequential ``_mrs``
+        calls would (same seeks, same transfer charge), but the medium
+        is read in a single span and decoded per block afterwards —
+        one numpy gather instead of ``count``.
+        """
+        if count <= 0:
+            return []
+        start_dot, _ = self.geometry.block_span(first)
+        _, end_dot = self.geometry.block_span(first + count - 1)
+        for pba in range(first, first + count):
+            self.scanner.seek_to_block(pba)  # continuations charge 0
+        self.scanner.transfer(end_dot - start_dot, "mrb")
+        bits = self.medium.read_mag_span(start_dot, end_dot)
+        return [frame.payload for frame in decode_frame_run(bits, first)]
+
     def write_block(self, pba: int, payload: bytes) -> None:
         """Magnetic write sector (mws).
 
@@ -280,6 +301,35 @@ class SERODevice:
         self.scanner.seek_to_block(pba)
         self.scanner.transfer(len(bits), "mwb")
         self.medium.write_mag_span(start, bits)
+
+    def write_block_run(self, first: int, payloads: Sequence[bytes]) -> None:
+        """mws a run of consecutive blocks starting at ``first``.
+
+        Driver policy checks are applied per block; on the span engine
+        the encoded frames are concatenated and written in a single
+        span (the seek/transfer charges match the sequential writes —
+        a run continuation costs no seek).  The scalar path falls back
+        to per-block ``write_block``.
+        """
+        count = len(payloads)
+        if count == 0:
+            return
+        for offset in range(count):
+            pba = first + offset
+            self._check_pba(pba)
+            if self.config.enforce_write_protect and self.is_block_heated(pba):
+                raise HeatedBlockError(
+                    f"block {pba} belongs to a heated line and is read-only")
+        if not self.config.span_engine:
+            for offset, payload in enumerate(payloads):
+                self._mws(first + offset, payload)
+            return
+        bits = encode_frame_run(first, list(payloads))
+        start_dot, _ = self.geometry.block_span(first)
+        for pba in range(first, first + count):
+            self.scanner.seek_to_block(pba)  # continuations charge 0
+        self.scanner.transfer(len(bits), "mwb")
+        self.medium.write_mag_span(start_dot, bits)
 
     # -- electrical sector operations ----------------------------------------------
 
@@ -395,6 +445,10 @@ class SERODevice:
         Returns ``(payload_or_None, tampered_cells, looks_virgin)``.
         """
         codes = self._ers_codes(pba)
+        return self._decode_codes(codes)
+
+    @staticmethod
+    def _decode_codes(codes: np.ndarray) -> Tuple[Optional[bytes], List[int], bool]:
         tampered = np.flatnonzero(codes == _CODE_TAMPERED).tolist()
         unused = codes == _CODE_UNUSED
         if unused.all():
@@ -402,6 +456,48 @@ class SERODevice:
         if tampered or unused.any():
             return None, tampered, False
         return np.packbits(codes == _CODE_ONE).tobytes(), tampered, False
+
+    def _ers_codes_many(self, pbas: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched ``_ers_codes`` over many blocks.
+
+        Reads every block's electrical region in one bulk erb gather
+        and runs the unused-cell retry policy as shared waves across
+        all blocks (each block keeps its own ``ers_cell_retries``
+        budget).  Charges *nothing*: returns an ``(n, E_CELLS)`` int8
+        code matrix plus the per-block erb operation counts so the
+        caller can charge the scanner in protocol order.
+        """
+        n = len(pbas)
+        if n == 0:
+            return np.empty((0, E_CELLS), dtype=np.int8), np.zeros(0, np.int64)
+        starts = np.empty(n, dtype=np.int64)
+        for i, pba in enumerate(pbas):
+            self._check_pba(pba)
+            starts[i] = self.geometry.block_span(pba)[0]
+        rounds = self.config.erb_rounds
+        dot_idx = (starts[:, None]
+                   + np.arange(E_REGION_DOTS, dtype=np.int64)).ravel()
+        heated = self.bitops.erb_at(dot_idx, rounds).reshape(n, E_REGION_DOTS)
+        first = heated[:, 0::2].copy()
+        second = heated[:, 1::2].copy()
+        erb_ops = np.full(n, E_REGION_DOTS, dtype=np.int64)
+        unresolved = ~first & ~second
+        for _ in range(self.config.ers_cell_retries):
+            rows, cells = np.nonzero(unresolved)
+            if rows.size == 0:
+                break
+            d0 = starts[rows] + 2 * cells
+            idx = np.empty(2 * rows.size, dtype=np.int64)
+            idx[0::2] = d0
+            idx[1::2] = d0 + 1
+            h = self.bitops.erb_at(idx, rounds)
+            np.add.at(erb_ops, rows, 2)
+            h0 = h[0::2]
+            h1 = h[1::2]
+            first[rows, cells] |= h0
+            second[rows, cells] |= h1
+            unresolved[rows, cells] = ~(h0 | h1)
+        return (first.astype(np.int8) << 1) | second.astype(np.int8), erb_ops
 
     # -- the heat operation -----------------------------------------------------------
 
@@ -446,7 +542,7 @@ class SERODevice:
                     f"line at {existing.start} (+{existing.n_blocks})")
 
         addresses = self._line_data_addresses(start, n_blocks)
-        blocks = [self._mrs(pba) for pba in addresses]
+        blocks = self._read_line_blocks(addresses)
         digest = line_hash(addresses, blocks,
                            include_addresses=self.config.include_addresses_in_hash)
         payload = ElectricalPayload(
@@ -508,13 +604,26 @@ class SERODevice:
             return VerificationResult(status=VerifyStatus.NOT_A_LINE, start=start)
         if meta is None:
             return VerificationResult(status=VerifyStatus.UNREADABLE, start=start)
+        return self._verify_magnetic(start, meta)
+
+    def _read_line_blocks(self, addresses: List[int]) -> List[bytes]:
+        """mrs a line's (consecutive) data blocks, as one span run on
+        the span engine."""
+        if self.config.span_engine and addresses:
+            return self._mrs_run(addresses[0], len(addresses))
+        return [self._mrs(pba) for pba in addresses]
+
+    def _verify_magnetic(self, start: int,
+                         meta: ElectricalPayload) -> VerificationResult:
+        """Magnetic half of line verification: recompute and compare
+        the line hash recorded in ``meta``."""
         n_blocks = 1 << meta.n_blocks_log2
         if meta.line_start != start:
             return VerificationResult(status=VerifyStatus.HASH_MISMATCH,
                                       start=start, stored_hash=meta.line_hash)
         addresses = self._line_data_addresses(start, n_blocks)
         try:
-            blocks = [self._mrs(pba) for pba in addresses]
+            blocks = self._read_line_blocks(addresses)
         except ReadError:
             # a data block no longer decodes: overwritten garbage,
             # electrically destroyed dots, or a bulk erase
@@ -530,9 +639,58 @@ class SERODevice:
                                   stored_hash=meta.line_hash,
                                   computed_hash=digest)
 
+    def verify_lines(self, starts: Sequence[int]) -> List[VerificationResult]:
+        """Batched :meth:`verify_line` over many line starts.
+
+        The audit hot path: the ``fsck``/``fossil``/``venti``/audit-log
+        layers all verify every sealed line of an arena.  On the span
+        engine the electrical reads of *all* lines run as one bulk erb
+        gather with shared retry waves (:meth:`_ers_codes_many`); lines
+        whose first electrical read comes back inconsistent (partial
+        cells or a payload CRC failure) fall back to the per-line
+        retrying :meth:`verify_line`, preserving its semantics.
+        Verdicts are returned in input order.
+
+        Scanner charges replay the sequential per-line protocol order
+        (seek + erb transfer, then the data-block reads), so the
+        simulated device time matches a ``verify_line`` loop up to the
+        per-pass randomness of the heated-cell retry counts.
+        """
+        starts = [int(s) for s in starts]
+        if not self.config.span_engine or len(starts) <= 1:
+            return [self.verify_line(start) for start in starts]
+        codes, erb_ops = self._ers_codes_many(starts)
+        per_bit = self.timing.t_erb_for(self.config.erb_rounds)
+        results: List[VerificationResult] = []
+        for i, start in enumerate(starts):
+            self.scanner.seek_to_block(start)
+            self.scanner.transfer(int(erb_ops[i]), "erb", per_bit=per_bit)
+            payload, tampered, virgin = self._decode_codes(codes[i])
+            if tampered:
+                results.append(VerificationResult(
+                    status=VerifyStatus.CELL_TAMPERED, start=start,
+                    tampered_cells=tampered))
+                continue
+            if virgin:
+                results.append(VerificationResult(
+                    status=VerifyStatus.NOT_A_LINE, start=start))
+                continue
+            if payload is None:
+                # incomplete cells: re-read with the full retry policy
+                results.append(self.verify_line(start))
+                continue
+            try:
+                meta = ElectricalPayload.unpack(payload)
+            except ReadError:
+                # CRC failed: verify_line re-reads before concluding
+                results.append(self.verify_line(start))
+                continue
+            results.append(self._verify_magnetic(start, meta))
+        return results
+
     def verify_all(self) -> List[VerificationResult]:
-        """Verify every registered line (audit sweep)."""
-        return [self.verify_line(rec.start) for rec in self.heated_lines]
+        """Verify every registered line (audit sweep, batched)."""
+        return self.verify_lines([rec.start for rec in self.heated_lines])
 
     # -- discovery (fsck support) -----------------------------------------------------------
 

@@ -81,8 +81,8 @@ def deep_scan(device: SERODevice) -> DeepScanReport:
     report = DeepScanReport(blocks_scanned=device.total_blocks)
     elapsed_before = device.account.elapsed
     records = device.scan_lines()
-    for record in records:
-        verification = device.verify_line(record.start)
+    verifications = device.verify_lines([rec.start for rec in records])
+    for record, verification in zip(records, verifications):
         if verification.tamper_evident:
             report.tampered_lines.append(verification)
         inode_pba = record.start + 1
@@ -161,8 +161,9 @@ def fsck(fs: "SeroFS", verify_lines: bool = True) -> FsckReport:
                 report.errors.append(
                     f"inode {ino}: block {pba} is {state.value}")
     if verify_lines:
-        for record in fs.device.heated_lines:
-            result = fs.device.verify_line(record.start)
+        records = fs.device.heated_lines
+        results = fs.device.verify_lines([rec.start for rec in records])
+        for record, result in zip(records, results):
             report.heated_verifications[record.start] = result
             if result.tamper_evident:
                 report.errors.append(

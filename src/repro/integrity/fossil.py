@@ -186,9 +186,15 @@ class FossilizedIndex:
         """Total index nodes allocated."""
         return len(self._nodes)
 
+    def audit(self) -> Dict[int, object]:
+        """Verify every sealed node's heated line in one batched sweep
+        (:meth:`~repro.device.sero.SERODevice.verify_lines`)."""
+        node_ids = sorted(self.sealed_nodes)
+        return dict(zip(node_ids, self.device.verify_lines(node_ids)))
+
     def verify_sealed(self) -> Dict[int, object]:
         """Verify every sealed node's heated line."""
-        return {nid: self.device.verify_line(nid) for nid in self.sealed_nodes}
+        return self.audit()
 
     def rebuild_from_device(self) -> int:
         """Re-scan the arena, rebuilding the in-memory maps (recovery

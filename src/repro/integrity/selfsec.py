@@ -100,9 +100,12 @@ class AuditLog:
         return out
 
     def verify(self) -> Dict[str, VerificationResult]:
-        """Verify every sealed chunk's heated line."""
-        return {name: self.fs.device.verify_line(start)
-                for name, start in self._sealed_chunks}
+        """Verify every sealed chunk's heated line (batched through
+        :meth:`~repro.device.sero.SERODevice.verify_lines`)."""
+        results = self.fs.device.verify_lines(
+            [start for _name, start in self._sealed_chunks])
+        return {name: result
+                for (name, _start), result in zip(self._sealed_chunks, results)}
 
     def is_history_intact(self) -> bool:
         """True when every sealed chunk verifies INTACT."""

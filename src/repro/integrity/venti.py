@@ -27,8 +27,9 @@ from typing import Dict, List, Optional, Tuple
 from ..crypto.hashutil import HASH_SIZE
 from ..crypto.sha256 import sha256_digest
 from ..device.sector import BLOCK_SIZE
-from ..device.sero import SERODevice
+from ..device.sero import SERODevice, VerificationResult
 from ..errors import IntegrityError, ReadError, UnknownScoreError
+from ..vectorize import span_engine_default
 
 _NODE_MAGIC = b"VN"
 _TYPE_LEAF = 1
@@ -62,6 +63,7 @@ class VentiStore:
     device: SERODevice
     arena_start: int
     arena_blocks: int
+    batched: bool = field(default_factory=span_engine_default)
     _index: Dict[bytes, Tuple[int, int]] = field(default_factory=dict)
     _next: int = 0
     _sealed: Dict[bytes, int] = field(default_factory=dict)
@@ -89,10 +91,8 @@ class VentiStore:
         score = node_score(ntype, payload)
         if score in self._index:
             return score  # dedup: same content, same address
-        block = struct.pack(_HEAD, _NODE_MAGIC, ntype, len(payload)) + payload
-        block += b"\x00" * (BLOCK_SIZE - len(block))
         pba = self._alloc()
-        self.device.write_block(pba, block)
+        self.device.write_block(pba, self._pack_node(ntype, payload))
         self._index[score] = (pba, ntype)
         return score
 
@@ -124,11 +124,53 @@ class VentiStore:
                 f"score mismatch for {score.hex()[:16]}: evidence of tampering")
         return payload
 
+    def _pack_node(self, ntype: int, payload: bytes) -> bytes:
+        block = struct.pack(_HEAD, _NODE_MAGIC, ntype, len(payload)) + payload
+        return block + b"\x00" * (BLOCK_SIZE - len(block))
+
+    def _write_nodes(self, ntype: int, payloads: List[bytes]) -> List[bytes]:
+        """Level-at-a-time node write: score every payload of a tree
+        level in one pass, dedup against the store, and write all new
+        node blocks as one contiguous block run.
+
+        Allocation order matches the sequential :meth:`_write_node`
+        loop exactly, so the resulting scores, index layout and arena
+        occupancy are byte-identical.
+        """
+        for payload in payloads:
+            if len(payload) > NODE_PAYLOAD:
+                raise IntegrityError(
+                    f"node payload too large: {len(payload)} > {NODE_PAYLOAD}")
+        scores = [node_score(ntype, p) for p in payloads]
+        new: List[Tuple[bytes, bytes]] = []
+        batch_seen = set()
+        for score, payload in zip(scores, payloads):
+            if score in self._index or score in batch_seen:
+                continue  # dedup: same content, same address
+            batch_seen.add(score)
+            new.append((score, payload))
+        if new:
+            first = self._alloc(len(new))
+            self.device.write_block_run(
+                first, [self._pack_node(ntype, p) for _s, p in new])
+            for offset, (score, _payload) in enumerate(new):
+                self._index[score] = (first + offset, ntype)
+        return scores
+
     # -- hash trees --------------------------------------------------------------
 
     def put_stream(self, data: bytes) -> bytes:
         """Store arbitrary-size ``data`` as a hash tree; returns the
-        root score."""
+        root score.
+
+        With ``batched`` (the default) each tree level — leaves, then
+        every pointer level — is hashed and written in one
+        :meth:`_write_nodes` pass over a preassembled buffer; the
+        sequential node-at-a-time build remains as the reference path
+        and produces byte-identical scores and layout.
+        """
+        if self.batched:
+            return self._put_stream_batched(data)
         leaves: List[bytes] = []
         if not data:
             leaves.append(self.put(b""))
@@ -142,6 +184,22 @@ class VentiStore:
                 payload = b"".join(group)
                 parents.append(self._write_node(_TYPE_POINTER, payload))
             level = parents
+        return level[0]
+
+    def _put_stream_batched(self, data: bytes) -> bytes:
+        """Level-at-a-time hash-tree build (see :meth:`put_stream`)."""
+        if data:
+            payloads = [data[offset:offset + NODE_PAYLOAD]
+                        for offset in range(0, len(data), NODE_PAYLOAD)]
+        else:
+            payloads = [b""]
+        level = self._write_nodes(_TYPE_LEAF, payloads)
+        while len(level) > 1:
+            buffer = b"".join(level)
+            parent_payloads = [
+                buffer[i * HASH_SIZE:(i + FANOUT) * HASH_SIZE]
+                for i in range(0, len(level), FANOUT)]
+            level = self._write_nodes(_TYPE_POINTER, parent_payloads)
         return level[0]
 
     def read_stream(self, root: bytes, verify: bool = True) -> bytes:
@@ -194,8 +252,7 @@ class VentiStore:
         if score in self._sealed:
             return self._sealed[score]
         ntype, payload = self._read_node(score)
-        block = struct.pack(_HEAD, _NODE_MAGIC, ntype, len(payload)) + payload
-        block += b"\x00" * (BLOCK_SIZE - len(block))
+        block = self._pack_node(ntype, payload)
         start = self._alloc(2, aligned=True)
         self.device.write_block(start + 1, block)
         self.device.heat_line(start, 2, timestamp=timestamp)
@@ -210,6 +267,14 @@ class VentiStore:
         if start is None:
             raise IntegrityError(f"score {score.hex()[:16]} is not sealed")
         return self.device.verify_line(start)
+
+    def audit(self) -> Dict[bytes, VerificationResult]:
+        """Verify every sealed node's heated line in one batched sweep
+        (:meth:`~repro.device.sero.SERODevice.verify_lines`)."""
+        scores = sorted(self._sealed, key=lambda s: self._sealed[s])
+        results = self.device.verify_lines(
+            [self._sealed[score] for score in scores])
+        return dict(zip(scores, results))
 
     # -- snapshots ------------------------------------------------------------------
 

@@ -7,13 +7,22 @@ because a heated block should not be misinterpreted as a bad block" —
 so the defect scan below runs at *format time*, before any line can
 have been heated, and its output (the bad-block map) is stored by the
 device, never inferred later from read failures alone.
+
+The scan has two implementations sharing the exact same medium I/O
+sequence (per-block write/readback spans): a scalar *reference* that
+classifies dots one at a time, and a vectorized path that records the
+readbacks into whole-medium arrays and classifies everything with a
+handful of numpy passes.  ``REPRO_SPAN_ENGINE`` selects the default.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Set
+from typing import List, Optional, Set
 
+import numpy as np
+
+from ..vectorize import span_engine_default
 from .medium import PatternedMedium
 
 
@@ -48,7 +57,8 @@ class DefectScanReport:
 
 def scan_for_defects(medium: PatternedMedium, tolerance: int = 4,
                      e_region_dots: int = 4096,
-                     ecc_word_bits: int = 72) -> DefectScanReport:
+                     ecc_word_bits: int = 72,
+                     vectorized: Optional[bool] = None) -> DefectScanReport:
     """Write/readback scan of the whole medium.
 
     Writes a 10-pattern and then an 01-pattern to every block span and
@@ -63,7 +73,64 @@ def scan_for_defects(medium: PatternedMedium, tolerance: int = 4,
 
     The scan is destructive of data (it is a format-time operation) and
     restores an erased (all-zero) state afterwards.
+
+    With ``vectorized`` left at None the classification runs as
+    whole-medium numpy passes (unless ``REPRO_SPAN_ENGINE`` disables
+    it); both paths issue an identical per-block span I/O sequence, so
+    their counters and reports agree exactly.
     """
+    if vectorized is None:
+        vectorized = span_engine_default()
+    geometry = medium.geometry
+    dpb = geometry.dots_per_block
+    # The test patterns depend only on the (uniform) span length, so
+    # they are built once, not once per block.
+    pattern_a = np.arange(dpb, dtype=np.int8) % 2
+    pattern_b = (1 - pattern_a).astype(np.int8)
+    erased = np.zeros(dpb, dtype=np.int8)
+    if not vectorized:
+        return _scan_scalar(medium, tolerance, e_region_dots, ecc_word_bits,
+                            pattern_a, pattern_b, erased)
+
+    n_blocks = geometry.total_blocks
+    mismatch = np.empty(n_blocks * dpb, dtype=bool)
+    for pba in range(n_blocks):
+        start, end = geometry.block_span(pba)
+        medium.write_mag_span(start, pattern_a)
+        read_a = medium.read_mag_span(start, end)
+        medium.write_mag_span(start, pattern_b)
+        read_b = medium.read_mag_span(start, end)
+        mismatch[start:end] = (read_a != pattern_a) | (read_b != pattern_b)
+        medium.write_mag_span(start, erased)
+
+    counts = mismatch.astype(np.int64)
+    block_bounds = np.arange(n_blocks, dtype=np.int64) * dpb
+    failures = np.add.reduceat(counts, block_bounds)
+    # Fragile: any defect among the first e_region_dots of its block.
+    offsets = np.arange(counts.size, dtype=np.int64) % dpb
+    in_e_region = counts * (offsets < e_region_dots)
+    fragile_counts = np.add.reduceat(in_e_region, block_bounds)
+    # Double defects inside one SECDED codeword.
+    words_per_block = -(-dpb // ecc_word_bits)
+    word_bounds = (block_bounds[:, None]
+                   + np.arange(words_per_block, dtype=np.int64)
+                   * ecc_word_bits).ravel()
+    word_counts = np.add.reduceat(counts, word_bounds)
+    double_word = (word_counts.reshape(n_blocks, words_per_block) >= 2
+                   ).any(axis=1)
+    bad_mask = (failures > tolerance) | double_word
+    return DefectScanReport(
+        bad_blocks=set(np.flatnonzero(bad_mask).tolist()),
+        fragile_blocks=set(np.flatnonzero(fragile_counts > 0).tolist()),
+        defective_dots=int(counts.sum()),
+        scanned_blocks=n_blocks)
+
+
+def _scan_scalar(medium: PatternedMedium, tolerance: int,
+                 e_region_dots: int, ecc_word_bits: int,
+                 pattern_a: np.ndarray, pattern_b: np.ndarray,
+                 erased: np.ndarray) -> DefectScanReport:
+    """Scalar reference scan: classify dot by dot, block by block."""
     geometry = medium.geometry
     bad: Set[int] = set()
     fragile: Set[int] = set()
@@ -71,8 +138,6 @@ def scan_for_defects(medium: PatternedMedium, tolerance: int = 4,
     for pba in range(geometry.total_blocks):
         start, end = geometry.block_span(pba)
         n = end - start
-        pattern_a = [i % 2 for i in range(n)]
-        pattern_b = [1 - b for b in pattern_a]
         failures = 0
         word_counts: dict = {}
         medium.write_mag_span(start, pattern_a)
@@ -92,14 +157,18 @@ def scan_for_defects(medium: PatternedMedium, tolerance: int = 4,
         defective_total += failures
         if failures > tolerance or any(c >= 2 for c in word_counts.values()):
             bad.add(pba)
-        medium.write_mag_span(start, [0] * n)
+        medium.write_mag_span(start, erased)
     return DefectScanReport(bad_blocks=bad, fragile_blocks=fragile,
                             defective_dots=defective_total,
                             scanned_blocks=geometry.total_blocks)
 
 
 def defective_dots_in_block(medium: PatternedMedium, pba: int) -> List[int]:
-    """Ground-truth list of unwritable (non-heated) dots in a block."""
+    """Ground-truth list of unwritable (non-heated) dots in a block.
+
+    One pass over the medium's snapshot arrays
+    (:meth:`~repro.medium.medium.PatternedMedium.defect_map`) instead
+    of per-index ``is_writable``/``is_heated`` calls.
+    """
     start, end = medium.geometry.block_span(pba)
-    return [i for i in range(start, end)
-            if not medium.is_writable(i) and not medium.is_heated(i)]
+    return (start + np.flatnonzero(medium.defect_map(start, end))).tolist()

@@ -240,6 +240,24 @@ class PatternedMedium:
         """Number of destroyed dots on the whole medium."""
         return int((self._sharpness < HEATED_SHARPNESS_THRESHOLD).sum())
 
+    def defect_map(self, start: int, end: int) -> np.ndarray:
+        """Ground-truth fabrication-defect map for dots [start, end).
+
+        True where a dot is unwritable (its switching field exceeds the
+        available write field) but *not* heated — the distinction the
+        format-time scan must draw.  Like :meth:`image_heated` this is
+        a forensic/diagnostic capability, one whole-array pass over the
+        snapshot state instead of per-dot ``is_writable``/``is_heated``
+        calls.
+        """
+        if not (0 <= start <= end <= self.geometry.total_dots):
+            raise DotAddressError("dot span out of range")
+        span = slice(start, end)
+        healthy = self._sharpness[span] >= HEATED_SHARPNESS_THRESHOLD
+        if self._k_scale is None:
+            return np.zeros(end - start, dtype=bool)
+        return healthy & (self._k_scale[span] > self.config.write_field)
+
     def sharpness_of(self, index: int) -> float:
         """Ground-truth interface sharpness of one dot (diagnostics)."""
         self._check(index)
@@ -281,7 +299,8 @@ class PatternedMedium:
         if self._k_scale is not None:
             writable &= self._k_scale[span] <= self.config.write_field
         target = np.where(arr > 0, 1, -1).astype(np.int8)
-        self._mag[span] = np.where(writable, target, self._mag[span])
+        # in-place masked store: the unwritable dots keep their state
+        np.copyto(self._mag[span], target, where=writable)
 
     def heat_span(self, start: int, end: int,
                   pattern: Optional[Sequence[bool]] = None,

@@ -19,6 +19,7 @@ from .anisotropy import AnisotropyModel, calibrated_model, shape_anisotropy
 from .annealing import (
     DEFAULT_KINETICS,
     AnnealingKinetics,
+    FilmEnsemble,
     FilmState,
     anneal,
     anneal_series,
@@ -44,8 +45,21 @@ from .thermal import (
     power_for_temperature,
     safe_pitch,
 )
-from .torque import TorqueMeasurement, measure_anisotropy, torque_curve
-from .xrd import XRDScan, bragg_two_theta, high_angle_scan, low_angle_scan
+from .torque import (
+    TorqueMeasurement,
+    measure_anisotropy,
+    measure_anisotropy_batch,
+    torque_curve,
+)
+from .xrd import (
+    XRDScan,
+    XRDScanSet,
+    bragg_two_theta,
+    high_angle_scan,
+    high_angle_scan_set,
+    low_angle_scan,
+    low_angle_scan_set,
+)
 
 __all__ = [
     "MultilayerStack",
@@ -59,17 +73,22 @@ __all__ = [
     "shape_anisotropy",
     "AnnealingKinetics",
     "DEFAULT_KINETICS",
+    "FilmEnsemble",
     "FilmState",
     "anneal",
     "anneal_series",
     "destruction_temperature",
     "TorqueMeasurement",
     "measure_anisotropy",
+    "measure_anisotropy_batch",
     "torque_curve",
     "XRDScan",
+    "XRDScanSet",
     "bragg_two_theta",
     "low_angle_scan",
     "high_angle_scan",
+    "high_angle_scan_set",
+    "low_angle_scan_set",
     "ThermalParameters",
     "DEFAULT_THERMAL",
     "HeatPulse",

@@ -111,6 +111,25 @@ class AnisotropyModel:
         k_volume = self.stack.k_v
         return multilayer_fraction * (k_interface + k_volume) - self.demagnetizing_term()
 
+    def k_eff_array(self, sharpness, crystalline_fraction=0.0):
+        """Vectorised :meth:`k_eff` over sample arrays.
+
+        Evaluates a whole :class:`~repro.physics.annealing.FilmEnsemble`
+        (or any broadcastable pair of arrays) in one array expression
+        instead of one Python call per sample.
+        """
+        import numpy as np
+
+        s = np.asarray(sharpness, dtype=float)
+        cf = np.asarray(crystalline_fraction, dtype=float)
+        if np.any((s < 0.0) | (s > 1.0)):
+            raise ValueError("interface sharpness must lie in [0, 1]")
+        if np.any((cf < 0.0) | (cf > 1.0)):
+            raise ValueError("crystalline fraction must lie in [0, 1]")
+        k_interface = s * (2.0 * self.stack.k_s / self.stack.t_co)
+        return (1.0 - cf) * (k_interface + self.stack.k_v) \
+            - self.demagnetizing_term()
+
     def is_perpendicular(self, sharpness: float = 1.0,
                          crystalline_fraction: float = 0.0) -> bool:
         """True when the easy axis is out of plane (K_eff > 0)."""

@@ -22,9 +22,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
 
 from ..units import KB, celsius_to_kelvin
+from ..vectorize import span_engine_default
 
 EV = 1.602176634e-19
 
@@ -114,12 +117,120 @@ def anneal(state: FilmState, temperature_c: float, duration_s: float,
     return state
 
 
+@dataclass
+class FilmEnsemble:
+    """Struct-of-arrays microstructure of N independent film samples.
+
+    The array-native counterpart of :class:`FilmState` for the Fig 7/8/9
+    sweeps: instead of annealing one ``FilmState`` per temperature point
+    in a Python loop, a whole temperature grid anneals in a handful of
+    whole-array operations.
+
+    Attributes:
+        sharpness: per-sample interface sharpness in [0, 1].
+        crystalline_fraction: per-sample fct CoPt fraction.
+        thermal_history: list of (temperatures_k, duration_s) steps
+            applied to the ensemble; ``temperatures_k`` is a scalar
+            (same for every sample) or a per-sample array.
+    """
+
+    sharpness: np.ndarray
+    crystalline_fraction: np.ndarray
+    thermal_history: List = field(default_factory=list)
+
+    @classmethod
+    def fresh(cls, n_samples: int) -> "FilmEnsemble":
+        """N as-grown samples (sharpness 1, nothing crystallised)."""
+        if n_samples < 0:
+            raise ValueError("sample count must be non-negative")
+        return cls(sharpness=np.ones(n_samples, dtype=float),
+                   crystalline_fraction=np.zeros(n_samples, dtype=float))
+
+    def __post_init__(self) -> None:
+        self.sharpness = np.asarray(self.sharpness, dtype=float)
+        self.crystalline_fraction = np.asarray(self.crystalline_fraction,
+                                               dtype=float)
+        if self.sharpness.shape != self.crystalline_fraction.shape:
+            raise ValueError("ensemble arrays must have matching shapes")
+
+    def __len__(self) -> int:
+        return int(self.sharpness.size)
+
+    @property
+    def is_destroyed(self) -> np.ndarray:
+        """Per-sample destroyed flag (< 5% interface left)."""
+        return self.sharpness < 0.05
+
+    def anneal(self, temperatures_c: Union[float, Sequence[float]],
+               duration_s: float = 1800.0,
+               kinetics: AnnealingKinetics = DEFAULT_KINETICS) -> "FilmEnsemble":
+        """Isothermal anneal of every sample, in place; returns self.
+
+        ``temperatures_c`` may be a scalar (every sample sees the same
+        anneal) or one temperature per sample (the Fig 7 protocol).
+        The kinetics are exactly :func:`anneal`'s, evaluated as array
+        expressions: ``s -> s * exp(-k_mix(T) * t)`` and the JMA
+        crystallisation step on the mixed fraction.
+        """
+        if duration_s < 0:
+            raise ValueError("anneal duration must be non-negative")
+        temps_c = np.asarray(temperatures_c, dtype=float)
+        if temps_c.ndim not in (0, 1) or \
+                (temps_c.ndim == 1 and temps_c.size != len(self)):
+            raise ValueError(
+                "temperatures must be a scalar or one per sample")
+        temps_k = temps_c + 273.15
+        if np.any(temps_k <= 0):
+            raise ValueError("temperature must be positive kelvin")
+        k_mix = kinetics.mixing_prefactor * np.exp(
+            -kinetics.mixing_ea / (KB * temps_k))
+        self.sharpness *= np.exp(-k_mix * duration_s)
+        k_cry = kinetics.crystallization_prefactor * np.exp(
+            -kinetics.crystallization_ea / (KB * temps_k))
+        mixed = 1.0 - self.sharpness
+        growth = 1.0 - np.exp(-k_cry * duration_s)
+        self.crystalline_fraction += \
+            (mixed - self.crystalline_fraction) * growth
+        np.clip(self.crystalline_fraction, 0.0, 1.0,
+                out=self.crystalline_fraction)
+        self.thermal_history.append((temps_k, duration_s))
+        return self
+
+    def state(self, i: int) -> FilmState:
+        """Snapshot of sample ``i`` as a scalar :class:`FilmState`."""
+        history = []
+        for temps_k, duration in self.thermal_history:
+            t_k = float(temps_k[i]) if np.ndim(temps_k) else float(temps_k)
+            history.append((t_k, duration))
+        return FilmState(sharpness=float(self.sharpness[i]),
+                         crystalline_fraction=float(
+                             self.crystalline_fraction[i]),
+                         thermal_history=history)
+
+    def states(self) -> List[FilmState]:
+        """All samples as scalar :class:`FilmState` snapshots."""
+        return [self.state(i) for i in range(len(self))]
+
+
 def anneal_series(temperatures_c: Sequence[float], duration_s: float = 1800.0,
-                  kinetics: AnnealingKinetics = DEFAULT_KINETICS) -> List[FilmState]:
+                  kinetics: AnnealingKinetics = DEFAULT_KINETICS,
+                  vectorized: Optional[bool] = None) -> List[FilmState]:
     """Anneal one fresh sample per temperature (the Fig 7 protocol:
-    "samples subjected to six different temperatures")."""
+    "samples subjected to six different temperatures").
+
+    With ``vectorized`` left at None the whole series anneals as one
+    :class:`FilmEnsemble` pass (unless ``REPRO_SPAN_ENGINE`` disables
+    it); the scalar loop remains as the reference path.
+    """
+    if vectorized is None:
+        vectorized = span_engine_default()
+    temps = list(temperatures_c)
+    if vectorized:
+        ensemble = FilmEnsemble.fresh(len(temps))
+        ensemble.anneal(temps, duration_s, kinetics)
+        return ensemble.states()
     samples = []
-    for t_c in temperatures_c:
+    for t_c in temps:
         sample = FilmState()
         anneal(sample, t_c, duration_s, kinetics)
         samples.append(sample)
@@ -128,13 +239,21 @@ def anneal_series(temperatures_c: Sequence[float], duration_s: float = 1800.0,
 
 def destruction_temperature(kinetics: AnnealingKinetics = DEFAULT_KINETICS,
                             duration_s: float = 1800.0,
-                            threshold: float = 0.05) -> float:
+                            threshold: float = 0.05):
     """Lowest temperature [degC] whose anneal drives sharpness below
     ``threshold`` — i.e. the minimum usable heat-operation temperature.
 
-    Solved analytically from ``exp(-k(T) t) = threshold``.
+    Solved analytically from ``exp(-k(T) t) = threshold``.  Accepts a
+    scalar ``duration_s``/``threshold`` (returns a float) or arrays
+    (returns the broadcast array), so whole duration sweeps evaluate in
+    one pass.
     """
-    needed_rate = -math.log(threshold) / duration_s
+    duration = np.asarray(duration_s, dtype=float)
+    thresh = np.asarray(threshold, dtype=float)
+    needed_rate = -np.log(thresh) / duration
     t_kelvin = kinetics.mixing_ea / (
-        KB * math.log(kinetics.mixing_prefactor / needed_rate))
-    return t_kelvin - 273.15
+        KB * np.log(kinetics.mixing_prefactor / needed_rate))
+    out = t_kelvin - 273.15
+    if out.ndim == 0:
+        return float(out)
+    return out

@@ -30,7 +30,7 @@ from typing import Sequence
 import numpy as np
 
 from ..units import CU_KALPHA_WAVELENGTH, NM
-from .annealing import FilmState
+from .annealing import FilmEnsemble, FilmState
 from .constants import (
     CO_FCC_111_D_SPACING,
     COPT_111_D_SPACING,
@@ -182,6 +182,99 @@ def high_angle_scan(state: FilmState = None,
         intensity += _gaussian_peak(angles, center, fwhm, height)
 
     return XRDScan(two_theta_deg=angles, intensity=intensity)
+
+
+@dataclass
+class XRDScanSet:
+    """A batch of diffraction scans sharing one abscissa.
+
+    Attributes:
+        two_theta_deg: common scan abscissa [degrees], shape
+            ``(n_angles,)``.
+        intensity: per-state intensities, shape ``(n_states, n_angles)``.
+    """
+
+    two_theta_deg: np.ndarray
+    intensity: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.intensity.shape[0])
+
+    def scan(self, i: int) -> XRDScan:
+        """State ``i``'s scan as a scalar :class:`XRDScan`."""
+        return XRDScan(two_theta_deg=self.two_theta_deg,
+                       intensity=self.intensity[i])
+
+    def scans(self) -> "list[XRDScan]":
+        """All states as scalar :class:`XRDScan` objects."""
+        return [self.scan(i) for i in range(len(self))]
+
+
+def low_angle_scan_set(ensemble: FilmEnsemble,
+                       stack: MultilayerStack = None,
+                       two_theta_deg: Sequence[float] = None,
+                       wavelength: float = CU_KALPHA_WAVELENGTH) -> XRDScanSet:
+    """Batched Fig 8 low-angle scans of a whole :class:`FilmEnsemble`.
+
+    The off-specular modulation amplitude is *linear* in the interface
+    sharpness (the density profile is ``mean + s * contrast``), so the
+    kinematic sum is evaluated once for a fully sharp film and every
+    state's intensity is the base curve scaled by ``sharpness**2`` —
+    an ``(n_states, n_angles)`` broadcast instead of one profile
+    synthesis and phase matrix per state.
+    """
+    film = stack or DEFAULT_STACK
+    if two_theta_deg is None:
+        two_theta_deg = np.linspace(2.0, 14.0, 481)
+    angles = np.asarray(two_theta_deg, dtype=float)
+    dz = 0.05 * NM
+    rho = _density_profile(film, 1.0, dz)
+    rho = rho - rho.mean()
+    z = np.arange(len(rho)) * dz
+    theta = np.radians(angles / 2.0)
+    q = 4.0 * math.pi * np.sin(theta) / wavelength  # [1/m]
+    phases = np.exp(1j * np.outer(q, z))
+    base = np.abs(phases @ rho * dz) ** 2
+    background = 1e-21 * (angles.min() / angles) ** 2
+    sharpness = np.asarray(ensemble.sharpness, dtype=float)
+    intensity = np.outer(sharpness * sharpness, base) + background[None, :]
+    return XRDScanSet(two_theta_deg=angles, intensity=intensity)
+
+
+def high_angle_scan_set(ensemble: FilmEnsemble,
+                        stack: MultilayerStack = None,
+                        two_theta_deg: Sequence[float] = None,
+                        wavelength: float = CU_KALPHA_WAVELENGTH,
+                        annealed_grain_size: float = 20.0 * NM) -> XRDScanSet:
+    """Batched Fig 9 high-angle scans of a whole :class:`FilmEnsemble`.
+
+    Both peak families are linear in their phase fraction — the broad
+    Co/Pt humps in the multilayer fraction, the sharp fct CoPt (111)
+    peak in the crystalline fraction — so each peak shape is synthesised
+    once and the ensemble intensity is two rank-1 outer products over
+    the state fractions.
+    """
+    film = stack or DEFAULT_STACK
+    if two_theta_deg is None:
+        two_theta_deg = np.linspace(30.0, 55.0, 1001)
+    angles = np.asarray(two_theta_deg, dtype=float)
+    multilayer_peaks = np.zeros_like(angles)
+    for d_spacing, thickness, weight in (
+        (CO_FCC_111_D_SPACING, film.t_co, _RHO_CO),
+        (PT_FCC_111_D_SPACING, film.t_pt, _RHO_PT),
+    ):
+        center = bragg_two_theta(d_spacing, wavelength)
+        fwhm = _scherrer_fwhm_deg(thickness, center, wavelength)
+        multilayer_peaks += _gaussian_peak(angles, center, fwhm,
+                                           40.0 * weight / fwhm)
+    center = bragg_two_theta(COPT_111_D_SPACING, wavelength)
+    fwhm = _scherrer_fwhm_deg(annealed_grain_size, center, wavelength)
+    crystal_peak = _gaussian_peak(angles, center, fwhm, 4000.0 / fwhm)
+    cf = np.asarray(ensemble.crystalline_fraction, dtype=float)
+    fractions = np.stack([1.0 - cf, cf], axis=1)
+    intensity = fractions @ np.stack([multilayer_peaks, crystal_peak])
+    intensity += 5.0
+    return XRDScanSet(two_theta_deg=angles, intensity=intensity)
 
 
 def multilayer_peak_visible(scan: XRDScan, lo: float = 6.0, hi: float = 10.0,

@@ -1,0 +1,162 @@
+"""Fleet-scale batch scheduling over many SERO devices.
+
+The ROADMAP's north star is fleet-scale throughput: a provisioning or
+compliance service does not format and audit one device, it runs whole
+racks of them.  This module gives that scale a measurable surface: a
+:class:`FleetScheduler` drives the batched engines — the vectorized
+format-time defect scan and the batched line-verification sweep —
+across every device of a fleet and reports aggregate throughput, both
+in simulator wall-clock (blocks/s of host time) and in simulated
+device time (the :class:`~repro.device.timing.CostAccount` clock).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..device.sero import DeviceConfig, SERODevice, VerifyStatus
+from ..device.timing import TimingModel
+from ..medium.medium import MediumConfig
+
+
+@dataclass
+class DeviceReport:
+    """Per-device outcome of one fleet pass.
+
+    Attributes:
+        device_index: position of the device in the fleet.
+        blocks: total physical blocks.
+        bad_blocks: blocks the format scan marked bad.
+        fragile_blocks: blocks unusable as line heads.
+        lines_verified: heated lines audited.
+        intact_lines: lines whose hash verified INTACT.
+        tampered_lines: lines with tamper evidence.
+        device_seconds: simulated device time consumed by the pass.
+    """
+
+    device_index: int
+    blocks: int
+    bad_blocks: int = 0
+    fragile_blocks: int = 0
+    lines_verified: int = 0
+    intact_lines: int = 0
+    tampered_lines: int = 0
+    device_seconds: float = 0.0
+
+
+@dataclass
+class FleetReport:
+    """Aggregate outcome of a fleet-wide format or audit pass.
+
+    Attributes:
+        operation: ``"format"`` or ``"audit"``.
+        devices: per-device breakdown.
+        wall_seconds: simulator wall-clock for the whole pass.
+    """
+
+    operation: str
+    devices: List[DeviceReport] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def device_count(self) -> int:
+        """Devices covered by the pass."""
+        return len(self.devices)
+
+    @property
+    def blocks_processed(self) -> int:
+        """Total blocks covered by the pass."""
+        return sum(d.blocks for d in self.devices)
+
+    @property
+    def blocks_per_second(self) -> float:
+        """Aggregate simulator throughput [blocks/s of wall time]."""
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.blocks_processed / self.wall_seconds
+
+    @property
+    def lines_verified(self) -> int:
+        """Heated lines audited across the fleet."""
+        return sum(d.lines_verified for d in self.devices)
+
+    @property
+    def intact_lines(self) -> int:
+        """Fleet-wide count of INTACT line verdicts."""
+        return sum(d.intact_lines for d in self.devices)
+
+    @property
+    def tampered_lines(self) -> int:
+        """Fleet-wide count of tamper-evident line verdicts."""
+        return sum(d.tampered_lines for d in self.devices)
+
+    @property
+    def device_seconds(self) -> float:
+        """Total simulated device time consumed by the pass."""
+        return sum(d.device_seconds for d in self.devices)
+
+
+class FleetScheduler:
+    """Formats and audits a multi-device fleet with the batched engines.
+
+    Args:
+        devices: the fleet members (see :meth:`build` for a convenience
+            constructor with per-device seeds).
+    """
+
+    def __init__(self, devices: Sequence[SERODevice]) -> None:
+        self.devices = list(devices)
+
+    @classmethod
+    def build(cls, n_devices: int, blocks_per_device: int,
+              switching_sigma: float = 0.0, seed: int = 2008,
+              timing: Optional[TimingModel] = None,
+              config: Optional[DeviceConfig] = None) -> "FleetScheduler":
+        """Provision ``n_devices`` fresh devices with distinct media
+        seeds (each device is an independent physical sample)."""
+        devices = []
+        for i in range(n_devices):
+            medium_config = MediumConfig(switching_sigma=switching_sigma,
+                                         seed=seed + i)
+            devices.append(SERODevice.create(
+                blocks_per_device, medium_config=medium_config,
+                timing=timing, config=config))
+        return cls(devices)
+
+    def format_fleet(self) -> FleetReport:
+        """Run the format-time surface scan on every device."""
+        report = FleetReport(operation="format")
+        t0 = time.perf_counter()
+        for i, device in enumerate(self.devices):
+            elapsed_before = device.account.elapsed
+            device.format()
+            report.devices.append(DeviceReport(
+                device_index=i, blocks=device.total_blocks,
+                bad_blocks=len(device.bad_blocks),
+                fragile_blocks=len(device.fragile_blocks),
+                device_seconds=device.account.elapsed - elapsed_before))
+        report.wall_seconds = time.perf_counter() - t0
+        return report
+
+    def audit_fleet(self) -> FleetReport:
+        """Verify every registered heated line on every device, using
+        the batched :meth:`~repro.device.sero.SERODevice.verify_lines`
+        sweep per device."""
+        report = FleetReport(operation="audit")
+        t0 = time.perf_counter()
+        for i, device in enumerate(self.devices):
+            elapsed_before = device.account.elapsed
+            results = device.verify_lines(
+                [rec.start for rec in device.heated_lines])
+            intact = sum(1 for r in results
+                         if r.status is VerifyStatus.INTACT)
+            tampered = sum(1 for r in results if r.tamper_evident)
+            report.devices.append(DeviceReport(
+                device_index=i, blocks=device.total_blocks,
+                lines_verified=len(results), intact_lines=intact,
+                tampered_lines=tampered,
+                device_seconds=device.account.elapsed - elapsed_before))
+        report.wall_seconds = time.perf_counter() - t0
+        return report
