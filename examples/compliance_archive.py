@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""SOX-style compliance retention on a SERO device (Sections 2 and 8).
+"""SOX-style compliance retention on a tamper-evident store (Sections 2, 8).
 
 One record batch is sealed per period until the device's WMRM area is
 exhausted — the paper's device-lifetime story: "the read/write area
@@ -10,28 +10,32 @@ periods have expired.
 Run:  python examples/compliance_archive.py
 """
 
-from repro import SERODevice, SeroFS, VerifyStatus
+import repro
+from repro import VerifyStatus
 from repro.workloads.archival import ComplianceArchive
 
 
 def main() -> None:
-    device = SERODevice.create(total_blocks=512)
-    fs = SeroFS.format(device)
-    archive = ComplianceArchive(fs, batch_bytes=2048, retention_periods=30)
+    # one store, with a content-addressed archive arena for the Venti
+    # variant at the end
+    store = repro.TamperEvidentStore.create(total_blocks=512,
+                                            archive_blocks=480)
+    archive = ComplianceArchive(store.fs, batch_bytes=2048,
+                                retention_periods=30)
 
     periods = archive.run_until_full(max_periods=1000)
     print(f"device absorbed {periods} periods of sealed batches")
 
-    capacity = device.capacity_report()
+    capacity = store.capacity()
     print(f"capacity: {capacity['writable_blocks']} writable, "
           f"{capacity['heated_blocks']} heated (read-only), "
           f"{capacity['bad_blocks']} bad")
 
-    # every sealed batch remains verifiable to the end of device life
-    audit = archive.audit()
-    intact = sum(1 for r in audit.values()
-                 if r.status is VerifyStatus.INTACT)
-    print(f"audit: {intact}/{len(audit)} batches verify INTACT")
+    # every sealed batch remains verifiable to the end of device life —
+    # one batched audit sweep over the whole store
+    report = store.audit()
+    print(f"audit: {report.intact_count}/{report.lines_verified} "
+          f"batches verify INTACT (clean: {report.clean})")
 
     # retention-driven decommissioning
     for now in (periods // 2, periods + 30):
@@ -41,14 +45,17 @@ def main() -> None:
               f"{archive.decommissionable(now)}")
 
     # the Venti variant: a daily snapshot tree whose root is sealed
-    from repro.integrity.venti import VentiStore
-
-    device2 = SERODevice.create(512)
-    store = VentiStore(device2, arena_start=16, arena_blocks=480)
-    root = store.snapshot("2008-02-26", b"end of day state " * 100,
-                          timestamp=20080226)
-    print(f"\nVenti daily snapshot sealed; root {root.hex()[:16]}…, "
-          f"tree verifies clean: {store.verify_tree(root) == []}")
+    receipt = store.archive("2008-02-26", b"end of day state " * 100,
+                            timestamp=20080226)
+    print(f"\nVenti daily snapshot sealed; root "
+          f"{receipt.root_score.hex()[:16]}…, "
+          f"round-trips intact: "
+          f"{store.retrieve('2008-02-26') == b'end of day state ' * 100}")
+    archive_report = store.audit()
+    assert all(r.status is VerifyStatus.INTACT for r in archive_report)
+    print(f"store-wide audit after snapshot: "
+          f"{archive_report.intact_count}/{archive_report.lines_verified} "
+          f"lines intact")
 
 
 if __name__ == "__main__":

@@ -2,28 +2,28 @@
 """The paper's motivating workload: a live database with audit snapshots.
 
 Section 1: databases need efficient random writes, but auditors need
-frozen, tamper-evident snapshots.  On one SERO device the live table
-stays WMRM while each snapshot is heated in place — no separate WORM
-jukebox, no copying.
+frozen, tamper-evident snapshots.  On one tamper-evident store the
+live table stays WMRM while each snapshot is sealed in place — no
+separate WORM jukebox, no copying.
 
 Run:  python examples/database_snapshot.py
 """
 
-from repro import SERODevice, SeroFS, VerifyStatus
+import repro
+from repro import VerifyStatus
 from repro.security import attacks
 from repro.workloads.database import SimpleDatabase, oltp_then_snapshot
 
 
 def main() -> None:
-    device = SERODevice.create(total_blocks=1024)
-    fs = SeroFS.format(device)
-    db = SimpleDatabase(fs)
+    store = repro.TamperEvidentStore.create(total_blocks=1024)
+    db = SimpleDatabase(store.fs)
 
     # quarter 1: transactions with a snapshot every 25 commits
     records = oltp_then_snapshot(db, n_transactions=75, n_records=40,
                                  snapshot_every=25)
     print(f"{len(db)} live records, {len(db.snapshots())} snapshots "
-          f"({sum(r.n_blocks for r in records)} blocks heated)")
+          f"({sum(r.n_blocks for r in records)} blocks sealed)")
 
     # the live table keeps absorbing random updates at magnetic speed
     db.put(7, b"updated after the audit")
@@ -34,17 +34,18 @@ def main() -> None:
     print(f"snapshot t25 holds {len(snap)} records")
 
     # a CEO with a laptop rewrites one snapshot's blocks on the medium
-    target_ino = fs.stat("/db/snapshot-t50").ino
-    attacks.mwb_data(device, fs.line_of_ino[target_ino])
+    target = store.info("/db/snapshot-t50")
+    attacks.mwb_data(store.device, target.line_start)
 
-    # the quarterly audit sweep
+    # the quarterly audit: one batched sweep over every sealed line
     print("\naudit sweep:")
-    for name in ("t25", "t50", "t75"):
-        status = db.verify_snapshot(name).status
-        marker = "OK " if status is VerifyStatus.INTACT else "!!!"
-        print(f"  {marker} snapshot {name}: {status.value}")
+    report = store.audit()
+    for verdict in report:
+        marker = "OK " if verdict.status is VerifyStatus.INTACT else "!!!"
+        print(f"  {marker} {verdict.label}: {verdict.status.value}")
+    assert len(report.tampered) == 1
 
-    capacity = device.capacity_report()
+    capacity = store.capacity()
     print(f"\ncapacity: {capacity['writable_blocks']} WMRM / "
           f"{capacity['heated_blocks']} RO of {capacity['total_blocks']}")
 

@@ -1,41 +1,40 @@
 #!/usr/bin/env python3
-"""Forensic evidence bags and worst-case recovery (Sections 5.2 and 8).
+"""Forensic evidence export and worst-case recovery (Sections 5.2 and 8).
 
-An investigator seals exhibits in place (no disk imaging); the insider
-then wipes the directory tree and finally bulk-erases the medium.  The
-deep scan recovers every heated file after the wipe, and after the
-degauss the heated pattern itself — a structural, not magnetic,
-property — still testifies that evidence existed and was destroyed.
+An investigator seals exhibits in place through the façade's
+``export_evidence`` (no disk imaging); the insider then wipes the
+directory tree and finally bulk-erases the medium.  The deep scan
+recovers every sealed file after the wipe, and after the degauss the
+heated pattern itself — a structural, not magnetic, property — still
+testifies that evidence existed and was destroyed.
 
 Run:  python examples/forensics_recovery.py
 """
 
-from repro import SERODevice, SeroFS
+import repro
 from repro.fs.fsck import deep_scan
-from repro.integrity.evidence import EvidenceBag
 from repro.security import attacks
 
 
 def main() -> None:
-    device = SERODevice.create(total_blocks=512)
-    fs = SeroFS.format(device)
+    store = repro.TamperEvidentStore.create(total_blocks=512)
 
     # 1. live forensics: seal exhibits without stopping the server
-    bag = EvidenceBag(fs, "/case-2008-041")
-    bag.add("access.log", b"03:14 root login from 203.0.113.7\n" * 25)
-    bag.add("payroll.diff", b"-salary: 100000\n+salary: 900000\n" * 20)
-    bag.close(timestamp=20080226)
-    print(f"sealed {len(bag.items)} exhibits + manifest; "
-          f"bag intact: {bag.is_intact()}")
+    export = store.export_evidence("case-2008-041", {
+        "access.log": b"03:14 root login from 203.0.113.7\n" * 25,
+        "payroll.diff": b"-salary: 100000\n+salary: 900000\n" * 20,
+    }, timestamp=20080226)
+    print(f"sealed {len(export.items)} exhibits + manifest under "
+          f"{export.directory}; bag intact: {export.intact}")
 
     # 2. the insider strikes: every path to the evidence is destroyed
-    attacks.clear_directory(fs)
+    attacks.clear_directory(store.fs)
     print("\nattacker wiped the directory tree and checkpoints")
 
     # 3. the fsck-style deep scan "would definitely recover (albeit
-    #    slowly) all the heated files"
-    report = deep_scan(device)
-    print(f"deep scan recovered {len(report.recovered)} heated files "
+    #    slowly) all the heated files" — it takes the façade directly
+    report = deep_scan(store)
+    print(f"deep scan recovered {len(report.recovered)} sealed files "
           f"({report.intact_count} verify INTACT):")
     for item in report.recovered:
         preview = (item.data or b"?")[:32]
@@ -44,9 +43,9 @@ def main() -> None:
               f"{preview!r}")
 
     # 4. scorched earth: a proper bulk erase of the whole medium
-    attacks.bulk_erase(device)
+    attacks.bulk_erase(store.device)
     print("\nattacker bulk-erased the medium")
-    report2 = deep_scan(device)
+    report2 = deep_scan(store)
     findable = len(report2.recovered) + len(report2.unparseable_lines)
     tampered = sum(1 for f in report2.recovered
                    if f.verification.tamper_evident)

@@ -1,51 +1,58 @@
 #!/usr/bin/env python3
-"""Quickstart: a SERO device and file system in ten lines of real use.
+"""Quickstart: the tamper-evident storage service in ten lines of real use.
 
-Creates a device, formats SeroFS, writes a file, heats it (the
-write-once operation), demonstrates immutability, simulates an attack
-and shows the verify operation catching it.
+Creates a :class:`TamperEvidentStore` (device + file system behind one
+façade), writes an object, seals it (the write-once heat operation),
+demonstrates immutability, simulates an attack and shows the audit
+sweep catching it.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import SERODevice, SeroFS, VerifyStatus
+import repro
 from repro.errors import ImmutableFileError
 from repro.security import attacks
 
 
 def main() -> None:
-    # a small device: 256 blocks of 512 bytes
-    device = SERODevice.create(total_blocks=256)
-    fs = SeroFS.format(device)
+    # a small store: 256 blocks of 512 bytes, formatted and mounted
+    store = repro.TamperEvidentStore.create(total_blocks=256)
 
-    # ordinary WMRM use — this is just a file system
-    fs.create("/ledger.csv", b"2008-02-26,acme,1000000\n")
-    fs.append("/ledger.csv", b"2008-02-27,acme,-999999\n")
-    print("ledger:", fs.read("/ledger.csv").decode().strip().splitlines())
+    # ordinary WMRM use — this is just storage
+    store.put("/ledger.csv", b"2008-02-26,acme,1000000\n")
+    store.put("/ledger.csv",
+              store.get("/ledger.csv") + b"2008-02-27,acme,-999999\n",
+              overwrite=True)
+    print("ledger:", store.get("/ledger.csv").decode().strip().splitlines())
 
     # the auditors arrive: freeze the ledger
-    record = fs.heat_file("/ledger.csv", timestamp=20080228)
-    print(f"heated line at block {record.start} "
-          f"({record.n_blocks} blocks), hash {record.line_hash.hex()[:16]}…")
+    receipt = store.seal("/ledger.csv", timestamp=20080228)
+    print(f"sealed line at block {receipt.line_start} "
+          f"({receipt.n_blocks} blocks), hash {receipt.line_hash.hex()[:16]}…")
 
-    # heated files stay readable at full magnetic speed...
-    assert fs.read("/ledger.csv").startswith(b"2008-02-26")
+    # sealed objects stay readable at full magnetic speed...
+    assert store.get("/ledger.csv").startswith(b"2008-02-26")
 
     # ...but can no longer be modified through any sanctioned path
-    for operation in (lambda: fs.write("/ledger.csv", b"cooked books"),
-                      lambda: fs.unlink("/ledger.csv")):
+    for operation in (lambda: store.put("/ledger.csv", b"cooked books",
+                                        overwrite=True),
+                      lambda: store.delete("/ledger.csv")):
         try:
             operation()
         except ImmutableFileError as exc:
             print("refused:", exc)
 
-    # a dishonest insider bypasses the driver and rewrites the medium
-    attacks.mwb_data(device, record.start)
+    # a dishonest insider bypasses the service and rewrites the medium
+    attacks.mwb_data(store.device, receipt.line_start)
 
-    # the verify operation exposes it
-    result = fs.verify_file("/ledger.csv")
-    print("verification:", result.status.value)
-    assert result.status is VerifyStatus.HASH_MISMATCH
+    # the batched audit sweep exposes it
+    report = store.audit()
+    verdict = next(iter(report))
+    print(f"audit: {report.lines_verified} line(s), "
+          f"{report.intact_count} intact — {verdict.label}: "
+          f"{verdict.status.value}")
+    assert not report.clean
+    assert verdict.status is repro.VerifyStatus.HASH_MISMATCH
     print("tampering detected — the evidence is physical and permanent.")
 
 

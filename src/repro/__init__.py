@@ -15,19 +15,43 @@ The package builds the paper's whole stack in simulation:
   evidence bags on SERO storage (Sections 4.2, 8);
 * :mod:`repro.security` — the Section 5 threat model and attack matrix;
 * :mod:`repro.crypto`, :mod:`repro.workloads`, :mod:`repro.analysis` —
-  supporting substrates.
+  supporting substrates;
+* :mod:`repro.api` — the v1 public surface: the
+  :class:`TamperEvidentStore` façade and the
+  :class:`~repro.api.ExecutionPolicy` engine registry.
 
-Quick start::
+Quick start (the façade drives the whole stack)::
 
-    from repro import SERODevice, SeroFS
+    import repro
 
-    device = SERODevice.create(total_blocks=512)
-    fs = SeroFS.format(device)
-    fs.create("/ledger", b"audit me")
-    fs.heat_file("/ledger")              # now tamper-evident
-    assert fs.verify_file("/ledger").status.value == "intact"
+    store = repro.TamperEvidentStore.create(total_blocks=512)
+    store.put("/ledger", b"audit me")
+    receipt = store.seal("/ledger")          # now tamper-evident
+    assert store.verify("/ledger").intact
+    assert store.audit().clean               # batched whole-store sweep
+
+Engine selection is one lazy resolution order — explicit argument >
+``with repro.engine("scalar"):`` context > installed policy >
+``REPRO_SPAN_ENGINE`` (read at call time)::
+
+    with repro.engine("scalar"):             # the paper's literal protocol
+        store = repro.TamperEvidentStore.create(total_blocks=64)
+
+The pre-façade building blocks (:class:`SERODevice`, :class:`SeroFS`,
+:class:`VentiStore`, ...) remain fully supported public API.
 """
 
+from .api import (
+    AuditReport,
+    EngineSpec,
+    ExecutionPolicy,
+    ObjectInfo,
+    SealReceipt,
+    StoreConfig,
+    TamperEvidentStore,
+    VerifyReport,
+    engine,
+)
 from .device.sero import DeviceConfig, LineRecord, SERODevice, VerifyStatus
 from .errors import ReproError, TamperEvidentError
 from .fs.lfs import FSConfig, SeroFS
@@ -35,9 +59,20 @@ from .integrity.evidence import EvidenceBag
 from .integrity.fossil import FossilizedIndex
 from .integrity.venti import VentiStore
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    # v1 façade + policy
+    "TamperEvidentStore",
+    "StoreConfig",
+    "ObjectInfo",
+    "SealReceipt",
+    "VerifyReport",
+    "AuditReport",
+    "ExecutionPolicy",
+    "EngineSpec",
+    "engine",
+    # building blocks
     "SERODevice",
     "DeviceConfig",
     "LineRecord",

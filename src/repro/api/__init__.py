@@ -1,0 +1,91 @@
+"""``repro.api`` — the package's v1 public surface.
+
+Two pieces:
+
+* :mod:`repro.api.policy` — the :class:`ExecutionPolicy` / engine
+  registry that gives every scalar-vs-vectorized (and SHA-256 backend)
+  switch one lazy resolution order: explicit argument > context
+  override (``with repro.engine("scalar"):``) > installed policy >
+  environment variable > default;
+* :mod:`repro.api.store` — :class:`TamperEvidentStore`, the façade
+  that drives the whole stack (device, file system, integrity layers)
+  through typed request/response objects whose native grain is the
+  batched fast path (``seal_many``, ``audit`` → :class:`AuditReport`).
+
+``repro.api.__all__`` is the frozen public surface; a snapshot test
+(``tests/test_api_surface.py``) fails when it changes without an
+explicit update.
+"""
+
+from __future__ import annotations
+
+from .policy import (
+    ENGINE_ENV_VAR,
+    SHA256_BACKENDS,
+    SHA256_ENV_VAR,
+    EngineSpec,
+    ExecutionPolicy,
+    available_engines,
+    describe_policy,
+    engine,
+    get_engine,
+    get_policy,
+    register_engine,
+    resolve_engine,
+    resolve_sha256_backend,
+    resolve_vectorized,
+    set_policy,
+    unregister_engine,
+)
+
+#: Store-layer names, imported lazily (PEP 562) so that the policy
+#: layer stays importable from the bottom of the package's import
+#: graph (``repro.vectorize`` and ``repro.crypto`` resolve through it
+#: while the device/fs modules the store needs are still loading).
+_STORE_EXPORTS = (
+    "TamperEvidentStore",
+    "StoreConfig",
+    "ObjectInfo",
+    "SealReceipt",
+    "VerifyReport",
+    "AuditReport",
+    "ArchiveReceipt",
+    "EvidenceExport",
+    "FormatReport",
+)
+
+__all__ = [
+    # policy
+    "ExecutionPolicy",
+    "EngineSpec",
+    "engine",
+    "set_policy",
+    "get_policy",
+    "describe_policy",
+    "register_engine",
+    "unregister_engine",
+    "available_engines",
+    "get_engine",
+    "resolve_engine",
+    "resolve_vectorized",
+    "resolve_sha256_backend",
+    "ENGINE_ENV_VAR",
+    "SHA256_ENV_VAR",
+    "SHA256_BACKENDS",
+    # store façade
+    *_STORE_EXPORTS,
+]
+
+
+def __getattr__(name: str):
+    if name in _STORE_EXPORTS:
+        from . import store as _store
+
+        value = getattr(_store, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_STORE_EXPORTS))

@@ -1,0 +1,312 @@
+"""Execution policy: one lazy resolution order for every engine switch.
+
+Before ``repro.api`` existed, engine selection was smeared across the
+package: an *import-time* read of ``REPRO_SPAN_ENGINE`` pinned
+``crypto.crc``/``crypto.manchester`` for the life of the process,
+``DeviceConfig.span_engine`` captured another copy, and individual
+calls took ``vectorized=``/``batched=`` flags.  This module replaces
+all of that with a single resolution order, evaluated **lazily at each
+decision point**:
+
+1. **explicit argument** — a ``vectorized=``/``span_engine=`` flag (or
+   an engine name) passed by the caller always wins;
+2. **context override** — the innermost active
+   ``with repro.engine("scalar"):`` block;
+3. **installed policy** — the :class:`ExecutionPolicy` set with
+   :func:`set_policy`;
+4. **environment** — ``REPRO_SPAN_ENGINE``, read at resolution time
+   (not import time), so exporting it *after* ``import repro`` works;
+5. **default** — the ``vectorized`` engine.
+
+Engines are named entries in a registry so future backends (sharded,
+async, remote fleets) can register themselves and be selected through
+the same chain; the built-ins are ``"vectorized"`` (the PR 1-2
+span/batched fast paths) and ``"scalar"`` (the paper's literal per-dot
+reference protocol).
+
+The SHA-256 backend (``hashlib`` vs the from-scratch pure-Python
+implementation) resolves through the same chain via
+:attr:`ExecutionPolicy.sha256_backend` /
+``repro.engine(sha256="pure")`` / ``REPRO_SHA256_BACKEND``.
+
+This module deliberately imports nothing from the rest of the package
+(it sits below every other layer in the import graph).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+#: Environment variable selecting the default engine (lazily read).
+ENGINE_ENV_VAR = "REPRO_SPAN_ENGINE"
+
+#: Environment variable selecting the default SHA-256 backend.
+SHA256_ENV_VAR = "REPRO_SHA256_BACKEND"
+
+_FALSEY = ("0", "false", "no", "off", "scalar")
+
+#: Recognised SHA-256 backends (see :mod:`repro.crypto.sha256`).
+SHA256_BACKENDS = ("hashlib", "pure")
+
+
+# ---------------------------------------------------------------------------
+# Engine registry
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One registered execution engine.
+
+    Attributes:
+        name: registry key, as accepted by :func:`repro.engine` and
+            :attr:`ExecutionPolicy.engine`.
+        vectorized: whether the span/batched numpy fast paths run.
+            Every current consumer reduces an engine to this flag;
+            richer backends (sharding, async dispatch) can carry more
+            behaviour on subclasses while keeping the flag meaningful
+            for the layers below them.
+        description: one-line human description.
+    """
+
+    name: str
+    vectorized: bool
+    description: str = ""
+
+
+_ENGINES: Dict[str, EngineSpec] = {}
+
+
+def register_engine(spec: EngineSpec, *, replace: bool = False) -> EngineSpec:
+    """Register an engine so policies and contexts can select it by name.
+
+    Raises ``ValueError`` for a duplicate name unless ``replace``.
+    """
+    if not spec.name or not spec.name.isidentifier():
+        raise ValueError(f"engine name must be an identifier: {spec.name!r}")
+    if spec.name in _ENGINES and not replace:
+        raise ValueError(f"engine {spec.name!r} already registered")
+    _ENGINES[spec.name] = spec
+    return spec
+
+
+def unregister_engine(name: str) -> None:
+    """Remove a registered engine (built-ins are protected)."""
+    if name in ("vectorized", "scalar"):
+        raise ValueError(f"cannot unregister built-in engine {name!r}")
+    _ENGINES.pop(name, None)
+
+
+def available_engines() -> Tuple[str, ...]:
+    """Names of all registered engines, registration order."""
+    return tuple(_ENGINES)
+
+
+def get_engine(name: str) -> EngineSpec:
+    """Look up a registered engine by name."""
+    try:
+        return _ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; registered: {', '.join(_ENGINES)}"
+        ) from None
+
+
+VECTORIZED_ENGINE = register_engine(EngineSpec(
+    "vectorized", True,
+    "numpy span/batched fast paths (protocol-identical, default)"))
+SCALAR_ENGINE = register_engine(EngineSpec(
+    "scalar", False,
+    "the paper's literal per-dot/per-byte reference protocol"))
+
+
+# ---------------------------------------------------------------------------
+# Policy objects
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """A bundle of engine choices, installable or usable as a context.
+
+    ``None`` fields mean "defer to the next layer of the resolution
+    order" — an installed ``ExecutionPolicy()`` with all defaults is
+    indistinguishable from no policy at all.
+
+    Attributes:
+        engine: registered engine name (``"vectorized"``/``"scalar"``
+            or a custom registration).
+        sha256_backend: ``"hashlib"`` or ``"pure"``.
+    """
+
+    engine: Optional[str] = None
+    sha256_backend: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.engine is not None:
+            get_engine(self.engine)  # validates
+        if self.sha256_backend is not None and \
+                self.sha256_backend not in SHA256_BACKENDS:
+            raise ValueError(
+                f"unknown sha256 backend {self.sha256_backend!r}; "
+                f"expected one of {SHA256_BACKENDS}")
+
+    @contextmanager
+    def use(self) -> Iterator["ExecutionPolicy"]:
+        """Apply this policy as a (nestable) context override."""
+        token = _OVERRIDES.set(_OVERRIDES.get() + (self,))
+        try:
+            yield self
+        finally:
+            _OVERRIDES.reset(token)
+
+
+#: Installed process-wide policy (layer 3 of the resolution order).
+_POLICY: Optional[ExecutionPolicy] = None
+
+#: Stack of active context overrides (layer 2); innermost last.
+_OVERRIDES: ContextVar[Tuple[ExecutionPolicy, ...]] = ContextVar(
+    "repro_policy_overrides", default=())
+
+
+def set_policy(policy: Optional[ExecutionPolicy]) -> None:
+    """Install (or with ``None`` clear) the process-wide policy."""
+    global _POLICY
+    if policy is not None and not isinstance(policy, ExecutionPolicy):
+        raise TypeError("set_policy expects an ExecutionPolicy or None")
+    _POLICY = policy
+
+
+def get_policy() -> Optional[ExecutionPolicy]:
+    """The installed process-wide policy (None when not set)."""
+    return _POLICY
+
+
+@contextmanager
+def engine(name: Optional[str] = None, *,
+           sha256: Optional[str] = None) -> Iterator[ExecutionPolicy]:
+    """Scoped engine override: ``with repro.engine("scalar"): ...``.
+
+    Nested contexts stack; the innermost one that pins a given field
+    wins, so ``with engine("scalar"), engine(sha256="pure"):`` runs the
+    scalar engine *and* the pure hash.  Thread- and async-safe (backed
+    by a :class:`contextvars.ContextVar`).
+    """
+    with ExecutionPolicy(engine=name, sha256_backend=sha256).use() as pol:
+        yield pol
+
+
+# ---------------------------------------------------------------------------
+# Resolution
+
+
+def _engine_from_env() -> Tuple[str, str]:
+    """(engine name, source) from the environment / default layers."""
+    value = os.environ.get(ENGINE_ENV_VAR)
+    if value is None:
+        return "vectorized", "default"
+    token = value.strip().lower()
+    if token in _ENGINES:
+        return token, "env"
+    return ("scalar" if token in _FALSEY else "vectorized"), "env"
+
+
+def _resolve_engine_name(explicit: Union[None, bool, str]) -> Tuple[str, str]:
+    """(engine name, source) through the four-layer chain."""
+    if explicit is not None:
+        if isinstance(explicit, bool):
+            return ("vectorized" if explicit else "scalar"), "explicit"
+        get_engine(explicit)  # validates
+        return explicit, "explicit"
+    for frame in reversed(_OVERRIDES.get()):
+        if frame.engine is not None:
+            return frame.engine, "context"
+    if _POLICY is not None and _POLICY.engine is not None:
+        return _POLICY.engine, "policy"
+    return _engine_from_env()
+
+
+def resolve_engine(explicit: Union[None, bool, str] = None) -> EngineSpec:
+    """Resolve the active engine through the documented order.
+
+    ``explicit`` may be a registered engine name, a bare bool (the
+    legacy ``vectorized=``/``span_engine=`` flags map ``True`` to
+    ``"vectorized"`` and ``False`` to ``"scalar"``), or None to defer
+    to context / policy / environment / default.
+    """
+    return get_engine(_resolve_engine_name(explicit)[0])
+
+
+def resolve_vectorized(explicit: Union[None, bool, str] = None) -> bool:
+    """Whether the active engine runs the vectorized fast paths.
+
+    This is the call every former ``span_engine_default()`` site goes
+    through; it is evaluated lazily at each decision point.
+    """
+    if explicit is None:
+        # fast path: no explicit pin, walk the chain inline
+        # (get_engine, not a bare dict lookup, so a policy/context
+        # naming a since-unregistered engine fails with the same
+        # descriptive ValueError as the resolve_engine path)
+        overrides = _OVERRIDES.get()
+        if overrides:
+            for frame in reversed(overrides):
+                if frame.engine is not None:
+                    return get_engine(frame.engine).vectorized
+        if _POLICY is not None and _POLICY.engine is not None:
+            return get_engine(_POLICY.engine).vectorized
+        value = os.environ.get(ENGINE_ENV_VAR)
+        if value is None:
+            return True
+        token = value.strip().lower()
+        if token in _ENGINES:
+            return _ENGINES[token].vectorized
+        return token not in _FALSEY
+    return resolve_engine(explicit).vectorized
+
+
+def resolve_sha256_backend(explicit: Optional[str] = None) -> str:
+    """Resolve the SHA-256 backend name through the same chain."""
+    if explicit is not None:
+        if explicit not in SHA256_BACKENDS:
+            raise ValueError(f"unknown sha256 backend: {explicit!r}")
+        return explicit
+    for frame in reversed(_OVERRIDES.get()):
+        if frame.sha256_backend is not None:
+            return frame.sha256_backend
+    if _POLICY is not None and _POLICY.sha256_backend is not None:
+        return _POLICY.sha256_backend
+    value = os.environ.get(SHA256_ENV_VAR)
+    if value is not None and value.strip().lower() in SHA256_BACKENDS:
+        return value.strip().lower()
+    return "hashlib"
+
+
+def describe_policy() -> Dict[str, object]:
+    """Inspectable snapshot of the resolution: what would run now, and
+    which layer decided it.  The answer an operator needs when a fleet
+    node is mysteriously slow (e.g. a pinned pure SHA-256 backend)."""
+    name, source = _resolve_engine_name(None)
+    sha = resolve_sha256_backend()
+    sha_source = "default"
+    for frame in reversed(_OVERRIDES.get()):
+        if frame.sha256_backend is not None:
+            sha_source = "context"
+            break
+    else:
+        if _POLICY is not None and _POLICY.sha256_backend is not None:
+            sha_source = "policy"
+        elif os.environ.get(SHA256_ENV_VAR, "").strip().lower() in SHA256_BACKENDS:
+            sha_source = "env"
+    return {
+        "engine": name,
+        "engine_source": source,
+        "vectorized": _ENGINES[name].vectorized,
+        "sha256_backend": sha,
+        "sha256_source": sha_source,
+        "available_engines": available_engines(),
+        "installed_policy": _POLICY,
+        "active_overrides": len(_OVERRIDES.get()),
+    }

@@ -15,21 +15,31 @@ variant): eight 256-entry tables, built with vectorized numpy
 polynomial algebra, let the main loop consume eight input bytes per
 iteration instead of one.  CRC-16 uses the analogous slicing-by-two.
 The classic byte-at-a-time loops remain as the reference
-implementation; flip the module flag ``USE_VECTORIZED`` (or set
-``REPRO_SPAN_ENGINE=0`` before import) to use them.
+implementation; each call resolves which path runs through the lazy
+execution policy (:func:`repro.api.resolve_vectorized` — explicit pin
+> ``repro.engine(...)`` context > policy > ``REPRO_SPAN_ENGINE``, read
+at call time, so flipping the switch after import works).  Setting the
+module flag ``USE_VECTORIZED`` to True/False pins this module
+explicitly; ``None`` (the default) defers to the policy.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
-from ..vectorize import span_engine_default
+from ..api.policy import resolve_vectorized
 
-#: Use the chunked slicing-by-N fast paths.
-USE_VECTORIZED = span_engine_default()
+#: Tri-state module pin: True/False force the fast/reference paths,
+#: None defers to the execution policy (resolved lazily per call).
+USE_VECTORIZED: Optional[bool] = None
+
+
+def _use_vectorized() -> bool:
+    flag = USE_VECTORIZED
+    return resolve_vectorized() if flag is None else bool(flag)
 
 _CRC32_POLY = 0xEDB88320  # reflected 0x04C11DB7
 
@@ -115,7 +125,7 @@ def _crc32_pos_table(n: int):
 def crc32(data: bytes, crc: int = 0) -> int:
     """CRC-32/IEEE of ``data``; ``crc`` seeds continuation."""
     crc ^= 0xFFFFFFFF
-    if not USE_VECTORIZED:
+    if not _use_vectorized():
         return _crc32_scalar(data, crc) ^ 0xFFFFFFFF
     n = len(data)
     if _POS_TABLE_MIN_BYTES <= n <= _POS_TABLE_MAX_BYTES:
@@ -185,7 +195,7 @@ def _crc16_scalar(data: bytes, crc: int) -> int:
 
 def crc16_ccitt(data: bytes, crc: int = 0xFFFF) -> int:
     """CRC-16-CCITT (init 0xFFFF) of ``data``."""
-    if not USE_VECTORIZED:
+    if not _use_vectorized():
         return _crc16_scalar(data, crc)
     n2 = len(data) - len(data) % 2
     for i in range(0, n2, 2):

@@ -25,24 +25,33 @@ an illegal pattern.
 The byte-level entry points (:func:`encode_bytes`, :func:`decode_bytes`,
 :func:`bytes_to_bits`, :func:`bits_to_bytes`) are vectorized with
 numpy (``unpackbits``/``packbits`` plus strided cell classification);
-set the module flag ``USE_VECTORIZED = False`` (or the environment
-variable ``REPRO_SPAN_ENGINE=0`` before import) to fall back to the
-scalar per-cell reference loops.
+each call resolves which path runs through the lazy execution policy
+(:func:`repro.api.resolve_vectorized` — explicit pin >
+``repro.engine(...)`` context > policy > ``REPRO_SPAN_ENGINE``, read
+at call time, so flipping the switch after import works).  Setting the
+module flag ``USE_VECTORIZED`` to True/False pins this module
+explicitly; ``None`` (the default) defers to the policy.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..api.policy import resolve_vectorized
 from ..errors import InvalidCellError
-from ..vectorize import span_engine_default
 
-#: Use the numpy fast paths for the byte-level codec entry points.
-USE_VECTORIZED = span_engine_default()
+#: Tri-state module pin: True/False force the numpy/reference codec,
+#: None defers to the execution policy (resolved lazily per call).
+USE_VECTORIZED: Optional[bool] = None
+
+
+def _use_vectorized() -> bool:
+    flag = USE_VECTORIZED
+    return resolve_vectorized() if flag is None else bool(flag)
 
 
 class CellState(enum.Enum):
@@ -85,7 +94,7 @@ def encode_bytes(data: bytes) -> Sequence[bool]:
     The vectorized path returns a bool ndarray, the scalar reference a
     list; both behave identically under ``len``/indexing/iteration.
     """
-    if not USE_VECTORIZED:
+    if not _use_vectorized():
         return encode_bits(bytes_to_bits(data))
     bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
     pattern = np.zeros(bits.size * CELL_SIZE, dtype=bool)
@@ -148,7 +157,7 @@ def decode_pattern(pattern: Sequence[bool]) -> DecodeResult:
     """
     if len(pattern) % CELL_SIZE:
         raise ValueError("Manchester pattern length must be even")
-    if not USE_VECTORIZED:
+    if not _use_vectorized():
         return _decode_pattern_scalar(pattern)
     arr = np.asarray(pattern, dtype=bool)
     first = arr[0::2]
@@ -187,7 +196,7 @@ def _decode_pattern_scalar(pattern: Sequence[bool]) -> DecodeResult:
 
 def decode_bytes(pattern: Sequence[bool]) -> bytes:
     """Decode a pattern straight to bytes, raising on tamper/unused."""
-    if not USE_VECTORIZED:
+    if not _use_vectorized():
         return _decode_pattern_scalar(pattern).to_bytes()
     arr = np.asarray(pattern, dtype=bool)
     if arr.size % CELL_SIZE:
@@ -207,7 +216,7 @@ def decode_bytes(pattern: Sequence[bool]) -> bytes:
 
 def bytes_to_bits(data: bytes) -> List[int]:
     """Unpack bytes into a list of bits, most significant bit first."""
-    if USE_VECTORIZED:
+    if _use_vectorized():
         return np.unpackbits(np.frombuffer(data, dtype=np.uint8)).tolist()
     bits: List[int] = []
     for byte in data:
@@ -220,7 +229,7 @@ def bits_to_bytes(bits: Sequence[int]) -> bytes:
     """Pack an MSB-first bit sequence (multiple of 8 long) into bytes."""
     if len(bits) % 8:
         raise ValueError("bit sequence length must be a multiple of 8")
-    if USE_VECTORIZED:
+    if _use_vectorized():
         arr = np.asarray(bits, dtype=np.uint8) & 1
         return np.packbits(arr).tobytes()
     out = bytearray()

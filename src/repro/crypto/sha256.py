@@ -5,15 +5,24 @@ of a line in the write-once block.  The reproduction implements the
 hash from scratch so the whole stack is self-contained; the
 implementation is verified against :mod:`hashlib` in the test suite.
 The rest of the library goes through :func:`sha256_digest`, which
-defaults to the (much faster) ``hashlib`` backend but can be pinned to
-the pure implementation.
+resolves its backend through the execution policy
+(:func:`repro.api.resolve_sha256_backend`): a module pin via
+:func:`set_backend` wins, then ``repro.engine(sha256="pure")``
+contexts, then :attr:`~repro.api.ExecutionPolicy.sha256_backend`, then
+the ``REPRO_SHA256_BACKEND`` environment variable, defaulting to the
+(~100x faster) ``hashlib`` backend.  A pinned pure backend is thereby
+an explicit, inspectable choice (``repro.api.describe_policy()``) —
+it is the first fleet-scale ``heat_line`` throughput bottleneck when
+active.
 """
 
 from __future__ import annotations
 
 import hashlib
 import struct
-from typing import Iterable, Union
+from typing import Iterable, Optional, Union
+
+from ..api.policy import resolve_sha256_backend
 
 _BytesLike = Union[bytes, bytearray, memoryview]
 
@@ -140,32 +149,58 @@ class SHA256:
 
 _PURE_BACKEND = "pure"
 _HASHLIB_BACKEND = "hashlib"
-_backend = _HASHLIB_BACKEND
+
+#: Module-level pin: an explicit :func:`set_backend` choice.  ``None``
+#: (the default) defers to the execution policy, resolved lazily per
+#: digest so contexts and the environment variable work after import.
+_backend: Optional[str] = None
 
 
-def set_backend(name: str) -> None:
-    """Select the SHA-256 backend: ``"hashlib"`` (default) or ``"pure"``.
+def set_backend(name: Optional[str]) -> None:
+    """Pin the SHA-256 backend: ``"hashlib"`` or ``"pure"``.
 
     The pure backend exercises the from-scratch implementation above;
-    the hashlib backend is bit-identical and ~100x faster.
+    the hashlib backend is bit-identical and ~100x faster.  A pin
+    overrides the execution policy; ``set_backend(None)`` (or the
+    ``"auto"`` token) removes the pin and defers to the policy again.
+
+    To save and restore the pin state, round-trip through
+    :func:`get_pinned_backend` (which may be None), not
+    :func:`get_backend` — the latter returns the *resolved* backend,
+    and restoring a resolved name would install a pin that silently
+    overrides every later policy/context.
     """
     global _backend
+    if name in (None, "auto"):
+        _backend = None
+        return
     if name not in (_PURE_BACKEND, _HASHLIB_BACKEND):
         raise ValueError(f"unknown sha256 backend: {name!r}")
     _backend = name
 
 
 def get_backend() -> str:
-    """Return the name of the active SHA-256 backend."""
+    """Name of the backend a digest started now would use (resolved
+    through pin > context > policy > environment > ``"hashlib"``)."""
+    return resolve_sha256_backend(_backend)
+
+
+def get_pinned_backend() -> Optional[str]:
+    """The explicit :func:`set_backend` pin (None when deferring to
+    the execution policy).  Pass the return value straight back to
+    :func:`set_backend` to restore the pin state."""
     return _backend
+
+
+def _new_hash() -> "SHA256 | hashlib._Hash":
+    if resolve_sha256_backend(_backend) == _PURE_BACKEND:
+        return SHA256()
+    return hashlib.sha256()
 
 
 def sha256_digest(*chunks: _BytesLike) -> bytes:
     """Digest the concatenation of ``chunks`` with the active backend."""
-    if _backend == _PURE_BACKEND:
-        h: "SHA256 | hashlib._Hash" = SHA256()
-    else:
-        h = hashlib.sha256()
+    h = _new_hash()
     for chunk in chunks:
         h.update(chunk)
     return h.digest()
@@ -178,10 +213,7 @@ def sha256_hexdigest(*chunks: _BytesLike) -> str:
 
 def sha256_iter(chunks: Iterable[_BytesLike]) -> bytes:
     """Digest an iterable of byte chunks (streaming interface)."""
-    if _backend == _PURE_BACKEND:
-        h: "SHA256 | hashlib._Hash" = SHA256()
-    else:
-        h = hashlib.sha256()
+    h = _new_hash()
     for chunk in chunks:
         h.update(chunk)
     return h.digest()

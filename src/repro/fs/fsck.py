@@ -24,7 +24,33 @@ from .inode import FileType, Inode, unpack_pointer_block
 from .segment import BlockState
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..api.store import TamperEvidentStore
     from .lfs import SeroFS
+
+
+def _as_device(target) -> SERODevice:
+    """Accept a :class:`SERODevice` or anything fronting one (the
+    :class:`~repro.api.store.TamperEvidentStore` façade)."""
+    if isinstance(target, SERODevice):
+        return target
+    inner = getattr(target, "device", None)
+    if isinstance(inner, SERODevice):
+        return inner
+    raise TypeError(f"expected a SERODevice or a store façade, "
+                    f"got {type(target).__name__}")
+
+
+def _as_fs(target) -> "SeroFS":
+    """Accept a :class:`SeroFS` or a façade carrying one."""
+    from .lfs import SeroFS
+
+    if isinstance(target, SeroFS):
+        return target
+    inner = getattr(target, "fs", None)
+    if isinstance(inner, SeroFS):
+        return inner
+    raise TypeError(f"expected a SeroFS or a store façade with a file "
+                    f"system, got {type(target).__name__}")
 
 
 @dataclass
@@ -70,14 +96,16 @@ class DeepScanReport:
                    if f.verification.status is VerifyStatus.INTACT)
 
 
-def deep_scan(device: SERODevice) -> DeepScanReport:
+def deep_scan(device: "SERODevice | TamperEvidentStore") -> DeepScanReport:
     """Recover all heated files straight from the medium.
 
     Works with no checkpoint, no superblock and no directory tree: the
     heated lines themselves are found electrically, each line's block 1
     is parsed as an inode, and the file contents are reassembled from
-    the inode's pointers (all inside the line).
+    the inode's pointers (all inside the line).  Accepts a raw device
+    or a :class:`~repro.api.store.TamperEvidentStore`.
     """
+    device = _as_device(device)
     report = DeepScanReport(blocks_scanned=device.total_blocks)
     elapsed_before = device.account.elapsed
     records = device.scan_lines()
@@ -123,14 +151,17 @@ class FsckReport:
         return not self.errors
 
 
-def fsck(fs: "SeroFS", verify_lines: bool = True) -> FsckReport:
+def fsck(fs: "SeroFS | TamperEvidentStore",
+         verify_lines: bool = True) -> FsckReport:
     """Audit a mounted file system.
 
     Checks that every imap entry parses as the right inode, that every
     file block is accounted LIVE or HEATED in the segment table, that
     the directory tree reaches every inode, and (optionally) that every
-    heated line verifies INTACT.
+    heated line verifies INTACT.  Accepts a :class:`SeroFS` or a
+    :class:`~repro.api.store.TamperEvidentStore`.
     """
+    fs = _as_fs(fs)
     report = FsckReport()
     reachable = _walk_tree(fs, report)
     for ino, inode_pba in sorted(fs.imap.items()):

@@ -12,7 +12,8 @@ The scan has two implementations sharing the exact same medium I/O
 sequence (per-block write/readback spans): a scalar *reference* that
 classifies dots one at a time, and a vectorized path that records the
 readbacks into whole-medium arrays and classifies everything with a
-handful of numpy passes.  ``REPRO_SPAN_ENGINE`` selects the default.
+handful of numpy passes.  The lazily resolved execution policy
+(:func:`repro.api.resolve_vectorized`) selects the default.
 """
 
 from __future__ import annotations
@@ -22,7 +23,7 @@ from typing import List, Optional, Set
 
 import numpy as np
 
-from ..vectorize import span_engine_default
+from ..api.policy import resolve_vectorized
 from .medium import PatternedMedium
 
 
@@ -75,12 +76,14 @@ def scan_for_defects(medium: PatternedMedium, tolerance: int = 4,
     restores an erased (all-zero) state afterwards.
 
     With ``vectorized`` left at None the classification runs as
-    whole-medium numpy passes (unless ``REPRO_SPAN_ENGINE`` disables
-    it); both paths issue an identical per-block span I/O sequence, so
-    their counters and reports agree exactly.
+    whole-medium numpy passes (unless the lazily resolved execution
+    policy — ``repro.engine(...)`` context, installed policy, or the
+    ``REPRO_SPAN_ENGINE`` variable read at call time — selects the
+    scalar engine); both paths issue an identical per-block span I/O
+    sequence, so their counters and reports agree exactly.
     """
     if vectorized is None:
-        vectorized = span_engine_default()
+        vectorized = resolve_vectorized()
     geometry = medium.geometry
     dpb = geometry.dots_per_block
     # The test patterns depend only on the (uniform) span length, so

@@ -41,7 +41,7 @@ from ..physics.thermal import (
     temperature_at_distance_c,
 )
 from ..units import KB, celsius_to_kelvin
-from ..vectorize import span_engine_default
+from ..api.policy import resolve_vectorized
 from .dot import HEATED_SHARPNESS_THRESHOLD, DotView
 from .geometry import MediumGeometry
 
@@ -309,8 +309,9 @@ class PatternedMedium:
         (or all of them when ``pattern`` is None).
 
         With ``vectorized`` left at None the Arrhenius factor is
-        batched over the whole pattern with numpy (unless the
-        REPRO_SPAN_ENGINE switch disables it); ``collateral_heating``
+        batched over the whole pattern with numpy (unless the lazily
+        resolved execution policy selects the scalar engine);
+        ``collateral_heating``
         always takes the scalar per-dot path because each heated dot
         must also pulse its matrix neighbours.
         """
@@ -323,7 +324,7 @@ class PatternedMedium:
                 raise ValueError("pattern length must match span")
             idx = start + np.flatnonzero(np.asarray(pattern, dtype=bool))
         if vectorized is None:
-            vectorized = span_engine_default()
+            vectorized = resolve_vectorized()
         if self.config.collateral_heating or not vectorized:
             for index in idx:
                 self.heat_dot(int(index))

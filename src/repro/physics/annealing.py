@@ -27,7 +27,7 @@ from typing import List, Optional, Sequence, Union
 import numpy as np
 
 from ..units import KB, celsius_to_kelvin
-from ..vectorize import span_engine_default
+from ..api.policy import resolve_vectorized
 
 EV = 1.602176634e-19
 
@@ -219,11 +219,12 @@ def anneal_series(temperatures_c: Sequence[float], duration_s: float = 1800.0,
     "samples subjected to six different temperatures").
 
     With ``vectorized`` left at None the whole series anneals as one
-    :class:`FilmEnsemble` pass (unless ``REPRO_SPAN_ENGINE`` disables
-    it); the scalar loop remains as the reference path.
+    :class:`FilmEnsemble` pass (unless the lazily resolved execution
+    policy selects the scalar engine); the scalar loop remains as the
+    reference path.
     """
     if vectorized is None:
-        vectorized = span_engine_default()
+        vectorized = resolve_vectorized()
     temps = list(temperatures_c)
     if vectorized:
         ensemble = FilmEnsemble.fresh(len(temps))

@@ -1,15 +1,21 @@
 """The full Section 5 attack matrix, runnable as one call.
 
-Each scenario builds a fresh device + file system with a heated file,
-executes one attack from :mod:`repro.security.attacks` and checks the
-observed behaviour against the paper's prediction.  Used by the test
-suite and by ``benchmarks/bench_security_matrix.py``.
+Each scenario provisions a fresh :class:`TamperEvidentStore` with a
+sealed target object, executes one attack from
+:mod:`repro.security.attacks` and checks the observed behaviour
+against the paper's prediction.  The attacks themselves manipulate the
+medium directly (the insider with a laptop, below any API), while the
+*detection* side runs through the façade — exactly the deployment
+shape: tampering bypasses the service, auditing uses it.  Used by the
+test suite and by ``benchmarks/bench_security_matrix.py``.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, Optional, Tuple
 
+from ..api.store import TamperEvidentStore
 from ..device.sero import DeviceConfig, SERODevice, VerifyStatus
 from ..errors import ImmutableFileError, ReadError
 from ..fs.fsck import deep_scan
@@ -17,24 +23,39 @@ from ..fs.lfs import FSConfig, SeroFS
 from . import attacks
 from .detection import AttackOutcome, Expectation, SecurityReport
 
+TARGET = "/ledger.db"
+
+
+def _fresh_store(total_blocks: int = 256,
+                 include_addresses: bool = True) -> TamperEvidentStore:
+    """A store with one sealed target object at :data:`TARGET`."""
+    store = TamperEvidentStore.create(
+        total_blocks=total_blocks,
+        device_config=DeviceConfig(
+            include_addresses_in_hash=include_addresses))
+    store.put(TARGET, b"incriminating-record " * 100)
+    store.seal(TARGET, timestamp=1)
+    return store
+
 
 def _fresh_fs(total_blocks: int = 256,
-              include_addresses: bool = True) -> Tuple[SERODevice, SeroFS, int]:
-    """Device + FS with one heated target file; returns its line start."""
-    device = SERODevice.create(
-        total_blocks,
-        config=DeviceConfig(include_addresses_in_hash=include_addresses))
-    fs = SeroFS.format(device)
-    fs.create("/ledger.db", b"incriminating-record " * 100)
-    record = fs.heat_file("/ledger.db", timestamp=1)
-    return device, fs, record.start
+              include_addresses: bool = True
+              ) -> Tuple[SERODevice, SeroFS, int]:
+    """Deprecated shim for the pre-façade helper: device + FS with one
+    heated target file; returns its line start."""
+    warnings.warn(
+        "repro.security.analysis._fresh_fs is deprecated; use "
+        "_fresh_store() and the TamperEvidentStore façade",
+        DeprecationWarning, stacklevel=2)
+    store = _fresh_store(total_blocks, include_addresses)
+    return store.device, store.fs, store.receipts[TARGET].line_start
 
 
 def scenario_mwb_hash() -> AttackOutcome:
     """5.1 case 1: magnetic writes to the hash block are harmless."""
-    device, _fs, line = _fresh_fs()
-    attacks.mwb_hash(device, line)
-    result = device.verify_line(line)
+    store = _fresh_store()
+    attacks.mwb_hash(store.device, store.receipts[TARGET].line_start)
+    result = store.verify(TARGET)
     return AttackOutcome(
         name="mwb hash", expectation=Expectation.HARMLESS,
         achieved=result.status is VerifyStatus.INTACT,
@@ -44,9 +65,9 @@ def scenario_mwb_hash() -> AttackOutcome:
 
 def scenario_mwb_data() -> AttackOutcome:
     """5.1 case 2: magnetic rewrite of heated data -> hash mismatch."""
-    device, _fs, line = _fresh_fs()
-    attacks.mwb_data(device, line)
-    result = device.verify_line(line)
+    store = _fresh_store()
+    attacks.mwb_data(store.device, store.receipts[TARGET].line_start)
+    result = store.verify(TARGET)
     return AttackOutcome(
         name="mwb inode/data", expectation=Expectation.DETECTED,
         achieved=result.status is VerifyStatus.HASH_MISMATCH,
@@ -56,9 +77,10 @@ def scenario_mwb_data() -> AttackOutcome:
 
 def scenario_ewb_hash() -> AttackOutcome:
     """5.1 case 3: heating hash cells produces illegal HH codes."""
-    device, _fs, line = _fresh_fs()
-    attacks.ewb_hash(device, line, n_cells=2)
-    result = device.verify_line(line)
+    store = _fresh_store()
+    attacks.ewb_hash(store.device, store.receipts[TARGET].line_start,
+                     n_cells=2)
+    result = store.verify(TARGET)
     return AttackOutcome(
         name="ewb hash", expectation=Expectation.DETECTED,
         achieved=result.status is VerifyStatus.CELL_TAMPERED,
@@ -68,14 +90,14 @@ def scenario_ewb_hash() -> AttackOutcome:
 
 def scenario_ewb_data() -> AttackOutcome:
     """5.1 case 4: electrically destroyed data dots -> read error."""
-    device, _fs, line = _fresh_fs()
-    pba = attacks.ewb_data(device, line)
+    store = _fresh_store()
+    pba = attacks.ewb_data(store.device, store.receipts[TARGET].line_start)
     read_failed = False
     try:
-        device.read_block(pba)
+        store.device.read_block(pba)
     except ReadError:
         read_failed = True
-    result = device.verify_line(line)
+    result = store.verify(TARGET)
     return AttackOutcome(
         name="ewb inode/data", expectation=Expectation.DETECTED,
         achieved=read_failed and result.status is VerifyStatus.UNREADABLE,
@@ -85,11 +107,11 @@ def scenario_ewb_data() -> AttackOutcome:
 
 def scenario_split_file() -> AttackOutcome:
     """5.1 split/coalesce: forged sub-line heat is rejected."""
-    device, fs, _line = _fresh_fs(total_blocks=512)
-    fs.create("/big.db", b"x" * (20 * 512))
-    record = fs.heat_file("/big.db", timestamp=2)
-    forged = attacks.split_file(device, record.start)
-    result = device.verify_line(record.start)
+    store = _fresh_store(total_blocks=512)
+    store.put("/big.db", b"x" * (20 * 512))
+    receipt = store.seal("/big.db", timestamp=2)
+    forged = attacks.split_file(store.device, receipt.line_start)
+    result = store.verify("/big.db")
     return AttackOutcome(
         name="split/coalesce", expectation=Expectation.REJECTED,
         achieved=forged is not None and result.status is VerifyStatus.INTACT,
@@ -98,16 +120,16 @@ def scenario_split_file() -> AttackOutcome:
 
 
 def scenario_rm() -> AttackOutcome:
-    """5.2: rm on a heated file — refused by the driver, and the
+    """5.2: rm on a sealed object — refused by the façade, and the
     forced medium-level variant is tamper-evident."""
-    device, fs, line = _fresh_fs()
+    store = _fresh_store()
     refused = False
     try:
-        fs.unlink("/ledger.db")
+        store.delete(TARGET)
     except ImmutableFileError:
         refused = True
-    attacks.forced_rm(fs, "/ledger.db")
-    result = device.verify_line(line)
+    attacks.forced_rm(store.fs, TARGET)
+    result = store.verify_line(store.receipts[TARGET].line_start)
     return AttackOutcome(
         name="rm heated file", expectation=Expectation.DETECTED,
         achieved=refused and result.status is VerifyStatus.HASH_MISMATCH,
@@ -116,14 +138,14 @@ def scenario_rm() -> AttackOutcome:
 
 
 def scenario_ln() -> AttackOutcome:
-    """5.2: ln on a heated file is refused (link count immutable)."""
-    device, fs, line = _fresh_fs()
+    """5.2: ln on a sealed object is refused (link count immutable)."""
+    store = _fresh_store()
     refused = False
     try:
-        fs.link("/ledger.db", "/alias.db")
+        store.fs.link(TARGET, "/alias.db")
     except ImmutableFileError:
         refused = True
-    result = device.verify_line(line)
+    result = store.verify(TARGET)
     return AttackOutcome(
         name="ln heated file", expectation=Expectation.REJECTED,
         achieved=refused and result.status is VerifyStatus.INTACT,
@@ -136,8 +158,10 @@ def scenario_copy_mask(include_addresses: bool = True) -> AttackOutcome:
     addresses inside the hash make copies distinguishable.  With the
     ablated hash (no addresses) the copy *does* pass, which is the
     DESIGN.md ablation."""
-    device, _fs, line = _fresh_fs(total_blocks=256,
-                                  include_addresses=include_addresses)
+    store = _fresh_store(total_blocks=256,
+                         include_addresses=include_addresses)
+    device = store.device
+    line = store.receipts[TARGET].line_start
     record = device.line_of_block(line)
     free_start = None
     for candidate in range(device.total_blocks - record.n_blocks,
@@ -148,8 +172,8 @@ def scenario_copy_mask(include_addresses: bool = True) -> AttackOutcome:
             break
     assert free_start is not None
     copy_start = attacks.copy_mask(device, line, free_start)
-    original = device.verify_line(line)
-    copy = device.verify_line(copy_start)
+    original = store.verify_line(line)
+    copy = store.verify_line(copy_start)
     copy_meta_differs = (
         copy.stored_hash != original.stored_hash
         if include_addresses else
@@ -167,10 +191,10 @@ def scenario_copy_mask(include_addresses: bool = True) -> AttackOutcome:
 
 def scenario_clear_directory() -> AttackOutcome:
     """5.2: wiping the directory tree — the deep scan recovers the
-    heated file, name hint and all."""
-    device, fs, _line = _fresh_fs()
-    attacks.clear_directory(fs)
-    report = deep_scan(device)
+    sealed object, name hint and all."""
+    store = _fresh_store()
+    attacks.clear_directory(store.fs)
+    report = deep_scan(store)
     recovered = [f for f in report.recovered if f.name_hint == "ledger.db"]
     achieved = bool(recovered) and recovered[0].data is not None and \
         recovered[0].verification.status is VerifyStatus.INTACT
@@ -184,12 +208,14 @@ def scenario_clear_directory() -> AttackOutcome:
 def scenario_bulk_erase() -> AttackOutcome:
     """5.2: bulk erase clears magnetic data but the electrical
     evidence survives — every line still announces itself and fails
-    verification loudly."""
-    device, _fs, line = _fresh_fs()
-    attacks.bulk_erase(device)
-    recovered = device.scan_lines()
+    the audit loudly."""
+    store = _fresh_store()
+    line = store.receipts[TARGET].line_start
+    attacks.bulk_erase(store.device)
+    recovered = store.device.scan_lines()
     found = any(rec.start == line for rec in recovered)
-    result = device.verify_line(line)
+    audit = store.audit()
+    result = next(r for r in audit if r.line_start == line)
     return AttackOutcome(
         name="bulk erase", expectation=Expectation.DETECTED,
         achieved=found and result.tamper_evident,

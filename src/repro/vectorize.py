@@ -1,35 +1,37 @@
-"""Central switch for the vectorized span-engine fast paths.
+"""Deprecated shim for the pre-``repro.api`` engine switch.
 
-The hot electrical paths (erb spans, Manchester coding, CRCs, bulk
-heating) each have two implementations: a scalar *reference* path that
-follows the paper's per-dot protocol literally, and a numpy *span*
-path that performs the same protocol as whole-array operations.  The
-span path is the default; the scalar path stays available so tests can
-assert scalar<->span equivalence and so a reader can always fall back
-to the literal protocol.
+The hot paths each have two implementations: a scalar *reference* path
+that follows the paper's per-dot protocol literally, and a numpy
+*span* path that performs the same protocol as whole-array operations.
+Which one runs is now decided by :mod:`repro.api.policy` — one lazy
+resolution order (explicit argument > ``with repro.engine("scalar"):``
+context > installed :class:`~repro.api.policy.ExecutionPolicy` >
+``REPRO_SPAN_ENGINE`` environment variable, read at *call* time).
 
-Setting the environment variable ``REPRO_SPAN_ENGINE`` to ``0``,
-``false``, ``no``, ``off`` or ``scalar`` before import makes every
-module default to the scalar reference path.  Individual layers can
-also be switched at runtime:
-
-* :class:`repro.device.sero.DeviceConfig` has a ``span_engine`` field;
-* :mod:`repro.crypto.manchester` / :mod:`repro.crypto.crc` expose a
-  module-level ``USE_VECTORIZED`` flag;
-* :meth:`repro.medium.medium.PatternedMedium.heat_span` takes a
-  ``vectorized`` keyword.
+:func:`span_engine_default` remains only for backwards compatibility;
+new code should call :func:`repro.api.resolve_vectorized` (for the
+bare flag) or :func:`repro.api.resolve_engine` (for the full engine
+spec).  The old import-time environment read is gone: flipping
+``REPRO_SPAN_ENGINE`` after import now takes effect everywhere.
 """
 
 from __future__ import annotations
 
-import os
+import warnings
 
-_FALSEY = ("0", "false", "no", "off", "scalar")
+from .api.policy import resolve_vectorized
 
 
 def span_engine_default() -> bool:
-    """Whether the vectorized span engine is enabled by default."""
-    value = os.environ.get("REPRO_SPAN_ENGINE")
-    if value is None:
-        return True
-    return value.strip().lower() not in _FALSEY
+    """Deprecated: use :func:`repro.api.resolve_vectorized`.
+
+    Returns the same answer as the policy chain (so existing callers
+    keep working, now with lazy semantics) and emits a
+    :class:`DeprecationWarning`.
+    """
+    warnings.warn(
+        "repro.vectorize.span_engine_default() is deprecated; use "
+        "repro.api.resolve_vectorized() (or an ExecutionPolicy / "
+        "repro.engine(...) context)",
+        DeprecationWarning, stacklevel=2)
+    return resolve_vectorized()

@@ -104,6 +104,9 @@ class ComplianceArchive:
             len(self.expired(current_period)) == len(self._batches)
 
     def audit(self) -> Dict[str, object]:
-        """Verify every sealed batch; returns {path: VerificationResult}."""
-        return {b.path: self.fs.device.verify_line(b.line_start)
-                for b in self._batches}
+        """Verify every sealed batch in one batched sweep
+        (:meth:`~repro.device.sero.SERODevice.verify_lines`); returns
+        {path: VerificationResult}."""
+        results = self.fs.device.verify_lines(
+            [b.line_start for b in self._batches])
+        return {b.path: r for b, r in zip(self._batches, results)}

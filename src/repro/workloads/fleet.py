@@ -1,36 +1,46 @@
-"""Fleet-scale batch scheduling over many SERO devices.
+"""Fleet-scale batch scheduling over many tamper-evident stores.
 
 The ROADMAP's north star is fleet-scale throughput: a provisioning or
 compliance service does not format and audit one device, it runs whole
 racks of them.  This module gives that scale a measurable surface: a
-:class:`FleetScheduler` drives the batched engines — the vectorized
-format-time defect scan and the batched line-verification sweep —
-across every device of a fleet and reports aggregate throughput, both
-in simulator wall-clock (blocks/s of host time) and in simulated
-device time (the :class:`~repro.device.timing.CostAccount` clock).
+:class:`FleetScheduler` drives the façade's batched device-grain
+operations — :meth:`~repro.api.store.TamperEvidentStore.format_device`
+(the vectorized format-time defect scan) and
+:meth:`~repro.api.store.TamperEvidentStore.audit` (the batched
+line-verification sweep) — across every member of a fleet and reports
+aggregate throughput, both in simulator wall-clock (blocks/s of host
+time) and in simulated device time (the
+:class:`~repro.device.timing.CostAccount` clock).
+
+Fleet members are :class:`~repro.api.store.TamperEvidentStore`
+instances; passing bare :class:`~repro.device.sero.SERODevice` objects
+still works (they are wrapped in device-grain stores) but is
+deprecated.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
-from ..device.sero import DeviceConfig, SERODevice, VerifyStatus
+from ..api.store import TamperEvidentStore
+from ..device.sero import DeviceConfig, SERODevice
 from ..device.timing import TimingModel
 from ..medium.medium import MediumConfig
 
 
 @dataclass
 class DeviceReport:
-    """Per-device outcome of one fleet pass.
+    """Per-store outcome of one fleet pass.
 
     Attributes:
-        device_index: position of the device in the fleet.
+        device_index: position of the store in the fleet.
         blocks: total physical blocks.
         bad_blocks: blocks the format scan marked bad.
         fragile_blocks: blocks unusable as line heads.
-        lines_verified: heated lines audited.
+        lines_verified: sealed lines audited.
         intact_lines: lines whose hash verified INTACT.
         tampered_lines: lines with tamper evidence.
         device_seconds: simulated device time consumed by the pass.
@@ -52,7 +62,7 @@ class FleetReport:
 
     Attributes:
         operation: ``"format"`` or ``"audit"``.
-        devices: per-device breakdown.
+        devices: per-store breakdown.
         wall_seconds: simulator wall-clock for the whole pass.
     """
 
@@ -62,7 +72,7 @@ class FleetReport:
 
     @property
     def device_count(self) -> int:
-        """Devices covered by the pass."""
+        """Stores covered by the pass."""
         return len(self.devices)
 
     @property
@@ -79,7 +89,7 @@ class FleetReport:
 
     @property
     def lines_verified(self) -> int:
-        """Heated lines audited across the fleet."""
+        """Sealed lines audited across the fleet."""
         return sum(d.lines_verified for d in self.devices)
 
     @property
@@ -99,64 +109,79 @@ class FleetReport:
 
 
 class FleetScheduler:
-    """Formats and audits a multi-device fleet with the batched engines.
+    """Formats and audits a fleet of tamper-evident stores.
 
     Args:
-        devices: the fleet members (see :meth:`build` for a convenience
-            constructor with per-device seeds).
+        members: the fleet — :class:`TamperEvidentStore` instances
+            (bare :class:`SERODevice` members are wrapped, with a
+            :class:`DeprecationWarning`).  See :meth:`build` for a
+            convenience constructor with per-device seeds.
     """
 
-    def __init__(self, devices: Sequence[SERODevice]) -> None:
-        self.devices = list(devices)
+    def __init__(self, members: Sequence[Union[TamperEvidentStore,
+                                               SERODevice]]) -> None:
+        self.stores: List[TamperEvidentStore] = []
+        for member in members:
+            if isinstance(member, TamperEvidentStore):
+                self.stores.append(member)
+            else:
+                warnings.warn(
+                    "passing bare SERODevice objects to FleetScheduler is "
+                    "deprecated; pass TamperEvidentStore members (e.g. "
+                    "TamperEvidentStore.attach(device))",
+                    DeprecationWarning, stacklevel=2)
+                self.stores.append(TamperEvidentStore.attach(member))
+
+    @property
+    def devices(self) -> List[SERODevice]:
+        """The underlying devices, fleet order."""
+        return [store.device for store in self.stores]
 
     @classmethod
     def build(cls, n_devices: int, blocks_per_device: int,
               switching_sigma: float = 0.0, seed: int = 2008,
               timing: Optional[TimingModel] = None,
               config: Optional[DeviceConfig] = None) -> "FleetScheduler":
-        """Provision ``n_devices`` fresh devices with distinct media
-        seeds (each device is an independent physical sample)."""
-        devices = []
+        """Provision ``n_devices`` fresh device-grain stores with
+        distinct media seeds (each device is an independent physical
+        sample)."""
+        stores = []
         for i in range(n_devices):
             medium_config = MediumConfig(switching_sigma=switching_sigma,
                                          seed=seed + i)
-            devices.append(SERODevice.create(
+            device = SERODevice.create(
                 blocks_per_device, medium_config=medium_config,
-                timing=timing, config=config))
-        return cls(devices)
+                timing=timing, config=config)
+            stores.append(TamperEvidentStore.attach(device))
+        return cls(stores)
 
     def format_fleet(self) -> FleetReport:
-        """Run the format-time surface scan on every device."""
+        """Run the format-time surface scan on every store."""
         report = FleetReport(operation="format")
         t0 = time.perf_counter()
-        for i, device in enumerate(self.devices):
-            elapsed_before = device.account.elapsed
-            device.format()
+        for i, store in enumerate(self.stores):
+            scan = store.format_device()
             report.devices.append(DeviceReport(
-                device_index=i, blocks=device.total_blocks,
-                bad_blocks=len(device.bad_blocks),
-                fragile_blocks=len(device.fragile_blocks),
-                device_seconds=device.account.elapsed - elapsed_before))
+                device_index=i, blocks=scan.blocks,
+                bad_blocks=scan.bad_blocks,
+                fragile_blocks=scan.fragile_blocks,
+                device_seconds=scan.device_seconds))
         report.wall_seconds = time.perf_counter() - t0
         return report
 
     def audit_fleet(self) -> FleetReport:
-        """Verify every registered heated line on every device, using
-        the batched :meth:`~repro.device.sero.SERODevice.verify_lines`
-        sweep per device."""
+        """Audit every store: each runs its batched
+        :meth:`~repro.api.store.TamperEvidentStore.audit` sweep
+        (one bulk ``verify_lines`` pass per device)."""
         report = FleetReport(operation="audit")
         t0 = time.perf_counter()
-        for i, device in enumerate(self.devices):
-            elapsed_before = device.account.elapsed
-            results = device.verify_lines(
-                [rec.start for rec in device.heated_lines])
-            intact = sum(1 for r in results
-                         if r.status is VerifyStatus.INTACT)
-            tampered = sum(1 for r in results if r.tamper_evident)
+        for i, store in enumerate(self.stores):
+            audit = store.audit()
             report.devices.append(DeviceReport(
-                device_index=i, blocks=device.total_blocks,
-                lines_verified=len(results), intact_lines=intact,
-                tampered_lines=tampered,
-                device_seconds=device.account.elapsed - elapsed_before))
+                device_index=i, blocks=store.device.total_blocks,
+                lines_verified=audit.lines_verified,
+                intact_lines=audit.intact_count,
+                tampered_lines=len(audit.tampered),
+                device_seconds=audit.device_seconds))
         report.wall_seconds = time.perf_counter() - t0
         return report

@@ -1,0 +1,299 @@
+"""Execution-policy tests: resolution precedence, nested contexts,
+lazy environment reads, sha256 backend routing, deprecation shims."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.api import policy as pol
+from repro.api.policy import (
+    EngineSpec,
+    ExecutionPolicy,
+    available_engines,
+    describe_policy,
+    engine,
+    get_engine,
+    register_engine,
+    resolve_engine,
+    resolve_sha256_backend,
+    resolve_vectorized,
+    set_policy,
+    unregister_engine,
+)
+from repro.crypto import crc, manchester, sha256
+
+
+@pytest.fixture(autouse=True)
+def _clean_policy_state(monkeypatch):
+    """Every test starts from the default resolution state (no env, no
+    installed policy, no module pins leaked by other test files)."""
+    monkeypatch.delenv(pol.ENGINE_ENV_VAR, raising=False)
+    monkeypatch.delenv(pol.SHA256_ENV_VAR, raising=False)
+    set_policy(None)
+    monkeypatch.setattr(crc, "USE_VECTORIZED", None)
+    monkeypatch.setattr(manchester, "USE_VECTORIZED", None)
+    monkeypatch.setattr(sha256, "_backend", None)
+    yield
+    set_policy(None)
+
+
+# -- resolution precedence: arg > context > policy > env > default ----------
+
+
+def test_default_is_vectorized():
+    assert resolve_vectorized() is True
+    assert resolve_engine().name == "vectorized"
+
+
+def test_env_layer_is_read_lazily(monkeypatch):
+    # flipping the variable *after import* must take effect everywhere
+    assert resolve_vectorized() is True
+    monkeypatch.setenv(pol.ENGINE_ENV_VAR, "0")
+    assert resolve_vectorized() is False
+    monkeypatch.setenv(pol.ENGINE_ENV_VAR, "scalar")
+    assert resolve_engine().name == "scalar"
+    monkeypatch.setenv(pol.ENGINE_ENV_VAR, "vectorized")
+    assert resolve_vectorized() is True
+
+
+def test_policy_beats_env(monkeypatch):
+    monkeypatch.setenv(pol.ENGINE_ENV_VAR, "0")
+    set_policy(ExecutionPolicy(engine="vectorized"))
+    assert resolve_vectorized() is True
+    set_policy(None)
+    assert resolve_vectorized() is False
+
+
+def test_context_beats_policy(monkeypatch):
+    set_policy(ExecutionPolicy(engine="vectorized"))
+    with engine("scalar"):
+        assert resolve_vectorized() is False
+    assert resolve_vectorized() is True
+
+
+def test_explicit_arg_beats_everything(monkeypatch):
+    monkeypatch.setenv(pol.ENGINE_ENV_VAR, "0")
+    set_policy(ExecutionPolicy(engine="scalar"))
+    with engine("scalar"):
+        assert resolve_vectorized(True) is True
+        assert resolve_vectorized("vectorized") is True
+        assert resolve_engine(False).name == "scalar"
+
+
+def test_nested_contexts_innermost_wins():
+    with engine("scalar"):
+        assert resolve_engine().name == "scalar"
+        with engine("vectorized"):
+            assert resolve_engine().name == "vectorized"
+            with engine("scalar"):
+                assert resolve_vectorized() is False
+            assert resolve_vectorized() is True
+        assert resolve_engine().name == "scalar"
+    assert resolve_engine().name == "vectorized"
+
+
+def test_context_with_no_engine_defers():
+    with engine(sha256="pure"):  # pins only the hash backend
+        assert resolve_vectorized() is True
+        with engine("scalar"):
+            assert resolve_vectorized() is False
+            assert resolve_sha256_backend() == "pure"
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError):
+        resolve_engine("warp-drive")
+    with pytest.raises(ValueError):
+        ExecutionPolicy(engine="warp-drive")
+
+
+def test_policy_use_context():
+    custom = ExecutionPolicy(engine="scalar", sha256_backend="pure")
+    with custom.use():
+        assert resolve_vectorized() is False
+        assert resolve_sha256_backend() == "pure"
+    assert resolve_vectorized() is True
+    assert resolve_sha256_backend() == "hashlib"
+
+
+# -- engine registry --------------------------------------------------------
+
+
+def test_builtin_engines_registered():
+    assert {"vectorized", "scalar"} <= set(available_engines())
+    assert get_engine("vectorized").vectorized is True
+    assert get_engine("scalar").vectorized is False
+
+
+def test_register_custom_engine_selectable():
+    register_engine(EngineSpec("sharded_test", True,
+                               "pretend fleet backend"))
+    try:
+        with engine("sharded_test"):
+            assert resolve_engine().name == "sharded_test"
+            assert resolve_vectorized() is True
+        set_policy(ExecutionPolicy(engine="sharded_test"))
+        assert resolve_engine().name == "sharded_test"
+    finally:
+        set_policy(None)
+        unregister_engine("sharded_test")
+    with pytest.raises(ValueError):
+        get_engine("sharded_test")
+
+
+def test_register_duplicate_engine_rejected():
+    with pytest.raises(ValueError):
+        register_engine(EngineSpec("scalar", False))
+    with pytest.raises(ValueError):
+        unregister_engine("vectorized")
+
+
+def test_describe_policy_reports_source(monkeypatch):
+    snap = describe_policy()
+    assert snap["engine"] == "vectorized"
+    assert snap["engine_source"] == "default"
+    monkeypatch.setenv(pol.ENGINE_ENV_VAR, "off")
+    assert describe_policy()["engine_source"] == "env"
+    set_policy(ExecutionPolicy(engine="vectorized"))
+    assert describe_policy()["engine_source"] == "policy"
+    with engine("scalar"):
+        snap = describe_policy()
+        assert snap["engine_source"] == "context"
+        assert snap["vectorized"] is False
+
+
+# -- the lazy switch actually reaches the leaf modules ----------------------
+
+
+def test_crc_and_manchester_flip_after_import(monkeypatch):
+    data = b"the quick brown fox" * 11
+    vec = crc.crc32(data)
+    monkeypatch.setenv(pol.ENGINE_ENV_VAR, "0")
+    # same answer, scalar path (observable through the module pin trace)
+    assert crc.crc32(data) == vec
+    assert crc._use_vectorized() is False
+    assert manchester._use_vectorized() is False
+    monkeypatch.delenv(pol.ENGINE_ENV_VAR)
+    assert crc._use_vectorized() is True
+
+
+def test_module_pin_beats_policy():
+    try:
+        crc.USE_VECTORIZED = False
+        with engine("vectorized"):
+            assert crc._use_vectorized() is False
+    finally:
+        crc.USE_VECTORIZED = None
+    with engine("scalar"):
+        assert crc._use_vectorized() is False
+
+
+def test_device_config_resolves_policy_at_construction():
+    from repro.device.sero import DeviceConfig
+
+    with engine("scalar"):
+        assert DeviceConfig().span_engine is False
+    assert DeviceConfig().span_engine is True
+
+
+def test_scan_for_defects_honours_context():
+    from repro.device.sero import SERODevice
+    from repro.medium.defects import scan_for_defects
+
+    device = SERODevice.create(8)
+    with engine("scalar"):
+        scalar_report = scan_for_defects(device.medium)
+    vec_report = scan_for_defects(device.medium)
+    assert scalar_report == vec_report
+
+
+# -- sha256 backend routing --------------------------------------------------
+
+
+def test_sha256_backend_resolves_through_policy(monkeypatch):
+    assert sha256.get_backend() == "hashlib"
+    with engine(sha256="pure"):
+        assert sha256.get_backend() == "pure"
+    set_policy(ExecutionPolicy(sha256_backend="pure"))
+    assert sha256.get_backend() == "pure"
+    set_policy(None)
+    monkeypatch.setenv(pol.SHA256_ENV_VAR, "pure")
+    assert sha256.get_backend() == "pure"
+
+
+def test_sha256_pin_beats_policy_and_digests_agree():
+    payload = (b"tamper-evident", b" storage")
+    baseline = sha256.sha256_digest(*payload)
+    try:
+        sha256.set_backend("pure")
+        with engine(sha256="hashlib"):
+            assert sha256.get_backend() == "pure"
+        assert sha256.sha256_digest(*payload) == baseline
+    finally:
+        sha256.set_backend(None)  # unpin
+    with engine(sha256="pure"):
+        assert sha256.sha256_digest(*payload) == baseline
+
+
+def test_sha256_invalid_backends_rejected():
+    with pytest.raises(ValueError):
+        sha256.set_backend("md5")
+    with pytest.raises(ValueError):
+        ExecutionPolicy(sha256_backend="md5")
+    with pytest.raises(ValueError):
+        resolve_sha256_backend("md5")
+
+
+def test_line_hash_identical_across_backends():
+    from repro.crypto.hashutil import line_hash
+
+    addresses = [3, 4, 5]
+    blocks = [bytes([i]) * 512 for i in range(3)]
+    fast = line_hash(addresses, blocks)
+    with engine(sha256="pure"):
+        assert line_hash(addresses, blocks) == fast
+
+
+# -- deprecation shims --------------------------------------------------------
+
+
+def test_span_engine_default_shim_warns_and_matches(monkeypatch):
+    from repro.vectorize import span_engine_default
+
+    with pytest.warns(DeprecationWarning):
+        assert span_engine_default() is True
+    monkeypatch.setenv(pol.ENGINE_ENV_VAR, "0")
+    with pytest.warns(DeprecationWarning):
+        assert span_engine_default() is False
+    with engine("vectorized"), pytest.warns(DeprecationWarning):
+        assert span_engine_default() is True
+
+
+def test_fleet_scheduler_raw_device_shim_warns():
+    from repro.device.sero import SERODevice
+    from repro.workloads.fleet import FleetScheduler
+
+    devices = [SERODevice.create(16) for _ in range(2)]
+    with pytest.warns(DeprecationWarning):
+        fleet = FleetScheduler(devices)
+    assert fleet.devices == devices
+    report = fleet.format_fleet()
+    assert report.device_count == 2
+    assert report.blocks_processed == 32
+
+
+def test_fresh_fs_shim_warns_and_matches_store():
+    from repro.security.analysis import TARGET, _fresh_fs, _fresh_store
+
+    with pytest.warns(DeprecationWarning):
+        device, fs, line = _fresh_fs(total_blocks=256)
+    store = _fresh_store(total_blocks=256)
+    assert line == store.receipts[TARGET].line_start
+    assert fs.read(TARGET) == store.get(TARGET)
+    assert device.verify_line(line).status.value == "intact"
+
+
+def test_top_level_engine_export():
+    with repro.engine("scalar"):
+        assert repro.api.resolve_vectorized() is False

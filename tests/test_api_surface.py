@@ -1,0 +1,75 @@
+"""API-surface snapshot: ``repro.api.__all__`` is a frozen contract.
+
+If this test fails you changed the v1 public surface.  That is allowed
+— but only deliberately: update ``EXPECTED_API`` (and ``API.md``) in
+the same change, and call out the addition/removal in the PR.
+"""
+
+import repro
+import repro.api as api
+
+#: The frozen surface.  Keep sorted.
+EXPECTED_API = sorted([
+    # execution policy
+    "ENGINE_ENV_VAR",
+    "EngineSpec",
+    "ExecutionPolicy",
+    "SHA256_BACKENDS",
+    "SHA256_ENV_VAR",
+    "available_engines",
+    "describe_policy",
+    "engine",
+    "get_engine",
+    "get_policy",
+    "register_engine",
+    "resolve_engine",
+    "resolve_sha256_backend",
+    "resolve_vectorized",
+    "set_policy",
+    "unregister_engine",
+    # store façade
+    "ArchiveReceipt",
+    "AuditReport",
+    "EvidenceExport",
+    "FormatReport",
+    "ObjectInfo",
+    "SealReceipt",
+    "StoreConfig",
+    "TamperEvidentStore",
+    "VerifyReport",
+])
+
+#: The top-level convenience re-exports the quick start relies on.
+EXPECTED_TOP_LEVEL = {
+    "TamperEvidentStore", "StoreConfig", "ObjectInfo", "SealReceipt",
+    "VerifyReport", "AuditReport", "ExecutionPolicy", "EngineSpec",
+    "engine",
+}
+
+
+def test_api_all_snapshot():
+    assert sorted(api.__all__) == EXPECTED_API, (
+        "repro.api.__all__ changed; update EXPECTED_API (and API.md) "
+        "deliberately if this is intended")
+
+
+def test_every_api_name_importable():
+    for name in api.__all__:
+        assert getattr(api, name) is not None, name
+
+
+def test_dir_covers_lazy_exports():
+    listing = dir(api)
+    for name in api.__all__:
+        assert name in listing
+
+
+def test_top_level_reexports():
+    missing = EXPECTED_TOP_LEVEL - set(repro.__all__)
+    assert not missing, f"top-level façade exports missing: {missing}"
+    for name in EXPECTED_TOP_LEVEL:
+        assert getattr(repro, name) is getattr(api, name)
+
+
+def test_version_is_v2():
+    assert repro.__version__ == "2.0.0"

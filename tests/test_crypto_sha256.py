@@ -68,7 +68,7 @@ def test_digest_size_and_block_size():
 
 
 def test_backend_switching():
-    original = get_backend()
+    original = mod.get_pinned_backend()  # None unless explicitly pinned
     try:
         set_backend("pure")
         pure = sha256_digest(b"backend test")
@@ -77,6 +77,17 @@ def test_backend_switching():
         assert pure == fast == hashlib.sha256(b"backend test").digest()
     finally:
         set_backend(original)
+
+
+def test_pin_roundtrip_does_not_install_a_pin():
+    # the documented save/restore idiom must leave the policy layer in
+    # charge when no pin was set to begin with
+    assert mod.get_pinned_backend() is None
+    saved = mod.get_pinned_backend()
+    set_backend("pure")
+    set_backend(saved)
+    assert mod.get_pinned_backend() is None
+    assert get_backend() == "hashlib"
 
 
 def test_unknown_backend_rejected():

@@ -400,7 +400,7 @@ def test_crc32_fast_path_matches_scalar(n):
         assert fast == crc_mod.crc32(data)
         assert fast_seeded == crc_mod.crc32(data, seed)
     finally:
-        crc_mod.USE_VECTORIZED = True
+        crc_mod.USE_VECTORIZED = None
 
 
 @pytest.mark.parametrize("n", [0, 1, 2, 3, 12, 14, 255])
@@ -412,7 +412,7 @@ def test_crc16_fast_path_matches_scalar(n):
     try:
         assert fast == crc_mod.crc16_ccitt(data)
     finally:
-        crc_mod.USE_VECTORIZED = True
+        crc_mod.USE_VECTORIZED = None
 
 
 def test_manchester_fast_paths_match_scalar():
@@ -429,7 +429,7 @@ def test_manchester_fast_paths_match_scalar():
             assert vec_decoded == man_mod.decode_bytes(ref_pattern) == data
             ref_result = man_mod.decode_pattern(ref_pattern)
         finally:
-            man_mod.USE_VECTORIZED = True
+            man_mod.USE_VECTORIZED = None
         assert vec_result.bits == ref_result.bits
         assert vec_result.tampered_cells == ref_result.tampered_cells
         assert vec_result.unused_cells == ref_result.unused_cells
