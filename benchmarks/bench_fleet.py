@@ -1,0 +1,157 @@
+"""Fleet executor floors: parallel dispatch vs the serial reference.
+
+The scale-out acceptance criterion: an 8-device fleet audit dispatched
+on the ``thread`` or ``process`` executor must beat the ``serial``
+reference —
+
+* **simulated rack makespan** (always enforced): with one worker per
+  device the rack finishes when its slowest member does, so the
+  simulated completion time must drop ≥ :data:`MAKESPAN_FLOOR`× vs
+  serial.  This is deterministic device-time accounting, independent
+  of host hardware;
+* **host wall-clock** (enforced on machines with ≥
+  :data:`WALL_FLOOR_MIN_CPUS` cores, i.e. every CI runner): the best
+  parallel executor must audit ≥ :data:`WALL_FLOOR`× faster than
+  serial.  On smaller hosts the measurement is recorded in the JSON
+  but a 2× wall speedup is physically impossible on one core, so the
+  floor does not apply;
+
+and, always, the per-device reports must be **byte-identical** across
+all three executors — parallel dispatch must not change a single
+verdict, hash or simulated-time figure.
+
+Results land in ``BENCH_fleet.json`` at the repo root.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.analysis.report import format_table
+from repro.workloads.fleet import FleetScheduler
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+N_DEVICES = 8
+BLOCKS_PER_DEVICE = 128
+#: Short, densely packed lines: the erb-heavy audit profile, which is
+#: both the paper's integrity hot path and the most compute per byte
+#: of member snapshot a process worker has to ingest.
+LINES_PER_DEVICE = 60
+LINE_BLOCKS = 2
+
+#: Simulated rack-makespan speedup floor (8 workers over 8 devices
+#: should approach 8x; 2x leaves room for imbalanced media).
+MAKESPAN_FLOOR = 2.0
+
+#: Host wall-clock speedup floor for the best parallel executor.
+WALL_FLOOR = 2.0
+
+#: Cores below which the wall floor is recorded but not enforced.
+WALL_FLOOR_MIN_CPUS = 4
+
+
+def _provisioned_fleet(executor):
+    fleet = FleetScheduler.build(N_DEVICES, BLOCKS_PER_DEVICE,
+                                 switching_sigma=0.02,
+                                 executor=executor, max_workers=N_DEVICES)
+    fleet.format_fleet()
+    fleet.seal_fleet(lines_per_device=LINES_PER_DEVICE,
+                     line_blocks=LINE_BLOCKS)
+    return fleet
+
+
+def _measure(executor):
+    """Provision under ``executor`` and time its audit pass (best wall
+    of three: pool startup and page-cache noise must not decide
+    floors).  The *first* pass's report is returned for the
+    byte-equivalence assertion — repeated audits advance each device's
+    RNG, so reports are comparable across executors only at the same
+    pass index."""
+    fleet = _provisioned_fleet(executor)
+    first = None
+    best_wall = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        report = fleet.audit_fleet()
+        best_wall = min(best_wall, time.perf_counter() - t0)
+        if first is None:
+            first = report
+    return best_wall, first, fleet
+
+
+def test_fleet_parallel_audit_floors(benchmark, show):
+    serial_wall, serial_report, _ = benchmark.pedantic(
+        lambda: _measure("serial"), rounds=1, iterations=1)
+    results = {"serial": (serial_wall, serial_report)}
+    for name in ("thread", "process"):
+        wall, report, _fleet = _measure(name)
+        results[name] = (wall, report)
+
+    # parallel dispatch must not change a single per-device byte
+    for name in ("thread", "process"):
+        assert results[name][1].fingerprints() == \
+            serial_report.fingerprints(), f"{name} diverged from serial"
+
+    serial_makespan = serial_report.simulated_makespan_seconds
+    rows = []
+    for name, (wall, report) in results.items():
+        rows.append({
+            "executor": name,
+            "workers": report.workers,
+            "wall_s": wall,
+            "wall_speedup": serial_wall / wall if wall > 0 else 0.0,
+            "makespan_s": report.simulated_makespan_seconds,
+            "makespan_speedup": (
+                serial_makespan / report.simulated_makespan_seconds
+                if report.simulated_makespan_seconds > 0 else 0.0),
+        })
+    show(format_table(
+        ["executor", "workers", "wall [ms]", "wall x", "sim makespan [ms]",
+         "makespan x"],
+        [[r["executor"], r["workers"], round(r["wall_s"] * 1e3, 1),
+          round(r["wall_speedup"], 2), round(r["makespan_s"] * 1e3, 3),
+          round(r["makespan_speedup"], 2)] for r in rows],
+        title=f"fleet audit, {N_DEVICES} devices x {BLOCKS_PER_DEVICE} "
+              f"blocks, {LINES_PER_DEVICE} sealed lines each"))
+
+    cpus = os.cpu_count() or 1
+    best_makespan = max(r["makespan_speedup"] for r in rows
+                        if r["executor"] != "serial")
+    best_wall = max(r["wall_speedup"] for r in rows
+                    if r["executor"] != "serial")
+    wall_floor_enforced = cpus >= WALL_FLOOR_MIN_CPUS
+
+    payload = {
+        "bench": "fleet",
+        "devices": N_DEVICES,
+        "blocks_per_device": BLOCKS_PER_DEVICE,
+        "lines_audited": serial_report.lines_verified,
+        "cpu_count": cpus,
+        "rows": [{k: (round(v, 6) if isinstance(v, float) else v)
+                  for k, v in r.items()} for r in rows],
+        "floors": {
+            "makespan_speedup": MAKESPAN_FLOOR,
+            "wall_speedup": WALL_FLOOR,
+            "wall_floor_min_cpus": WALL_FLOOR_MIN_CPUS,
+            "wall_floor_enforced": wall_floor_enforced,
+        },
+        "best_makespan_speedup": round(best_makespan, 2),
+        "best_wall_speedup": round(best_wall, 2),
+    }
+    (REPO_ROOT / "BENCH_fleet.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+
+    assert serial_report.lines_verified == N_DEVICES * LINES_PER_DEVICE
+    assert best_makespan >= MAKESPAN_FLOOR, (
+        f"simulated makespan speedup {best_makespan:.2f}x under floor "
+        f"{MAKESPAN_FLOOR}x")
+    if wall_floor_enforced:
+        assert best_wall >= WALL_FLOOR, (
+            f"parallel wall speedup {best_wall:.2f}x under floor "
+            f"{WALL_FLOOR}x on {cpus} cores")
+    else:
+        show(f"wall floor not enforced: {cpus} cpu(s) < "
+             f"{WALL_FLOOR_MIN_CPUS} (best parallel wall "
+             f"{best_wall:.2f}x)")

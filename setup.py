@@ -1,0 +1,12 @@
+"""Compatibility shim: all metadata lives in ``pyproject.toml``.
+
+Modern toolchains need only ``pip install -e .``.  Environments whose
+setuptools predates native wheel support (< 70, no ``wheel`` package,
+no network for build isolation) can still get an editable install with
+``python setup.py develop --user`` — or simply run from the tree with
+``PYTHONPATH=src``, which every documented command keeps supporting.
+"""
+
+from setuptools import setup
+
+setup()

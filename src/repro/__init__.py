@@ -17,8 +17,11 @@ The package builds the paper's whole stack in simulation:
 * :mod:`repro.crypto`, :mod:`repro.workloads`, :mod:`repro.analysis` —
   supporting substrates;
 * :mod:`repro.api` — the v1 public surface: the
-  :class:`TamperEvidentStore` façade and the
-  :class:`~repro.api.ExecutionPolicy` engine registry.
+  :class:`TamperEvidentStore` façade, the rack-scale
+  :class:`~repro.api.FleetStore` shard façade and the
+  :class:`~repro.api.ExecutionPolicy` engine/executor registry;
+* :mod:`repro.parallel` — the fleet execution layer: named
+  serial/thread/process executors and the consistent-hash shard ring.
 
 Quick start (the façade drives the whole stack)::
 
@@ -45,6 +48,7 @@ from .api import (
     AuditReport,
     EngineSpec,
     ExecutionPolicy,
+    FleetStore,
     ObjectInfo,
     SealReceipt,
     StoreConfig,
@@ -59,7 +63,7 @@ from .integrity.evidence import EvidenceBag
 from .integrity.fossil import FossilizedIndex
 from .integrity.venti import VentiStore
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
     # v1 façade + policy
@@ -69,6 +73,7 @@ __all__ = [
     "SealReceipt",
     "VerifyReport",
     "AuditReport",
+    "FleetStore",
     "ExecutionPolicy",
     "EngineSpec",
     "engine",

@@ -10,7 +10,13 @@ Two pieces:
 * :mod:`repro.api.store` — :class:`TamperEvidentStore`, the façade
   that drives the whole stack (device, file system, integrity layers)
   through typed request/response objects whose native grain is the
-  batched fast path (``seal_many``, ``audit`` → :class:`AuditReport`).
+  batched fast path (``seal_many``, ``audit`` → :class:`AuditReport`);
+* :mod:`repro.api.fleet` — :class:`FleetStore`, the rack-scale façade:
+  the same store surface sharded across member stores by
+  content-addressed consistent hashing, with fleet-wide passes fanned
+  out on the named executors of :mod:`repro.parallel` (``serial`` /
+  ``thread`` / ``process``, selected through the same policy chain via
+  ``repro.engine(executor=...)`` / ``REPRO_FLEET_EXECUTOR``).
 
 ``repro.api.__all__`` is the frozen public surface; a snapshot test
 (``tests/test_api_surface.py``) fails when it changes without an
@@ -20,7 +26,10 @@ explicit update.
 from __future__ import annotations
 
 from .policy import (
+    DEFAULT_EXECUTOR,
     ENGINE_ENV_VAR,
+    EXECUTOR_ENV_VAR,
+    FLEET_WORKERS_ENV_VAR,
     SHA256_BACKENDS,
     SHA256_ENV_VAR,
     EngineSpec,
@@ -32,10 +41,21 @@ from .policy import (
     get_policy,
     register_engine,
     resolve_engine,
+    resolve_executor_name,
+    resolve_max_workers,
     resolve_sha256_backend,
     resolve_vectorized,
     set_policy,
     unregister_engine,
+)
+from ..parallel import (
+    ExecutorSpec,
+    FleetExecutor,
+    available_executors,
+    get_executor_spec,
+    register_executor,
+    resolve_fleet_executor,
+    unregister_executor,
 )
 
 #: Store-layer names, imported lazily (PEP 562) so that the policy
@@ -52,6 +72,15 @@ _STORE_EXPORTS = (
     "ArchiveReceipt",
     "EvidenceExport",
     "FormatReport",
+)
+
+#: Fleet-layer names, lazily imported for the same reason (the fleet
+#: façade sits on top of the store machinery).
+_FLEET_EXPORTS = (
+    "FleetStore",
+    "FleetEvidenceExport",
+    "FleetOpStats",
+    "coerce_member",
 )
 
 __all__ = [
@@ -72,8 +101,23 @@ __all__ = [
     "ENGINE_ENV_VAR",
     "SHA256_ENV_VAR",
     "SHA256_BACKENDS",
+    # fleet executors
+    "ExecutorSpec",
+    "FleetExecutor",
+    "register_executor",
+    "unregister_executor",
+    "available_executors",
+    "get_executor_spec",
+    "resolve_executor_name",
+    "resolve_max_workers",
+    "resolve_fleet_executor",
+    "EXECUTOR_ENV_VAR",
+    "FLEET_WORKERS_ENV_VAR",
+    "DEFAULT_EXECUTOR",
     # store façade
     *_STORE_EXPORTS,
+    # fleet façade
+    *_FLEET_EXPORTS,
 ]
 
 
@@ -84,8 +128,14 @@ def __getattr__(name: str):
         value = getattr(_store, name)
         globals()[name] = value
         return value
+    if name in _FLEET_EXPORTS:
+        from . import fleet as _fleet
+
+        value = getattr(_fleet, name)
+        globals()[name] = value
+        return value
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def __dir__():
-    return sorted(set(globals()) | set(_STORE_EXPORTS))
+    return sorted(set(globals()) | set(_STORE_EXPORTS) | set(_FLEET_EXPORTS))

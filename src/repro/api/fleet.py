@@ -1,0 +1,546 @@
+"""The :class:`FleetStore` façade — one tamper-evident store, rack-sized.
+
+The paper's service is per-device; the ROADMAP's north star is
+rack-scale compliance traffic.  This module closes the gap: a
+:class:`FleetStore` fronts many member
+:class:`~repro.api.store.TamperEvidentStore` instances behind the
+*same* typed request/response surface as a single store, sharding
+objects across members by content-addressed consistent hashing
+(:class:`~repro.parallel.ring.HashRing` over each path's SHA-256) and
+fanning whole-fleet passes (``seal_many``, ``audit``,
+``export_evidence``, ``format_devices``) out on the resolved fleet
+executor (:func:`repro.parallel.resolve_fleet_executor`: explicit arg
+> ``with repro.engine(executor=...)`` > installed policy >
+``REPRO_FLEET_EXECUTOR``, read at dispatch time).
+
+Routing properties worth knowing:
+
+* **deterministic** — the member that stored ``/ledger/2026/07`` is a
+  pure function of the path and the member list, so a million-object
+  workload spreads without any central index;
+* **rebalance-stable** — :meth:`FleetStore.add_member` remaps only
+  ~1/(n+1) of the keyspace (the hash ring's arc the new member
+  claims).  Objects already written stay where they are; lookups fall
+  back to a member scan when the primary route misses, so growth
+  never strands a sealed object (sealed lines are immutable and
+  cannot migrate by design).
+
+The per-member fan-out functions live at module level so the
+``process`` executor can pickle them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import warnings
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..device.sero import SERODevice
+from ..errors import ConfigurationError, FileNotFoundError_
+from ..medium.medium import MediumConfig
+from ..parallel import (
+    FleetExecutor,
+    HashRing,
+    WorkerWall,
+    resolve_fleet_executor,
+    shard_key,
+)
+from .store import (
+    AuditReport,
+    EvidenceExport,
+    FormatReport,
+    ObjectInfo,
+    SealReceipt,
+    StoreConfig,
+    StoreStatePatch,
+    TamperEvidentStore,
+    VerifyReport,
+)
+
+
+def fold_member_state(original: TamperEvidentStore, state: object) -> None:
+    """Fold one member's post-pass state back into ``original``.
+
+    The executor contract: a member task returns either the member
+    itself (in-process dispatch — nothing to do), a
+    :class:`StoreStatePatch` (read-only pass across a process
+    boundary — applied in place), or a mutated snapshot (mutating
+    pass across a process boundary — absorbed in place via
+    :meth:`TamperEvidentStore.adopt_state` so caller-held references
+    stay live).  One helper, shared by :class:`FleetStore` and
+    :class:`~repro.workloads.fleet.FleetScheduler`, so the absorption
+    protocol cannot diverge between the two fleet surfaces.
+    """
+    if isinstance(state, StoreStatePatch):
+        state.apply(original)
+    elif state is not original:
+        original.adopt_state(state)
+
+
+def coerce_member(member: Union[TamperEvidentStore, SERODevice], *,
+                  owner: str = "the fleet") -> TamperEvidentStore:
+    """Normalise one fleet member to a :class:`TamperEvidentStore`.
+
+    Bare :class:`SERODevice` members are wrapped in device-grain
+    stores — still supported, but deprecated (one warning path shared
+    by :class:`FleetStore` and
+    :class:`~repro.workloads.fleet.FleetScheduler`).
+    """
+    if isinstance(member, TamperEvidentStore):
+        return member
+    if isinstance(member, SERODevice):
+        warnings.warn(
+            f"passing bare SERODevice objects to {owner} is deprecated; "
+            "pass TamperEvidentStore members (e.g. "
+            "TamperEvidentStore.attach(device))",
+            DeprecationWarning, stacklevel=3)
+        return TamperEvidentStore.attach(member)
+    raise TypeError(
+        f"fleet members must be TamperEvidentStore or SERODevice, "
+        f"got {type(member).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Typed fleet responses
+
+
+@dataclass(frozen=True)
+class FleetEvidenceExport:
+    """A rack-wide evidence bag: one sealed sub-bag per sharded member.
+
+    Attributes:
+        case: case name the exhibits were filed under.
+        exports: per-member :class:`EvidenceExport` bags (members that
+            received no exhibits produce none), member order.
+        intact: every sub-bag verified intact.
+    """
+
+    case: str
+    exports: Tuple[EvidenceExport, ...]
+    intact: bool
+
+    @property
+    def items(self) -> Tuple:
+        """All exhibit items across sub-bags."""
+        return tuple(item for export in self.exports
+                     for item in export.items)
+
+    @property
+    def reports(self) -> Tuple[VerifyReport, ...]:
+        """All fresh verdicts across sub-bags."""
+        return tuple(report for export in self.exports
+                     for report in export.reports)
+
+
+@dataclass
+class FleetOpStats:
+    """How the last fleet-wide pass was dispatched (diagnostics)."""
+
+    operation: str = ""
+    executor: str = "serial"
+    workers: int = 1
+    wall_seconds: float = 0.0
+    worker_walls: List[WorkerWall] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Per-member fan-out tasks (module level: the process executor pickles
+# them by reference)
+
+
+def _audit_member(store: TamperEvidentStore, deep: bool,
+                  patch_return: bool = False) -> Tuple[AuditReport, object]:
+    report = store.audit(deep=deep)
+    state = StoreStatePatch.capture(store) if patch_return else store
+    return report, state
+
+
+def _seal_many_member(store: TamperEvidentStore, paths: Tuple[str, ...],
+                      timestamp: Optional[int]
+                      ) -> Tuple[List[SealReceipt], TamperEvidentStore]:
+    return store.seal_many(paths, timestamp=timestamp), store
+
+
+def _export_member(store: TamperEvidentStore, case: str,
+                   exhibits: Dict[str, bytes],
+                   timestamp: Optional[int]
+                   ) -> Tuple[EvidenceExport, TamperEvidentStore]:
+    return store.export_evidence(case, exhibits, timestamp=timestamp), store
+
+
+def _format_member(store: TamperEvidentStore
+                   ) -> Tuple[FormatReport, TamperEvidentStore]:
+    return store.format_device(), store
+
+
+class FleetStore:
+    """Many tamper-evident stores behind one store-shaped front door.
+
+    Args:
+        members: the fleet — :class:`TamperEvidentStore` instances
+            (bare devices are wrapped with a deprecation warning).
+        executor: fleet dispatch pin — a registered executor name or a
+            ready :class:`~repro.parallel.FleetExecutor`; None resolves
+            through the lazy policy chain *at each fleet-wide call*.
+        max_workers: worker bound for pool executors (None resolves
+            through the chain / one per core).
+        replicas: virtual nodes per member on the hash ring.
+    """
+
+    def __init__(self, members: Sequence[Union[TamperEvidentStore,
+                                               SERODevice]], *,
+                 executor: Union[None, str, FleetExecutor] = None,
+                 max_workers: Optional[int] = None,
+                 replicas: int = 64) -> None:
+        if not members:
+            raise ConfigurationError("a FleetStore needs at least one member")
+        self.members: List[TamperEvidentStore] = []
+        for member in members:  # plain loop: the deprecation warning
+            # must attribute to the caller on every Python version
+            self.members.append(coerce_member(member, owner="FleetStore"))
+        self._executor = executor
+        self._max_workers = max_workers
+        self._ring = HashRing([self._node_name(i)
+                               for i in range(len(self.members))],
+                              replicas=replicas)
+        self._archive_homes: Dict[str, int] = {}
+        self._grown = False
+        self.last_op = FleetOpStats()
+
+    @staticmethod
+    def _node_name(index: int) -> str:
+        return f"m{index}"
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def create(cls, n_members: int,
+               config: Optional[StoreConfig] = None, *,
+               seed: int = 2008,
+               executor: Union[None, str, FleetExecutor] = None,
+               max_workers: Optional[int] = None,
+               replicas: int = 64,
+               **overrides) -> "FleetStore":
+        """Provision ``n_members`` fresh full stores.
+
+        Each member gets a distinct medium seed (``seed + i``: every
+        device is an independent physical sample); remaining keyword
+        overrides are :class:`StoreConfig` fields, exactly as
+        :meth:`TamperEvidentStore.create` takes them.
+        """
+        if n_members < 1:
+            raise ConfigurationError("n_members must be >= 1")
+        base = config or StoreConfig()
+        if overrides:
+            base = dataclasses.replace(base, **overrides)
+        members = []
+        for i in range(n_members):
+            medium_config = base.medium_config or MediumConfig()
+            medium_config = dataclasses.replace(medium_config, seed=seed + i)
+            members.append(TamperEvidentStore.create(
+                dataclasses.replace(base, medium_config=medium_config)))
+        return cls(members, executor=executor, max_workers=max_workers,
+                   replicas=replicas)
+
+    # -- routing -----------------------------------------------------------------
+
+    @property
+    def member_count(self) -> int:
+        return len(self.members)
+
+    def route(self, path: str) -> int:
+        """Member index the ring assigns ``path`` to (deterministic).
+
+        Object routing walks the ring to the nearest *object-capable*
+        (file-system-backed) member, so a mixed fleet with device-grain
+        members still routes every path somewhere that can hold it —
+        deterministically and rebalance-stably, like the primary arc.
+        """
+        for name in self._ring.successors(path):
+            index = int(name[1:])
+            if self.members[index].fs is not None:
+                return index
+        raise ConfigurationError(
+            "no object-capable member: every FleetStore member wraps a "
+            "bare device (object operations need file-system-backed "
+            "members, e.g. TamperEvidentStore.create(...))")
+
+    def member_for(self, path: str) -> TamperEvidentStore:
+        """The member store that owns ``path``."""
+        return self.members[self.route(path)]
+
+    def add_member(self, member: Union[TamperEvidentStore, SERODevice]) -> int:
+        """Grow the fleet by one member; returns its index.
+
+        Only ~1/(n+1) of the keyspace remaps to the newcomer (hash-ring
+        arc transfer); everything else keeps routing where it already
+        lives.  Objects stored under a remapped path remain readable
+        through the lookup fallback.
+        """
+        index = len(self.members)
+        self.members.append(coerce_member(member, owner="FleetStore"))
+        self._ring.add_node(self._node_name(index))
+        self._grown = True  # lookups must fall back from now on
+        return index
+
+    def _locate(self, path: str) -> Tuple[int, TamperEvidentStore]:
+        """Member actually holding ``path``: primary route first, then
+        — only once the fleet has grown — the fallback scan (an object
+        written before a rebalance may live off its current route; a
+        never-grown fleet routes exactly, so no other member is ever
+        read)."""
+        primary = self.route(path)
+        order = [primary]
+        if self._grown:
+            order += [i for i in range(len(self.members)) if i != primary]
+        for index in order:
+            store = self.members[index]
+            if store.fs is None:
+                continue
+            try:
+                store.info(path)
+                return index, store
+            except FileNotFoundError_:
+                continue
+        raise FileNotFoundError_(f"no fleet member holds {path!r}")
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _fan_out(self, operation: str, member_indices: Sequence[int],
+                 make_tasks) -> List:
+        """Run ``make_tasks(patch_return)`` on the resolved executor,
+        fold the returned member states back in (full snapshots are
+        reinstalled, read-only :class:`StoreStatePatch` results are
+        applied in place), record dispatch stats, and return the
+        per-task payloads (task order)."""
+        executor = resolve_fleet_executor(self._executor, self._max_workers)
+        tasks = make_tasks(executor.crosses_process)
+        t0 = time.perf_counter()
+        outcome = executor.run(tasks)
+        wall = time.perf_counter() - t0
+        payloads = []
+        for index, (payload, state) in zip(member_indices, outcome.results):
+            fold_member_state(self.members[index], state)
+            payloads.append(payload)
+        self.last_op = FleetOpStats(
+            operation=operation, executor=executor.name,
+            workers=outcome.workers, wall_seconds=wall,
+            worker_walls=outcome.worker_walls)
+        return payloads
+
+    # -- object grain ------------------------------------------------------------
+
+    def _write_target(self, path: str) -> TamperEvidentStore:
+        """Member a write to ``path`` must land on: wherever the
+        object already lives (so a post-growth write never forks a
+        second divergent copy off its pre-rebalance home), else the
+        routed member.  On a never-grown fleet this is the routed
+        member directly — no fallback reads."""
+        if not self._grown:
+            return self.member_for(path)
+        try:
+            return self._locate(path)[1]
+        except FileNotFoundError_:
+            return self.member_for(path)
+
+    def put(self, path: str, data: bytes = b"", *,
+            overwrite: bool = False) -> ObjectInfo:
+        """Store one object on its owning (or, when new, routed)
+        member."""
+        return self._write_target(path).put(path, data,
+                                            overwrite=overwrite)
+
+    def get(self, path: str) -> bytes:
+        """Read one object (fallback scan after rebalances)."""
+        return self._locate(path)[1].get(path)
+
+    def delete(self, path: str) -> None:
+        """Remove an unsealed object wherever it lives."""
+        self._locate(path)[1].delete(path)
+
+    def info(self, path: str) -> ObjectInfo:
+        """Metadata of one object."""
+        return self._locate(path)[1].info(path)
+
+    # -- the write-once operation -------------------------------------------------
+
+    def seal(self, path: str, *,
+             timestamp: Optional[int] = None) -> SealReceipt:
+        """Seal one object on the member that holds it."""
+        return self._locate(path)[1].seal(path, timestamp=timestamp)
+
+    def put_sealed(self, path: str, data: bytes, *,
+                   timestamp: Optional[int] = None) -> SealReceipt:
+        """Store and immediately seal on the owning/routed member."""
+        return self._write_target(path).put_sealed(path, data,
+                                                   timestamp=timestamp)
+
+    def seal_many(self, paths: Sequence[str], *,
+                  timestamp: Optional[int] = None) -> List[SealReceipt]:
+        """Seal a batch of objects, fleet-wide.
+
+        Paths group by owning member and the per-member batches run on
+        the resolved executor; receipts come back in input order.
+        """
+        groups: Dict[int, List[str]] = {}
+        for path in paths:
+            # exact routing while the fleet has never grown — the
+            # charged _locate stat is only needed after a rebalance
+            index = self.route(path) if not self._grown \
+                else self._locate(path)[0]
+            groups.setdefault(index, []).append(path)
+        member_indices = sorted(groups)
+        payloads = self._fan_out("seal_many", member_indices, lambda _p: [
+            partial(_seal_many_member, self.members[i],
+                    tuple(groups[i]), timestamp)
+            for i in member_indices])
+        by_path: Dict[str, SealReceipt] = {}
+        for index, receipts in zip(member_indices, payloads):
+            for path, receipt in zip(groups[index], receipts):
+                by_path[path] = receipt
+        return [by_path[path] for path in paths]
+
+    # -- verification -------------------------------------------------------------
+
+    def verify(self, path: str) -> VerifyReport:
+        """Verify one sealed object on the member that holds it."""
+        return self._locate(path)[1].verify(path)
+
+    def audit(self, *, deep: bool = False) -> AuditReport:
+        """Audit every member, fleet-wide, merged into one report.
+
+        Per-member sweeps run on the resolved executor; line labels
+        are prefixed ``m<i>:`` so a tampered verdict names the member
+        it came from, and file-system findings merge the same way.
+        """
+        member_indices = list(range(len(self.members)))
+        payloads = self._fan_out("audit", member_indices, lambda patch: [
+            partial(_audit_member, self.members[i], deep, patch)
+            for i in member_indices])
+        merged = AuditReport(deep=deep)
+        for index, report in zip(member_indices, payloads):
+            tag = self._node_name(index)
+            merged.reports.extend(
+                dataclasses.replace(
+                    r, label=f"{tag}:{r.label}" if r.label is not None
+                    else tag)
+                for r in report.reports)
+            merged.fs_errors.extend(f"{tag}: {e}" for e in report.fs_errors)
+            merged.fs_warnings.extend(f"{tag}: {w}"
+                                      for w in report.fs_warnings)
+            merged.device_seconds += report.device_seconds
+        return merged
+
+    # -- forensics ----------------------------------------------------------------
+
+    def export_evidence(self, case: str, exhibits: Mapping[str, bytes], *,
+                        timestamp: Optional[int] = None
+                        ) -> FleetEvidenceExport:
+        """Seal ``exhibits`` as sharded evidence bags, one per member.
+
+        Each exhibit routes by name (under the case's namespace) to a
+        member, which seals its share as an ordinary
+        :meth:`TamperEvidentStore.export_evidence` bag; the fleet
+        export aggregates the sub-bags.
+        """
+        groups: Dict[int, Dict[str, bytes]] = {}
+        for name, data in exhibits.items():
+            index = self.route(f"{case}/{name}")
+            groups.setdefault(index, {})[name] = data
+        member_indices = sorted(groups)
+        payloads = self._fan_out(
+            "export_evidence", member_indices, lambda _p: [
+                partial(_export_member, self.members[i], case,
+                        groups[i], timestamp)
+                for i in member_indices])
+        exports = tuple(payloads)
+        return FleetEvidenceExport(
+            case=case, exports=exports,
+            intact=all(export.intact for export in exports))
+
+    # -- content-addressed archive -------------------------------------------------
+
+    def _archive_home(self, name: str) -> Optional[int]:
+        """Member already holding an archive called ``name``, if any."""
+        index = self._archive_homes.get(name)
+        if index is not None:
+            return index
+        for i, member in enumerate(self.members):
+            if name in member.archives:
+                self._archive_homes[name] = i
+                return i
+        return None
+
+    def archive(self, name: str, data: bytes, *, timestamp: int = 0):
+        """Snapshot ``data`` on the member its *content score* routes
+        to — Venti-style content addressing at rack scale.  The walk
+        stops at the nearest member with an archive arena.
+
+        Re-archiving an existing ``name`` stays on its current home
+        (the name must resolve to one snapshot rack-wide; the member's
+        content-addressed arena keeps both versions' blocks).
+        """
+        existing = self._archive_home(name)
+        if existing is not None:
+            return self.members[existing].archive(name, data,
+                                                  timestamp=timestamp)
+        for node in self._ring.successors(shard_key(data)):
+            index = int(node[1:])
+            if self.members[index].venti is not None:
+                receipt = self.members[index].archive(
+                    name, data, timestamp=timestamp)
+                self._archive_homes[name] = index
+                return receipt
+        raise ConfigurationError(
+            "no archive-capable member: create members with "
+            "StoreConfig(archive_blocks=...)")
+
+    def retrieve(self, name: str) -> bytes:
+        """Read an archived snapshot back from its home member.
+
+        Falls back to scanning member archives when this façade
+        instance did not issue the snapshot itself (a fresh
+        ``FleetStore`` over the same rack can still retrieve).
+        """
+        index = self._archive_home(name)
+        if index is None:
+            raise ConfigurationError(f"no fleet archive named {name!r}")
+        return self.members[index].retrieve(name)
+
+    # -- device grain --------------------------------------------------------------
+
+    def format_devices(self) -> List[FormatReport]:
+        """Run the format-time surface scan on every member."""
+        member_indices = list(range(len(self.members)))
+        return self._fan_out("format_devices", member_indices, lambda _p: [
+            partial(_format_member, self.members[i])
+            for i in member_indices])
+
+    def capacity(self) -> Dict[str, int]:
+        """Summed capacity accounting across the whole fleet."""
+        totals: Dict[str, int] = {}
+        for store in self.members:
+            for key, value in store.capacity().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def describe(self) -> Dict[str, object]:
+        """Inspectable summary: members, routing, last dispatch."""
+        return {
+            "members": len(self.members),
+            "ring_nodes": self._ring.nodes,
+            "replicas": self._ring.replicas,
+            "executor_pin": (self._executor.name
+                             if isinstance(self._executor, FleetExecutor)
+                             else self._executor),
+            "last_op": self.last_op.operation or None,
+            "last_executor": self.last_op.executor,
+            "last_workers": self.last_op.workers,
+            "total_blocks": sum(s.device.total_blocks
+                                for s in self.members),
+            "sealed_lines": sum(len(s.device.heated_lines)
+                                for s in self.members),
+        }

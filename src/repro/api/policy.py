@@ -29,8 +29,18 @@ implementation) resolves through the same chain via
 :attr:`ExecutionPolicy.sha256_backend` /
 ``repro.engine(sha256="pure")`` / ``REPRO_SHA256_BACKEND``.
 
+The *fleet executor* — how :class:`~repro.workloads.fleet.FleetScheduler`
+and :class:`~repro.api.fleet.FleetStore` dispatch per-member passes
+(``serial`` / ``thread`` / ``process``, see :mod:`repro.parallel`) —
+resolves through the chain too, via :attr:`ExecutionPolicy.executor` /
+``repro.engine(executor="thread")`` / ``REPRO_FLEET_EXECUTOR``, with a
+worker-count bound alongside it (:attr:`ExecutionPolicy.max_workers` /
+``REPRO_FLEET_WORKERS``).  Both are read lazily at each dispatch.
+
 This module deliberately imports nothing from the rest of the package
-(it sits below every other layer in the import graph).
+at import time (it sits below every other layer in the import graph);
+executor-name validation imports :mod:`repro.parallel` lazily, which
+itself depends only on this module.
 """
 
 from __future__ import annotations
@@ -46,6 +56,15 @@ ENGINE_ENV_VAR = "REPRO_SPAN_ENGINE"
 
 #: Environment variable selecting the default SHA-256 backend.
 SHA256_ENV_VAR = "REPRO_SHA256_BACKEND"
+
+#: Environment variable selecting the default fleet executor (lazy).
+EXECUTOR_ENV_VAR = "REPRO_FLEET_EXECUTOR"
+
+#: Environment variable bounding fleet executor workers (lazy).
+FLEET_WORKERS_ENV_VAR = "REPRO_FLEET_WORKERS"
+
+#: Executor used when no layer pins one: the reference dispatch.
+DEFAULT_EXECUTOR = "serial"
 
 _FALSEY = ("0", "false", "no", "off", "scalar")
 
@@ -139,10 +158,17 @@ class ExecutionPolicy:
         engine: registered engine name (``"vectorized"``/``"scalar"``
             or a custom registration).
         sha256_backend: ``"hashlib"`` or ``"pure"``.
+        executor: registered fleet executor name (``"serial"`` /
+            ``"thread"`` / ``"process"`` or a custom registration in
+            :mod:`repro.parallel`).
+        max_workers: worker bound for pool executors (None = one per
+            CPU core, capped at the member count).
     """
 
     engine: Optional[str] = None
     sha256_backend: Optional[str] = None
+    executor: Optional[str] = None
+    max_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.engine is not None:
@@ -152,6 +178,12 @@ class ExecutionPolicy:
             raise ValueError(
                 f"unknown sha256 backend {self.sha256_backend!r}; "
                 f"expected one of {SHA256_BACKENDS}")
+        if self.executor is not None:
+            from .. import parallel  # lazy: keeps this module at the bottom
+
+            parallel.get_executor_spec(self.executor)  # validates
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
 
     @contextmanager
     def use(self) -> Iterator["ExecutionPolicy"]:
@@ -186,15 +218,21 @@ def get_policy() -> Optional[ExecutionPolicy]:
 
 @contextmanager
 def engine(name: Optional[str] = None, *,
-           sha256: Optional[str] = None) -> Iterator[ExecutionPolicy]:
+           sha256: Optional[str] = None,
+           executor: Optional[str] = None,
+           max_workers: Optional[int] = None) -> Iterator[ExecutionPolicy]:
     """Scoped engine override: ``with repro.engine("scalar"): ...``.
 
     Nested contexts stack; the innermost one that pins a given field
     wins, so ``with engine("scalar"), engine(sha256="pure"):`` runs the
-    scalar engine *and* the pure hash.  Thread- and async-safe (backed
-    by a :class:`contextvars.ContextVar`).
+    scalar engine *and* the pure hash.  Fleet dispatch scopes the same
+    way: ``with repro.engine(executor="thread", max_workers=4): ...``.
+    Thread- and async-safe (backed by a
+    :class:`contextvars.ContextVar`).
     """
-    with ExecutionPolicy(engine=name, sha256_backend=sha256).use() as pol:
+    with ExecutionPolicy(engine=name, sha256_backend=sha256,
+                         executor=executor,
+                         max_workers=max_workers).use() as pol:
         yield pol
 
 
@@ -284,6 +322,66 @@ def resolve_sha256_backend(explicit: Optional[str] = None) -> str:
     return "hashlib"
 
 
+def _executor_from_env() -> Tuple[str, str]:
+    """(executor name, source) from the environment / default layers.
+
+    An env value naming an unregistered executor is ignored (like the
+    engine variable's unknown-token handling, a stale export must not
+    crash a fleet node) and the default dispatch applies.
+    """
+    value = os.environ.get(EXECUTOR_ENV_VAR)
+    if value is not None:
+        token = value.strip().lower()
+        from .. import parallel  # lazy; registers the built-ins
+
+        if token in parallel.available_executors():
+            return token, "env"
+    return DEFAULT_EXECUTOR, "default"
+
+
+def resolve_executor_name(explicit: Optional[str] = None) -> Tuple[str, str]:
+    """(executor name, deciding layer) through the four-layer chain.
+
+    ``explicit`` must be a registered executor name or None; the env
+    variable is read *now* (exporting ``REPRO_FLEET_EXECUTOR`` after
+    ``import repro`` — or after building the scheduler — works).
+    """
+    if explicit is not None:
+        from .. import parallel
+
+        parallel.get_executor_spec(explicit)  # validates
+        return explicit, "explicit"
+    for frame in reversed(_OVERRIDES.get()):
+        if frame.executor is not None:
+            return frame.executor, "context"
+    if _POLICY is not None and _POLICY.executor is not None:
+        return _POLICY.executor, "policy"
+    return _executor_from_env()
+
+
+def resolve_max_workers(
+        explicit: Optional[int] = None) -> Tuple[Optional[int], str]:
+    """(worker bound, deciding layer); None means one per CPU core."""
+    if explicit is not None:
+        if explicit < 1:
+            raise ValueError("max_workers must be >= 1")
+        return explicit, "explicit"
+    for frame in reversed(_OVERRIDES.get()):
+        if frame.max_workers is not None:
+            return frame.max_workers, "context"
+    if _POLICY is not None and _POLICY.max_workers is not None:
+        return _POLICY.max_workers, "policy"
+    value = os.environ.get(FLEET_WORKERS_ENV_VAR)
+    if value is not None:
+        try:
+            workers = int(value.strip())
+        except ValueError:
+            workers = 0
+        if workers >= 1:
+            return workers, "env"
+    return None, "default"
+
+
 def describe_policy() -> Dict[str, object]:
     """Inspectable snapshot of the resolution: what would run now, and
     which layer decided it.  The answer an operator needs when a fleet
@@ -300,13 +398,22 @@ def describe_policy() -> Dict[str, object]:
             sha_source = "policy"
         elif os.environ.get(SHA256_ENV_VAR, "").strip().lower() in SHA256_BACKENDS:
             sha_source = "env"
+    executor, executor_source = resolve_executor_name()
+    max_workers, workers_source = resolve_max_workers()
+    from .. import parallel  # lazy; registers the built-in executors
+
     return {
         "engine": name,
         "engine_source": source,
         "vectorized": _ENGINES[name].vectorized,
         "sha256_backend": sha,
         "sha256_source": sha_source,
+        "executor": executor,
+        "executor_source": executor_source,
+        "max_workers": max_workers,
+        "max_workers_source": workers_source,
         "available_engines": available_engines(),
+        "available_executors": parallel.available_executors(),
         "installed_policy": _POLICY,
         "active_overrides": len(_OVERRIDES.get()),
     }

@@ -44,6 +44,7 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..device.sero import (
     DeviceConfig,
+    DeviceStatePatch,
     LineRecord,
     SERODevice,
     VerificationResult,
@@ -251,6 +252,33 @@ class EvidenceExport:
     reports: Tuple[VerifyReport, ...]
 
 
+@dataclass
+class StoreStatePatch:
+    """Read-only-pass state of a whole store, captured portably.
+
+    Wraps one :class:`~repro.device.sero.DeviceStatePatch` per managed
+    device (primary + optional archive).  A fleet worker running an
+    audit/fsck pass — which never mutates the medium — returns this
+    instead of the full member snapshot; applied to the originating
+    store it reproduces the pass's side effects byte for byte.
+    """
+
+    device: "DeviceStatePatch"
+    archive_device: Optional["DeviceStatePatch"] = None
+
+    @classmethod
+    def capture(cls, store: "TamperEvidentStore") -> "StoreStatePatch":
+        return cls(
+            device=store.device.state_patch(),
+            archive_device=(store.archive_device.state_patch()
+                            if store.archive_device is not None else None))
+
+    def apply(self, store: "TamperEvidentStore") -> None:
+        self.device.apply(store.device)
+        if self.archive_device is not None:
+            self.archive_device.apply(store.archive_device)
+
+
 # ---------------------------------------------------------------------------
 # The façade
 
@@ -358,6 +386,67 @@ class TamperEvidentStore:
         return cls(device, SeroFS.mount(device, fs_config), **components)
 
     # -- plumbing ---------------------------------------------------------------
+
+    def adopt_state(self, other: "TamperEvidentStore") -> None:
+        """Absorb ``other``'s state *in place*.
+
+        ``other`` is a state-equivalent copy of this store that lived
+        elsewhere — typically the snapshot a fleet process worker
+        mutated and shipped home.  Every object identity a caller may
+        hold (the store, ``.device``, ``.device.medium``, ``.fs``,
+        ``.venti``, ...) is preserved; only the state moves, so the
+        original graph ends the pass exactly as if it had run the work
+        itself.
+
+        Every component absorbs the whole ``__dict__`` of its
+        counterpart and then re-anchors the references that must keep
+        pointing inside *this* graph — so a field added to any layer
+        later is picked up automatically rather than silently dropped
+        by a hand-maintained copy list.
+        """
+        pairs = [(self.device, other.device)]
+        if self.archive_device is not None and \
+                other.archive_device is not None:
+            pairs.append((self.archive_device, other.archive_device))
+        for mine, new in pairs:
+            geometry = mine.geometry  # the identity the graph keeps
+            mine.medium.__dict__.clear()
+            mine.medium.__dict__.update(new.medium.__dict__)
+            mine.medium.geometry = geometry
+            mine.account.__dict__.clear()
+            mine.account.__dict__.update(new.account.__dict__)
+            scanner_anchors = {"geometry": geometry,
+                               "timing": mine.timing,
+                               "account": mine.account}
+            mine.scanner.__dict__.clear()
+            mine.scanner.__dict__.update(new.scanner.__dict__)
+            mine.scanner.__dict__.update(scanner_anchors)
+            device_anchors = {"medium": mine.medium,
+                              "geometry": geometry,
+                              "timing": mine.timing,
+                              "account": mine.account,
+                              "scanner": mine.scanner,
+                              "bitops": mine.bitops}
+            mine.__dict__.clear()
+            mine.__dict__.update(new.__dict__)
+            mine.__dict__.update(device_anchors)
+        for attr, anchor in (("fs", "device"), ("venti", "device"),
+                             ("fossil", "device"), ("audit_log", "fs")):
+            mine_component = getattr(self, attr)
+            new_component = getattr(other, attr)
+            if mine_component is None or new_component is None:
+                continue
+            anchor_obj = getattr(mine_component, anchor)  # original ref
+            mine_component.__dict__.clear()
+            mine_component.__dict__.update(new_component.__dict__)
+            setattr(mine_component, anchor, anchor_obj)
+        store_anchors = {"device": self.device, "fs": self.fs,
+                         "venti": self.venti, "fossil": self.fossil,
+                         "audit_log": self.audit_log,
+                         "archive_device": self.archive_device}
+        self.__dict__.clear()
+        self.__dict__.update(other.__dict__)
+        self.__dict__.update(store_anchors)
 
     def _require_fs(self) -> SeroFS:
         if self.fs is None:

@@ -117,6 +117,53 @@ class LineRecord:
     timestamp: int
 
 
+@dataclass
+class DeviceStatePatch:
+    """The state a *read-only* device pass advances, captured portably.
+
+    An audit or fsck never writes the medium — its only side effects
+    are the RNG position (heated-dot read noise), the operation
+    counters, the cost account and the sled position.  A fleet worker
+    that ran such a pass can therefore send this ~1 kB patch home
+    instead of re-shipping the whole member snapshot; applying it to
+    the originating device leaves that device byte-identical to having
+    run the pass locally.
+    """
+
+    rng_state: dict
+    counters: Dict[str, int]
+    account_elapsed: float
+    account_by_category: Dict[str, float]
+    account_op_counts: Dict[str, int]
+    scanner_x: float
+    scanner_y: float
+    scanner_last_block: Optional[int]
+
+    @classmethod
+    def capture(cls, device: "SERODevice") -> "DeviceStatePatch":
+        return cls(
+            rng_state=device.medium._rng.bit_generator.state,
+            counters=dict(device.medium.counters),
+            account_elapsed=device.account.elapsed,
+            account_by_category=dict(device.account.by_category),
+            account_op_counts=dict(device.account.op_counts),
+            scanner_x=device.scanner._x,
+            scanner_y=device.scanner._y,
+            scanner_last_block=device.scanner._last_block,
+        )
+
+    def apply(self, device: "SERODevice") -> None:
+        device.medium._rng.bit_generator.state = self.rng_state
+        device.medium.counters.clear()
+        device.medium.counters.update(self.counters)
+        device.account.elapsed = self.account_elapsed
+        device.account.by_category = dict(self.account_by_category)
+        device.account.op_counts = dict(self.account_op_counts)
+        device.scanner._x = self.scanner_x
+        device.scanner._y = self.scanner_y
+        device.scanner._last_block = self.scanner_last_block
+
+
 class VerifyStatus(enum.Enum):
     """Outcome classes of :meth:`SERODevice.verify_line`."""
 
@@ -192,6 +239,26 @@ class SERODevice:
                                        blocks_per_row=blocks_per_row)
         medium = PatternedMedium(geometry, medium_config)
         return cls(medium, timing=timing, config=config)
+
+    def clone(self) -> "SERODevice":
+        """A deep, state-identical snapshot of this device.
+
+        Round-trips through the compact pickled form (see
+        :meth:`repro.medium.medium.PatternedMedium.__getstate__`): the
+        clone carries the same medium state, RNG position, bad-block
+        map, line registry, scanner position and cost account, so it
+        behaves byte-identically from here on.  This is the transport
+        the fleet's process executor uses to move members between
+        workers.
+        """
+        import pickle
+
+        return pickle.loads(pickle.dumps(self, pickle.HIGHEST_PROTOCOL))
+
+    def state_patch(self) -> DeviceStatePatch:
+        """Portable capture of the read-only-pass state (RNG, counters,
+        clock, sled); see :class:`DeviceStatePatch`."""
+        return DeviceStatePatch.capture(self)
 
     def format(self) -> None:
         """Format-time surface scan: populate the bad-block map.

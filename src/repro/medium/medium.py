@@ -80,6 +80,28 @@ class MediumConfig:
     seed: int = 2008
 
 
+#: Process-wide cache of regenerated switching-field scales, keyed by
+#: ``(seed, sigma, total_dots)``.  The array is a pure function of the
+#: key and is only ever *read* (every consumer compares it against the
+#: write field), so fleet workers — which receive media as compact
+#: snapshots and would otherwise regenerate the same draw on every
+#: pass — share one copy per distinct medium configuration.
+_K_SCALE_CACHE: dict = {}
+_K_SCALE_CACHE_MAX = 64
+
+
+def _k_scale_for(seed: int, sigma: float, n: int) -> np.ndarray:
+    key = (seed, sigma, n)
+    arr = _K_SCALE_CACHE.get(key)
+    if arr is None:
+        arr = np.random.default_rng(seed).lognormal(
+            mean=0.0, sigma=sigma, size=n).astype(np.float32)
+        if len(_K_SCALE_CACHE) >= _K_SCALE_CACHE_MAX:
+            _K_SCALE_CACHE.pop(next(iter(_K_SCALE_CACHE)))
+        _K_SCALE_CACHE[key] = arr
+    return arr
+
+
 class PatternedMedium:
     """A rectangular matrix of heatable magnetic dots.
 
@@ -110,6 +132,29 @@ class PatternedMedium:
             self._k_scale = None
         # Operation counters (the timing model consumes these).
         self.counters = {"mrb": 0, "mwb": 0, "heat": 0}
+
+    @property
+    def _k_scale(self) -> Optional[np.ndarray]:
+        """Per-dot switching-field scale (None when defect-free).
+
+        Materialised eagerly at construction (the draw must be the
+        seeded RNG's first, so read-noise sequencing stays put) but
+        *lazily* after unpickling: the snapshot omits the array — it
+        regenerates bit-exactly from the config seed, via the
+        process-wide :data:`_K_SCALE_CACHE` so repeated snapshot
+        restores of the same medium pay the draw once — and a restored
+        medium only pays anything if something actually consults it.
+        """
+        if self._k_scale_cache is None and \
+                self.config.switching_sigma > 0.0:
+            self._k_scale_cache = _k_scale_for(
+                self.config.seed, self.config.switching_sigma,
+                self.geometry.total_dots)
+        return self._k_scale_cache
+
+    @_k_scale.setter
+    def _k_scale(self, value: Optional[np.ndarray]) -> None:
+        self._k_scale_cache = value
 
     # -- classification ------------------------------------------------------
 
@@ -420,6 +465,77 @@ class PatternedMedium:
         self.counters["mrb"] += n + total_verifies
         self.counters["mwb"] += total_verifies
         return fail_at < n_verifies
+
+    # -- snapshot transport ------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Compact pickled form: the medium as a *snapshot*, not a dump.
+
+        A fleet's process executor ships member state to workers and
+        back on every pass, so the pickled size is a real throughput
+        knob.  Three observations make the snapshot ~10x smaller than
+        the raw arrays:
+
+        * magnetisation is ternary with an invariant — a dot's
+          magnetisation is 0 exactly when it is heated below the
+          sharpness threshold (nothing can write a heated dot) — so
+          one packed sign bit per dot plus the sharpness map
+          reconstructs it exactly;
+        * sharpness is exactly 1.0 for every dot never touched by a
+          heat pulse; only the touched entries need to travel — as a
+          packed touched-dot bitmap (one bit per dot) plus their
+          float32 values.  And because every dot is normally heated
+          exactly once by the same pulse, those values are usually
+          *one* repeated float, which then travels as a single scalar
+          (media with collateral or repeated heating fall back to the
+          full value array);
+        * the fabrication k-scale is the *first* draw of the seeded
+          RNG, so it regenerates bit-exactly from the config instead
+          of travelling (the anisotropy model is likewise derived
+          state).
+
+        The live RNG travels by value, so a restored medium continues
+        the exact random sequence — per-member results stay
+        byte-identical to the serial pass.
+        """
+        touched = self._sharpness != np.float32(1.0)
+        vals = self._sharpness[touched]
+        uniform = bool(vals.size) and bool((vals == vals[0]).all())
+        return {
+            "geometry": self.geometry,
+            "config": self.config,
+            "rng": self._rng,
+            "counters": self.counters,
+            "mag_bits": np.packbits(self._mag > 0),
+            "touched_bits": np.packbits(touched),
+            "sharp_vals": vals[:1] if uniform else vals,
+            "sharp_uniform": uniform,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.geometry = state["geometry"]
+        self.config = state["config"]
+        n = self.geometry.total_dots
+        mag = np.where(
+            np.unpackbits(state["mag_bits"], count=n).astype(bool),
+            1, -1).astype(np.int8)
+        sharpness = np.ones(n, dtype=np.float32)
+        touched = np.unpackbits(state["touched_bits"], count=n).astype(bool)
+        if state["sharp_uniform"]:
+            sharpness[touched] = state["sharp_vals"][0]
+        else:
+            sharpness[touched] = state["sharp_vals"]
+        mag[sharpness < HEATED_SHARPNESS_THRESHOLD] = 0
+        self._mag = mag
+        self._sharpness = sharpness
+        self._rng = state["rng"]
+        self.counters = state["counters"]
+        self._anisotropy = AnisotropyModel(stack=self.config.stack,
+                                           dot=self.geometry.dot)
+        # regenerated lazily on first access: the construction-time
+        # draw was the seeded generator's first sample, so a fresh
+        # generator replays it bit-exactly (see the _k_scale property)
+        self._k_scale = None
 
     # -- statistics -------------------------------------------------------------
 

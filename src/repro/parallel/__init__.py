@@ -1,0 +1,54 @@
+"""``repro.parallel`` — the fleet execution layer.
+
+Executors (:class:`SerialExecutor` / :class:`ThreadExecutor` /
+:class:`ProcessExecutor`) dispatch per-member fleet tasks, a registry
+makes them selectable by name through the execution-policy chain
+(:func:`resolve_fleet_executor`), and :class:`HashRing` provides the
+content-addressed shard routing the
+:class:`~repro.api.fleet.FleetStore` spreads objects with.
+
+This package sits just above :mod:`repro.api.policy` in the import
+graph and imports nothing else from the package, so the policy layer
+can resolve executor names lazily without cycles.
+"""
+
+from __future__ import annotations
+
+from .executor import (
+    ExecutionOutcome,
+    ExecutorSpec,
+    FleetExecutor,
+    MemberTask,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    WorkerWall,
+    available_executors,
+    close_executors,
+    get_executor_spec,
+    make_executor,
+    register_executor,
+    resolve_fleet_executor,
+    unregister_executor,
+)
+from .ring import HashRing, shard_key
+
+__all__ = [
+    "ExecutionOutcome",
+    "ExecutorSpec",
+    "FleetExecutor",
+    "HashRing",
+    "MemberTask",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "WorkerWall",
+    "available_executors",
+    "close_executors",
+    "get_executor_spec",
+    "make_executor",
+    "register_executor",
+    "resolve_fleet_executor",
+    "shard_key",
+    "unregister_executor",
+]

@@ -1,0 +1,133 @@
+"""Consistent-hash ring: the FleetStore's shard router.
+
+A fleet spreads objects across member stores by hashing each object's
+key onto a ring of 2**64 points and walking clockwise to the first
+*virtual node*.  Each member owns ``replicas`` virtual nodes, so load
+spreads evenly, and — the property the fleet cares about — adding or
+removing one member remaps only ~1/n of the keyspace instead of
+reshuffling everything (the classic Karger construction; the same
+shape openaleph uses to shard index traffic, and the natural fit for
+the Venti-style content addressing already in the stack: the shard key
+*is* a hash).
+
+Hashing uses :mod:`hashlib` SHA-256 directly rather than the policy-
+routed device backend: routing is host-side bookkeeping, not device
+protocol, and must not change meaning under ``repro.engine(...)``
+scopes.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple, Union
+
+
+def _point(label: bytes) -> int:
+    """Ring coordinate of a label: first 8 bytes of its SHA-256."""
+    return int.from_bytes(hashlib.sha256(label).digest()[:8], "big")
+
+
+def shard_key(key: Union[str, bytes]) -> bytes:
+    """Canonical shard key: the SHA-256 of the (encoded) key.
+
+    Object paths route through their name's hash; archive snapshots
+    route through their content score — either way the ring only ever
+    sees uniformly distributed 32-byte keys.
+    """
+    if isinstance(key, str):
+        key = key.encode("utf-8")
+    return hashlib.sha256(key).digest()
+
+
+class HashRing:
+    """A consistent-hash ring over named nodes.
+
+    Args:
+        nodes: initial node names.
+        replicas: virtual nodes per name (more = smoother balance;
+            64 keeps the max/min member load within ~2x at fleet
+            sizes of interest).
+    """
+
+    def __init__(self, nodes: Sequence[str] = (),
+                 replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._points: List[int] = []
+        self._owners: Dict[int, str] = {}
+        self._nodes: List[str] = []
+        for node in nodes:
+            self.add_node(node)
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """Node names, insertion order."""
+        return tuple(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def _vnode_points(self, name: str) -> List[int]:
+        return [_point(f"{name}#{i}".encode("utf-8"))
+                for i in range(self.replicas)]
+
+    def add_node(self, name: str) -> None:
+        """Add a node (its virtual nodes claim their ring arcs)."""
+        if name in self._nodes:
+            raise ValueError(f"node {name!r} already on the ring")
+        self._nodes.append(name)
+        for pt in self._vnode_points(name):
+            if pt in self._owners:
+                # 64-bit collision between distinct labels: effectively
+                # unreachable, but never silently reroute an arc
+                raise ValueError(f"virtual-node collision at {pt}")
+            bisect.insort(self._points, pt)
+            self._owners[pt] = name
+
+    def remove_node(self, name: str) -> None:
+        """Remove a node; its arcs fall to the clockwise successors."""
+        if name not in self._nodes:
+            raise ValueError(f"node {name!r} not on the ring")
+        self._nodes.remove(name)
+        for pt in self._vnode_points(name):
+            del self._owners[pt]
+            idx = bisect.bisect_left(self._points, pt)
+            self._points.pop(idx)
+
+    def lookup(self, key: Union[str, bytes]) -> str:
+        """Owner of ``key``: first virtual node clockwise of its point."""
+        for owner in self.successors(key):
+            return owner
+        raise ValueError("lookup on an empty ring")
+
+    def successors(self, key: Union[str, bytes]):
+        """Distinct owners clockwise of ``key``'s point, nearest first.
+
+        The standard replica/capability walk: the first yielded owner
+        is :meth:`lookup`'s answer; callers needing a node with a
+        particular capability take the first acceptable one, which
+        stays deterministic and rebalance-stable exactly like the
+        primary route.
+        """
+        if not self._nodes:
+            return
+        pt = _point(shard_key(key))
+        start = bisect.bisect_right(self._points, pt)
+        seen = set()
+        npoints = len(self._points)
+        for offset in range(npoints):
+            owner = self._owners[self._points[(start + offset) % npoints]]
+            if owner not in seen:
+                seen.add(owner)
+                yield owner
+                if len(seen) == len(self._nodes):
+                    return
+
+    def distribution(self, keys: Sequence[Union[str, bytes]]) -> Dict[str, int]:
+        """How ``keys`` spread over the nodes (diagnostics)."""
+        counts = {name: 0 for name in self._nodes}
+        for key in keys:
+            counts[self.lookup(key)] += 1
+        return counts

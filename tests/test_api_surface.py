@@ -27,6 +27,19 @@ EXPECTED_API = sorted([
     "resolve_vectorized",
     "set_policy",
     "unregister_engine",
+    # fleet executors (PR 4)
+    "DEFAULT_EXECUTOR",
+    "EXECUTOR_ENV_VAR",
+    "ExecutorSpec",
+    "FLEET_WORKERS_ENV_VAR",
+    "FleetExecutor",
+    "available_executors",
+    "get_executor_spec",
+    "register_executor",
+    "resolve_executor_name",
+    "resolve_fleet_executor",
+    "resolve_max_workers",
+    "unregister_executor",
     # store façade
     "ArchiveReceipt",
     "AuditReport",
@@ -37,13 +50,18 @@ EXPECTED_API = sorted([
     "StoreConfig",
     "TamperEvidentStore",
     "VerifyReport",
+    # fleet façade (PR 4)
+    "FleetEvidenceExport",
+    "FleetOpStats",
+    "FleetStore",
+    "coerce_member",
 ])
 
 #: The top-level convenience re-exports the quick start relies on.
 EXPECTED_TOP_LEVEL = {
     "TamperEvidentStore", "StoreConfig", "ObjectInfo", "SealReceipt",
     "VerifyReport", "AuditReport", "ExecutionPolicy", "EngineSpec",
-    "engine",
+    "engine", "FleetStore",
 }
 
 
@@ -72,4 +90,4 @@ def test_top_level_reexports():
 
 
 def test_version_is_v2():
-    assert repro.__version__ == "2.0.0"
+    assert repro.__version__ == "2.1.0"

@@ -1,0 +1,604 @@
+"""The sharded fleet execution layer.
+
+Three layers under test:
+
+* **executors** (:mod:`repro.parallel`) — serial/thread/process
+  dispatch must produce byte-identical per-member results, the
+  registry must be policy-selectable, and ``REPRO_FLEET_EXECUTOR``
+  must be read lazily at dispatch time;
+* **scheduler** (:class:`repro.workloads.fleet.FleetScheduler`) — the
+  four fleet passes on top of the executors, with per-worker
+  reporting;
+* **fleet store** (:class:`repro.api.fleet.FleetStore`) — the
+  consistent-hash shard router: deterministic routing, bounded
+  remapping under growth, and store-surface equivalence.
+
+Plus the snapshot transport the process executor rides on: the compact
+:class:`~repro.medium.medium.PatternedMedium` pickle must round-trip
+state *exactly* (arrays, RNG position, registries).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+import repro
+import repro.api as api
+from repro.api.fleet import FleetStore, coerce_member
+from repro.api.policy import ExecutionPolicy
+from repro.api.store import TamperEvidentStore
+from repro.device.sero import SERODevice
+from repro.errors import FileNotFoundError_
+from repro.parallel import (
+    ExecutorSpec,
+    HashRing,
+    SerialExecutor,
+    ThreadExecutor,
+    available_executors,
+    make_executor,
+    register_executor,
+    resolve_fleet_executor,
+    unregister_executor,
+)
+from repro.workloads.fleet import DeviceReport, FleetReport, FleetScheduler
+
+EXECUTORS = ("serial", "thread", "process")
+
+
+@pytest.fixture(autouse=True)
+def _no_installed_policy():
+    yield
+    api.set_policy(None)
+
+
+def _sealed_fleet(executor=None, n=3, blocks=32):
+    fleet = FleetScheduler.build(n, blocks, switching_sigma=0.02,
+                                 executor=executor)
+    fleet.format_fleet()
+    fleet.seal_fleet(lines_per_device=2, line_blocks=4)
+    return fleet
+
+
+# -- satellite: blocks_per_second must not be inf -----------------------------
+
+
+def test_blocks_per_second_zero_wall():
+    report = FleetReport(operation="audit",
+                         devices=[DeviceReport(device_index=0, blocks=64)])
+    report.wall_seconds = 0.0
+    assert report.blocks_per_second == 0.0
+    report.wall_seconds = -1.0
+    assert report.blocks_per_second == 0.0
+    report.wall_seconds = 2.0
+    assert report.blocks_per_second == 32.0
+
+
+# -- executor registry ---------------------------------------------------------
+
+
+def test_builtin_executors_registered():
+    for name in EXECUTORS:
+        assert name in available_executors()
+
+
+def test_builtin_executors_protected():
+    for name in EXECUTORS:
+        with pytest.raises(ValueError):
+            unregister_executor(name)
+
+
+def test_register_executor_requires_lowercase_name():
+    # the env layer matches case-insensitively, so a mixed-case
+    # registration would be unreachable through REPRO_FLEET_EXECUTOR
+    with pytest.raises(ValueError, match="lowercase"):
+        register_executor(ExecutorSpec("RpcExec", SerialExecutor))
+
+
+def test_ungrown_fleet_seal_many_routes_without_reads():
+    fleet = FleetStore.create(2, total_blocks=192, seed=21)
+    paths = [f"/s{i}" for i in range(12)]
+    for path in paths:
+        fleet.put(path, b"x" * 40)
+    # seal only one member's paths; the other member must stay silent
+    member0_paths = [p for p in paths if fleet.route(p) == 0]
+    assert member0_paths  # 12 keys over 2 members: both populated
+    before = dict(fleet.members[1].device.medium.counters)
+    fleet.seal_many(member0_paths)
+    assert dict(fleet.members[1].device.medium.counters) == before
+
+
+def test_register_custom_executor_and_policy_validation():
+    spec = ExecutorSpec("bespoke", SerialExecutor, "test dispatch")
+    register_executor(spec)
+    try:
+        assert "bespoke" in available_executors()
+        ExecutionPolicy(executor="bespoke")  # validates
+        assert isinstance(make_executor("bespoke"), SerialExecutor)
+    finally:
+        unregister_executor("bespoke")
+    with pytest.raises(ValueError):
+        ExecutionPolicy(executor="bespoke")
+
+
+def test_policy_rejects_bad_executor_and_workers():
+    with pytest.raises(ValueError):
+        ExecutionPolicy(executor="no-such-dispatch")
+    with pytest.raises(ValueError):
+        ExecutionPolicy(max_workers=0)
+
+
+def test_resolve_fleet_executor_accepts_instance():
+    instance = ThreadExecutor(max_workers=2)
+    assert resolve_fleet_executor(instance) is instance
+
+
+# -- resolution chain ----------------------------------------------------------
+
+
+def test_executor_resolution_layers(monkeypatch):
+    monkeypatch.delenv(api.EXECUTOR_ENV_VAR, raising=False)
+    d = api.describe_policy()
+    assert (d["executor"], d["executor_source"]) == ("serial", "default")
+
+    monkeypatch.setenv(api.EXECUTOR_ENV_VAR, "thread")
+    d = api.describe_policy()
+    assert (d["executor"], d["executor_source"]) == ("thread", "env")
+
+    api.set_policy(ExecutionPolicy(executor="process", max_workers=2))
+    d = api.describe_policy()
+    assert (d["executor"], d["executor_source"]) == ("process", "policy")
+    assert (d["max_workers"], d["max_workers_source"]) == (2, "policy")
+
+    with repro.engine(executor="serial", max_workers=1):
+        d = api.describe_policy()
+        assert (d["executor"], d["executor_source"]) == ("serial", "context")
+        assert (d["max_workers"], d["max_workers_source"]) == (1, "context")
+
+    assert api.resolve_executor_name("thread") == ("thread", "explicit")
+
+
+def test_unknown_env_executor_is_ignored(monkeypatch):
+    monkeypatch.setenv(api.EXECUTOR_ENV_VAR, "warp-drive")
+    assert api.resolve_executor_name() == ("serial", "default")
+
+
+def test_max_workers_env(monkeypatch):
+    monkeypatch.setenv(api.FLEET_WORKERS_ENV_VAR, "3")
+    assert api.resolve_max_workers() == (3, "env")
+    monkeypatch.setenv(api.FLEET_WORKERS_ENV_VAR, "junk")
+    assert api.resolve_max_workers() == (None, "default")
+
+
+def test_env_executor_read_lazily_after_scheduler_built(monkeypatch):
+    """Exporting REPRO_FLEET_EXECUTOR after import *and* after the
+    scheduler exists must still select the executor at dispatch."""
+    monkeypatch.delenv(api.EXECUTOR_ENV_VAR, raising=False)
+    fleet = _sealed_fleet(n=2)
+    assert fleet.audit_fleet().executor == "serial"
+    monkeypatch.setenv(api.EXECUTOR_ENV_VAR, "thread")
+    assert fleet.audit_fleet().executor == "thread"
+
+
+def test_engine_context_selects_executor():
+    fleet = _sealed_fleet(n=2)
+    with repro.engine(executor="thread", max_workers=2):
+        report = fleet.audit_fleet()
+    assert report.executor == "thread"
+    assert report.workers == 2
+    assert fleet.audit_fleet().executor == "serial"
+
+
+def test_thread_executor_propagates_engine_context():
+    """A pass scoped to the scalar engine stays scalar on every
+    worker thread (contextvars travel with the task)."""
+    from repro.api.policy import resolve_vectorized
+
+    seen = []
+
+    def probe():
+        seen.append(resolve_vectorized())
+        return None, None
+
+    with repro.engine("scalar"):
+        ThreadExecutor(max_workers=2).run([probe] * 4)
+    assert seen == [False] * 4
+
+
+# -- executor equivalence ------------------------------------------------------
+
+
+def test_fleet_passes_byte_identical_across_executors():
+    """format/seal/audit reports must be byte-identical whichever
+    executor dispatched them (the acceptance-criteria equivalence)."""
+    reports = {}
+    for name in EXECUTORS:
+        fleet = FleetScheduler.build(3, 32, switching_sigma=0.02,
+                                     executor=name, max_workers=2)
+        formatted = fleet.format_fleet()
+        sealed = fleet.seal_fleet(lines_per_device=2, line_blocks=4)
+        audited = fleet.audit_fleet()
+        assert formatted.executor == name
+        reports[name] = (formatted.fingerprints(), sealed.fingerprints(),
+                         audited.fingerprints())
+    assert reports["serial"] == reports["thread"] == reports["process"]
+    # the seal fingerprints carry real content: per-line hashes
+    assert any(r[4] for r in reports["serial"][1])  # lines_sealed > 0
+
+
+def test_process_executor_reinstalls_mutated_state():
+    """After a process-dispatched pass the scheduler's members carry
+    the worker-side state (RNG advanced, lines registered) exactly as
+    a serial pass would have left them."""
+    serial = _sealed_fleet(executor="serial")
+    procs = _sealed_fleet(executor="process")
+    for s_dev, p_dev in zip(serial.devices, procs.devices):
+        assert s_dev.heated_lines == p_dev.heated_lines
+        assert np.array_equal(s_dev.medium._mag, p_dev.medium._mag)
+        assert np.array_equal(s_dev.medium._sharpness, p_dev.medium._sharpness)
+        assert s_dev.medium._rng.bit_generator.state == \
+            p_dev.medium._rng.bit_generator.state
+    # and the *next* pass (serial on both) still agrees byte for byte
+    assert serial.audit_fleet().fingerprints() == \
+        procs.audit_fleet().fingerprints()
+
+
+def test_fsck_fleet_device_grain_and_fs_members():
+    fleet = _sealed_fleet(n=2)
+    report = fleet.fsck_fleet()
+    assert report.operation == "fsck"
+    assert report.lines_verified == 4
+    assert report.fs_errors == 0
+
+    store = TamperEvidentStore.create(total_blocks=128)
+    store.put("/a", b"x" * 100)
+    store.seal("/a")
+    mixed = FleetScheduler([store])
+    fs_report = mixed.fsck_fleet()
+    assert fs_report.fs_errors == 0
+    assert fs_report.devices[0].lines_verified >= 1
+
+
+def test_worker_wall_breakdown_present():
+    fleet = _sealed_fleet(n=3)
+    report = fleet.audit_fleet()
+    assert report.executor == "serial"
+    assert sum(w.tasks for w in report.worker_walls) == 3
+    assert report.simulated_makespan_seconds == \
+        pytest.approx(report.device_seconds)
+    with repro.engine(executor="thread", max_workers=3):
+        parallel_report = fleet.audit_fleet()
+    assert sum(w.tasks for w in parallel_report.worker_walls) == 3
+    # concurrent workers: the rack finishes before the summed device time
+    if parallel_report.workers > 1 and \
+            len({d.worker for d in parallel_report.devices}) > 1:
+        assert parallel_report.simulated_makespan_seconds < \
+            parallel_report.device_seconds
+
+
+# -- snapshot transport --------------------------------------------------------
+
+
+def test_medium_snapshot_pickle_roundtrip_exact():
+    fleet = _sealed_fleet(n=1, blocks=32)
+    device = fleet.devices[0]
+    clone = pickle.loads(pickle.dumps(device, pickle.HIGHEST_PROTOCOL))
+    assert np.array_equal(clone.medium._mag, device.medium._mag)
+    assert np.array_equal(clone.medium._sharpness, device.medium._sharpness)
+    assert np.array_equal(clone.medium._k_scale, device.medium._k_scale)
+    assert clone.medium.counters == device.medium.counters
+    assert clone.bad_blocks == device.bad_blocks
+    assert clone.heated_lines == device.heated_lines
+    assert clone.account.elapsed == device.account.elapsed
+    # RNG continuation: identical verdict sequences from here on
+    a = [(r.status, r.start) for r in device.verify_all()]
+    b = [(r.status, r.start) for r in clone.verify_all()]
+    assert a == b
+    assert clone.medium._rng.bit_generator.state == \
+        device.medium._rng.bit_generator.state
+
+
+def test_snapshot_pickle_is_compact():
+    device = SERODevice.create(64)
+    raw_bytes = device.medium._mag.nbytes + device.medium._sharpness.nbytes
+    assert len(pickle.dumps(device, pickle.HIGHEST_PROTOCOL)) < raw_bytes / 4
+
+
+def test_device_clone_is_independent():
+    fleet = _sealed_fleet(n=1, blocks=32)
+    device = fleet.devices[0]
+    clone = device.clone()
+    clone.verify_all()
+    # the original's RNG did not move
+    assert clone.medium._rng.bit_generator.state != \
+        device.medium._rng.bit_generator.state or \
+        device.medium.heated_count() == 0
+
+
+# -- shared member coercion ----------------------------------------------------
+
+
+def test_coerce_member_shared_by_scheduler_and_fleet_store():
+    device = SERODevice.create(16)
+    with pytest.warns(DeprecationWarning):
+        scheduler = FleetScheduler([device])
+    assert scheduler.devices == [device]
+    with pytest.warns(DeprecationWarning):
+        fleet = FleetStore([SERODevice.create(16)])
+    assert fleet.members[0].fs is None
+    with pytest.raises(TypeError):
+        coerce_member("not a member")
+
+
+# -- hash ring -----------------------------------------------------------------
+
+
+def test_ring_deterministic_and_complete():
+    ring = HashRing([f"m{i}" for i in range(4)])
+    keys = [f"/obj-{i}" for i in range(200)]
+    first = [ring.lookup(k) for k in keys]
+    again = [ring.lookup(k) for k in keys]
+    assert first == again
+    fresh = HashRing([f"m{i}" for i in range(4)])
+    assert [fresh.lookup(k) for k in keys] == first
+    spread = ring.distribution(keys)
+    assert set(spread) == {"m0", "m1", "m2", "m3"}
+    assert all(count > 0 for count in spread.values())
+
+
+def test_ring_rebalance_stability():
+    """Adding one node to n remaps ~1/(n+1) of keys and never moves a
+    key between two *old* nodes."""
+    keys = [f"/obj-{i}" for i in range(1000)]
+    ring = HashRing([f"m{i}" for i in range(8)])
+    before = {k: ring.lookup(k) for k in keys}
+    ring.add_node("m8")
+    after = {k: ring.lookup(k) for k in keys}
+    moved = {k for k in keys if before[k] != after[k]}
+    assert all(after[k] == "m8" for k in moved)
+    assert len(moved) < len(keys) * 2 / 9  # ~1/9 expected, 2x headroom
+    ring.remove_node("m8")
+    assert {k: ring.lookup(k) for k in keys} == before
+
+
+def test_ring_errors():
+    ring = HashRing(["a"])
+    with pytest.raises(ValueError):
+        ring.add_node("a")
+    with pytest.raises(ValueError):
+        ring.remove_node("zz")
+    with pytest.raises(ValueError):
+        HashRing([], replicas=0)
+    with pytest.raises(ValueError):
+        HashRing().lookup("key")
+
+
+# -- FleetStore ----------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def rack():
+    fleet = FleetStore.create(3, total_blocks=192, seed=41)
+    paths = [f"/doc-{i}" for i in range(12)]
+    for path in paths:
+        fleet.put(path, path.encode() * 8)
+    return fleet, paths
+
+
+def test_fleet_store_routing_deterministic(rack):
+    fleet, paths = rack
+    routes = [fleet.route(p) for p in paths]
+    assert routes == [fleet.route(p) for p in paths]
+    assert set(routes) == {0, 1, 2}  # 12 keys spread over all members
+    for path in paths:
+        assert fleet.member_for(path).info(path).path == path
+        assert fleet.get(path) == path.encode() * 8
+
+
+def test_fleet_store_seal_verify_audit(rack):
+    fleet, paths = rack
+    receipts = fleet.seal_many(paths[:6])
+    assert [r.path for r in receipts] == paths[:6]
+    for path in paths[:6]:
+        assert fleet.verify(path).intact
+    report = fleet.audit()
+    assert report.lines_verified >= 6
+    assert report.clean
+    # member-tagged labels: a verdict names the member it came from
+    assert all(r.label and r.label.partition(":")[0].startswith("m")
+               for r in report.reports)
+
+
+def test_fleet_store_audit_equivalent_across_executors(rack):
+    fleet, _paths = rack
+    serial = fleet.audit()
+    with repro.engine(executor="thread", max_workers=2):
+        threaded = fleet.audit()
+    with repro.engine(executor="process", max_workers=2):
+        processed = fleet.audit()
+    key = lambda rep: [(r.status, r.line_start, r.label, r.stored_hash)
+                       for r in rep.reports]
+    assert key(serial) == key(threaded) == key(processed)
+    assert fleet.last_op.executor == "process"
+    assert sum(w.tasks for w in fleet.last_op.worker_walls) == 3
+
+
+def test_fleet_store_growth_keeps_objects_reachable(rack):
+    fleet, paths = rack
+    before = {p: fleet.route(p) for p in paths}
+    index = fleet.add_member(TamperEvidentStore.create(total_blocks=192))
+    assert index == 3
+    after = {p: fleet.route(p) for p in paths}
+    moved = [p for p in paths if before[p] != after[p]]
+    assert all(after[p] == index for p in moved)
+    for path in paths:  # fallback locate covers remapped keys
+        assert fleet.get(path) == path.encode() * 8
+    with pytest.raises(FileNotFoundError_):
+        fleet.get("/never-stored")
+
+
+def test_fleet_store_sharded_evidence_and_archive():
+    fleet = FleetStore.create(2, total_blocks=192, archive_blocks=64,
+                              seed=90)
+    export = fleet.export_evidence(
+        "case-7", {f"exhibit-{i}": bytes([i]) * 64 for i in range(6)})
+    assert export.intact
+    assert len(export.items) == 6
+    assert all(sub.manifest is not None for sub in export.exports)
+    receipt = fleet.archive("snap", b"archive me" * 50)
+    assert fleet.retrieve("snap") == b"archive me" * 50
+    assert receipt.root_score
+
+
+def test_fleet_store_create_distinct_seeds():
+    fleet = FleetStore.create(2, total_blocks=64, seed=5)
+    media = [m.device.medium for m in fleet.members]
+    assert media[0].config.seed == 5
+    assert media[1].config.seed == 6
+
+
+def test_fleet_store_needs_members():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        FleetStore([])
+
+
+# -- review regressions --------------------------------------------------------
+
+
+def test_seal_fleet_refuses_fs_backed_members():
+    """A raw rack seal over an fs member would heat the superblock."""
+    from repro.errors import ConfigurationError
+
+    store = TamperEvidentStore.create(total_blocks=128)
+    mixed = FleetScheduler([store])
+    with pytest.raises(ConfigurationError, match="file system"):
+        mixed.seal_fleet(lines_per_device=1, line_blocks=2)
+    assert not store.device.heated_lines  # nothing was touched
+
+
+def test_mixed_fleet_routes_objects_to_fs_members():
+    """Device-grain members must never receive object traffic."""
+    from repro.errors import ConfigurationError
+
+    members = [TamperEvidentStore.create(total_blocks=128),
+               TamperEvidentStore.attach(SERODevice.create(64)),
+               TamperEvidentStore.create(total_blocks=128)]
+    fleet = FleetStore(members)
+    paths = [f"/k{i}" for i in range(24)]
+    for path in paths:
+        fleet.put(path, b"v")  # every put must land somewhere legal
+    assert {fleet.route(p) for p in paths} <= {0, 2}
+    bare_only = FleetStore([TamperEvidentStore.attach(
+        SERODevice.create(64))])
+    with pytest.raises(ConfigurationError, match="object-capable"):
+        bare_only.put("/x", b"v")
+
+
+def test_process_pass_keeps_member_references_live():
+    """Caller-held member/device objects must see mutating-pass
+    results whichever executor ran the pass (in-place adoption)."""
+    fleet = FleetScheduler.build(2, 32, switching_sigma=0.02,
+                                 executor="process", max_workers=2)
+    held_store = fleet.stores[0]
+    held_device = held_store.device
+    held_medium = held_device.medium
+    fleet.format_fleet()
+    fleet.seal_fleet(lines_per_device=2, line_blocks=4)
+    assert fleet.stores[0] is held_store
+    assert held_store.device is held_device
+    assert held_device.medium is held_medium
+    assert len(held_device.heated_lines) == 2
+    assert held_medium.heated_count() > 0
+
+
+def test_fleet_archive_retrievable_from_fresh_facade():
+    fleet = FleetStore.create(2, total_blocks=192, archive_blocks=64,
+                              seed=123)
+    fleet.archive("snap", b"payload" * 40)
+    rebuilt = FleetStore(fleet.members)
+    assert rebuilt.retrieve("snap") == b"payload" * 40
+
+
+def test_resolve_fleet_executor_validates_max_workers():
+    with pytest.raises(ValueError):
+        resolve_fleet_executor("serial", max_workers=0)
+
+
+def test_close_executors_idempotent():
+    from repro.parallel import close_executors, make_executor
+
+    make_executor("thread", 2)
+    close_executors()
+    close_executors()
+
+
+def test_put_after_growth_does_not_fork_objects():
+    """A write to a remapped path must land on the existing copy."""
+    from repro.errors import FileExistsError_
+
+    fleet = FleetStore.create(2, total_blocks=192, seed=77)
+    paths = [f"/g{i}" for i in range(16)]
+    for path in paths:
+        fleet.put(path, b"old")
+    before = {p: fleet.route(p) for p in paths}
+    while True:  # grow until at least one key remaps
+        fleet.add_member(TamperEvidentStore.create(total_blocks=192))
+        moved = [p for p in paths if fleet.route(p) != before[p]]
+        if moved:
+            break
+    victim = moved[0]
+    with pytest.raises(FileExistsError_):
+        fleet.put(victim, b"NEW")  # no silent second copy
+    fleet.put(victim, b"NEW", overwrite=True)
+    assert fleet.get(victim) == b"NEW"
+    fleet.delete(victim)
+    with pytest.raises(FileNotFoundError_):
+        fleet.get(victim)  # and no stale resurrection
+
+
+def test_rearchive_keeps_one_home():
+    """Re-archiving a name must not strand a stale copy elsewhere."""
+    fleet = FleetStore.create(3, total_blocks=192, archive_blocks=96,
+                              seed=55)
+    fleet.archive("snap", b"version-one" * 20)
+    fleet.archive("snap", b"version-two" * 20)
+    assert fleet.retrieve("snap") == b"version-two" * 20
+    fresh = FleetStore(fleet.members)
+    assert fresh.retrieve("snap") == b"version-two" * 20
+
+
+def test_ungrown_fleet_put_touches_only_routed_member():
+    """Before any growth, routing is exact: a put must not charge
+    device reads on the other members (the million-object hot path)."""
+    fleet = FleetStore.create(3, total_blocks=96, seed=9)
+    path = "/hot-path-object"
+    target = fleet.route(path)
+    others = [i for i in range(3) if i != target]
+    counters_before = [dict(fleet.members[i].device.medium.counters)
+                       for i in others]
+    fleet.put(path, b"x")
+    counters_after = [dict(fleet.members[i].device.medium.counters)
+                     for i in others]
+    assert counters_before == counters_after
+
+
+def test_executor_instance_with_conflicting_max_workers_raises():
+    with pytest.raises(ValueError, match="instance"):
+        resolve_fleet_executor(ThreadExecutor(max_workers=8),
+                               max_workers=2)
+    instance = ThreadExecutor(max_workers=2)
+    assert resolve_fleet_executor(instance, max_workers=2) is instance
+
+
+def test_seal_fleet_validates_line_blocks_before_writing():
+    fleet = FleetScheduler.build(2, 16)
+    fleet.format_fleet()
+    counters_before = [dict(d.medium.counters) for d in fleet.devices]
+    with pytest.raises(ValueError, match="power of two"):
+        fleet.seal_fleet(line_blocks=3)
+    assert [dict(d.medium.counters)
+            for d in fleet.devices] == counters_before  # untouched
