@@ -1,0 +1,149 @@
+"""Remote RPC executor floor: byte-identity over real loopback workers.
+
+The hard acceptance criterion for remote dispatch is not speed — a
+loopback round trip pays pickling plus TCP for work another process
+could do in place — it is *fidelity*: every fleet pass (format / seal /
+audit / fsck) dispatched on the ``rpc`` executor must produce
+per-member reports **byte-identical** to the ``serial`` reference,
+including line hashes and simulated device time.  That is the floor
+this bench enforces, against two real worker daemons spawned on
+loopback.
+
+Alongside it, the bench records the quantities an operator sizes a
+real deployment with:
+
+* **transport bytes** — the compact member snapshot a mutating pass
+  ships each way, and the ~kB :class:`StoreStatePatch` a read-only
+  pass sends home (the asymmetry that makes audit fleets
+  network-friendly);
+* **walls** — serial vs rpc audit wall clock and the simulated rack
+  makespan under per-host dispatch (recorded, not floored: loopback
+  wall is hardware noise, and ring skew over two hosts is expected).
+
+Results land in ``BENCH_rpc.json`` at the repo root.
+"""
+
+import json
+import pickle
+import time
+from pathlib import Path
+
+from repro.analysis.report import format_table
+from repro.api.store import StoreStatePatch
+from repro.parallel import RpcExecutor, close_connection_pools, \
+    spawn_local_worker
+from repro.workloads.fleet import FleetScheduler
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+N_DEVICES = 6
+BLOCKS_PER_DEVICE = 64
+LINES_PER_DEVICE = 20
+LINE_BLOCKS = 2
+N_WORKERS = 2
+
+
+def _fleet(executor):
+    return FleetScheduler.build(N_DEVICES, BLOCKS_PER_DEVICE,
+                                switching_sigma=0.02, executor=executor)
+
+
+def _drive(fleet):
+    """The four passes; returns (fingerprints per pass, audit report)."""
+    formatted = fleet.format_fleet()
+    sealed = fleet.seal_fleet(lines_per_device=LINES_PER_DEVICE,
+                              line_blocks=LINE_BLOCKS)
+    audited = fleet.audit_fleet()
+    fscked = fleet.fsck_fleet()
+    return {
+        "format": formatted.fingerprints(),
+        "seal": sealed.fingerprints(),
+        "audit": audited.fingerprints(),
+        "fsck": fscked.fingerprints(),
+    }, audited
+
+
+def _best_audit_wall(fleet, rounds=3):
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fleet.audit_fleet()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_rpc_byte_identity_floor(benchmark, show):
+    workers = [spawn_local_worker() for _ in range(N_WORKERS)]
+    hosts = [w.address for w in workers]
+    try:
+        serial = _fleet("serial")
+        serial_prints, serial_audit = _drive(serial)
+
+        remote = _fleet(RpcExecutor(hosts))
+        remote_prints, remote_audit = benchmark.pedantic(
+            lambda: _drive(remote), rounds=1, iterations=1)
+
+        # THE floor: remote dispatch must not change a single byte of
+        # any per-member report, across all four passes
+        for op in ("format", "seal", "audit", "fsck"):
+            assert remote_prints[op] == serial_prints[op], \
+                f"rpc {op} pass diverged from the serial reference"
+
+        serial_wall = _best_audit_wall(serial)
+        rpc_wall = _best_audit_wall(remote)
+
+        # transport accounting on a provisioned member
+        member = remote.stores[0]
+        snapshot_bytes = len(pickle.dumps(member,
+                                          pickle.HIGHEST_PROTOCOL))
+        patch_bytes = len(pickle.dumps(StoreStatePatch.capture(member),
+                                       pickle.HIGHEST_PROTOCOL))
+
+        rows = [
+            ["serial", 1, round(serial_wall * 1e3, 2),
+             round(serial_audit.simulated_makespan_seconds * 1e3, 3)],
+            [f"rpc x{len(hosts)} hosts", remote_audit.workers,
+             round(rpc_wall * 1e3, 2),
+             round(remote_audit.simulated_makespan_seconds * 1e3, 3)],
+        ]
+        show(format_table(
+            ["dispatch", "workers", "audit wall [ms]", "sim makespan [ms]"],
+            rows,
+            title=f"rpc fleet audit, {N_DEVICES} devices x "
+                  f"{BLOCKS_PER_DEVICE} blocks over {len(hosts)} "
+                  f"loopback workers"))
+        show(f"transport per member: snapshot out "
+             f"{snapshot_bytes / 1024:.1f} kB, read-only patch back "
+             f"{patch_bytes / 1024:.1f} kB "
+             f"({snapshot_bytes / max(patch_bytes, 1):.0f}x asymmetry)")
+
+        payload = {
+            "bench": "rpc",
+            "devices": N_DEVICES,
+            "blocks_per_device": BLOCKS_PER_DEVICE,
+            "lines_audited": serial_audit.lines_verified,
+            "workers": len(hosts),
+            "hosts": sorted(hosts),
+            "byte_identical_passes": ["format", "seal", "audit", "fsck"],
+            "serial_audit_wall_s": round(serial_wall, 6),
+            "rpc_audit_wall_s": round(rpc_wall, 6),
+            "serial_makespan_s": round(
+                serial_audit.simulated_makespan_seconds, 6),
+            "rpc_makespan_s": round(
+                remote_audit.simulated_makespan_seconds, 6),
+            "snapshot_out_bytes": snapshot_bytes,
+            "patch_back_bytes": patch_bytes,
+            "floors": {"byte_identity": True},
+        }
+        (REPO_ROOT / "BENCH_rpc.json").write_text(
+            json.dumps(payload, indent=2) + "\n")
+
+        assert serial_audit.lines_verified == N_DEVICES * LINES_PER_DEVICE
+        assert remote_audit.hosts == tuple(sorted(hosts))
+        # the read-only return leg must stay orders smaller than the
+        # outbound snapshot (the network-shaped property PR 4 built)
+        assert patch_bytes * 10 < snapshot_bytes
+    finally:
+        for worker in workers:
+            worker.stop()
+        close_connection_pools()

@@ -15,8 +15,10 @@ Two pieces:
   the same store surface sharded across member stores by
   content-addressed consistent hashing, with fleet-wide passes fanned
   out on the named executors of :mod:`repro.parallel` (``serial`` /
-  ``thread`` / ``process``, selected through the same policy chain via
-  ``repro.engine(executor=...)`` / ``REPRO_FLEET_EXECUTOR``).
+  ``thread`` / ``process`` / ``rpc``, selected through the same policy
+  chain via ``repro.engine(executor=...)`` / ``REPRO_FLEET_EXECUTOR``;
+  the remote executor's worker hosts resolve the same way via
+  ``repro.engine(fleet_hosts=...)`` / ``REPRO_FLEET_HOSTS``).
 
 ``repro.api.__all__`` is the frozen public surface; a snapshot test
 (``tests/test_api_surface.py``) fails when it changes without an
@@ -29,6 +31,7 @@ from .policy import (
     DEFAULT_EXECUTOR,
     ENGINE_ENV_VAR,
     EXECUTOR_ENV_VAR,
+    FLEET_HOSTS_ENV_VAR,
     FLEET_WORKERS_ENV_VAR,
     SHA256_BACKENDS,
     SHA256_ENV_VAR,
@@ -42,6 +45,7 @@ from .policy import (
     register_engine,
     resolve_engine,
     resolve_executor_name,
+    resolve_fleet_hosts,
     resolve_max_workers,
     resolve_sha256_backend,
     resolve_vectorized,
@@ -80,6 +84,7 @@ _FLEET_EXPORTS = (
     "FleetStore",
     "FleetEvidenceExport",
     "FleetOpStats",
+    "MigrationReport",
     "coerce_member",
 )
 
@@ -109,9 +114,11 @@ __all__ = [
     "available_executors",
     "get_executor_spec",
     "resolve_executor_name",
+    "resolve_fleet_hosts",
     "resolve_max_workers",
     "resolve_fleet_executor",
     "EXECUTOR_ENV_VAR",
+    "FLEET_HOSTS_ENV_VAR",
     "FLEET_WORKERS_ENV_VAR",
     "DEFAULT_EXECUTOR",
     # store façade

@@ -23,7 +23,10 @@ Routing properties worth knowing:
   claims).  Objects already written stay where they are; lookups fall
   back to a member scan when the primary route misses, so growth
   never strands a sealed object (sealed lines are immutable and
-  cannot migrate by design).
+  cannot migrate by design).  A background
+  :meth:`FleetStore.migrate_unsealed` pass moves the *unsealed*
+  remapped objects to their ring-correct members and, when no sealed
+  object is stranded, switches exact O(1) routing back on.
 
 The per-member fan-out functions live at module level so the
 ``process`` executor can pickle them.
@@ -39,7 +42,8 @@ from functools import partial
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..device.sero import SERODevice
-from ..errors import ConfigurationError, FileNotFoundError_
+from ..errors import ConfigurationError, FileExistsError_, FileNotFoundError_
+from ..fs.inode import FileType
 from ..medium.medium import MediumConfig
 from ..parallel import (
     FleetExecutor,
@@ -135,15 +139,42 @@ class FleetEvidenceExport:
                      for report in export.reports)
 
 
+@dataclass(frozen=True)
+class MigrationReport:
+    """Outcome of one :meth:`FleetStore.migrate_unsealed` pass.
+
+    Attributes:
+        examined: objects inspected across the fleet.
+        moved: unsealed objects relocated to their ring-correct member.
+        sealed_kept: sealed objects found off their current route and
+            left in place (a sealed line is physically immovable — the
+            lookup fallback keeps covering them).
+        routing_exact: True when, after the pass, every object lives on
+            its routed member — primary-route lookups are exact again
+            (O(1), no fallback scans).
+    """
+
+    examined: int
+    moved: int
+    sealed_kept: int
+    routing_exact: bool
+
+
 @dataclass
 class FleetOpStats:
-    """How the last fleet-wide pass was dispatched (diagnostics)."""
+    """How the last fleet-wide pass was dispatched (diagnostics).
+
+    ``hosts`` names the remote workers an ``rpc`` pass fanned out to
+    (empty for in-host executors); ``worker_walls`` carries the
+    per-worker — for rpc, per-host — wall breakdown.
+    """
 
     operation: str = ""
     executor: str = "serial"
     workers: int = 1
     wall_seconds: float = 0.0
     worker_walls: List[WorkerWall] = field(default_factory=list)
+    hosts: Tuple[str, ...] = ()
 
 
 # ---------------------------------------------------------------------------
@@ -286,6 +317,106 @@ class FleetStore:
         self._grown = True  # lookups must fall back from now on
         return index
 
+    @staticmethod
+    def _member_local_roots(store: TamperEvidentStore) -> Tuple[str, ...]:
+        """Subtrees that belong to the *member*, not the fleet keyspace.
+
+        Evidence bags live where their member sealed them (exhibits
+        route by ``case/name``, not by their storage path), and the
+        self-securing instruction log chronicles its own member's
+        instructions — neither is a ring-routed fleet object, so the
+        rebalance pass must neither move them nor count them as
+        stranded.
+        """
+        roots = [store.config.evidence_root]
+        if store.audit_log is not None:
+            roots.append(store.audit_log.path)
+        return tuple(root.rstrip("/") for root in roots)
+
+    @classmethod
+    def _walk_objects(cls, store: TamperEvidentStore,
+                      root: str = "/") -> List[str]:
+        """Every *fleet-routed* regular-file path on one member, depth
+        first (member-local subtrees pruned)."""
+        fs = store.fs
+        skip = cls._member_local_roots(store)
+        paths: List[str] = []
+        pending = [root]
+        while pending:
+            directory = pending.pop()
+            prefix = directory.rstrip("/")
+            for name in fs.listdir(directory):
+                child = f"{prefix}/{name}"
+                if child in skip:
+                    continue
+                if fs.stat(child).ftype is FileType.DIRECTORY:
+                    pending.append(child)
+                else:
+                    paths.append(child)
+        return paths
+
+    @staticmethod
+    def _ensure_parents(store: TamperEvidentStore, path: str) -> None:
+        """Create the directory chain ``path`` needs on ``store``."""
+        parts = path.strip("/").split("/")[:-1]
+        prefix = ""
+        for part in parts:
+            prefix = f"{prefix}/{part}"
+            try:
+                store.fs.mkdir(prefix)
+            except FileExistsError_:
+                pass
+
+    def migrate_unsealed(self) -> MigrationReport:
+        """Background rebalance: restore exact routing after growth.
+
+        :meth:`add_member` deliberately moves no data — only ~1/(n+1)
+        of the keyspace remaps, and remapped objects stay readable
+        through the lookup fallback.  This pass finishes the job: every
+        *unsealed* object whose current member is no longer its ring
+        route is copied to the routed member and unlinked from its old
+        home.  Sealed objects are refused by construction — a sealed
+        line is a physical property of its medium and cannot move — so
+        they stay where they were sealed, covered by the fallback
+        forever.  Member-local subtrees (evidence bags under the
+        configured evidence root, instruction-log chunks) are not
+        fleet-routed objects and are skipped entirely.
+
+        When the pass ends with every object on its route, the fleet
+        returns to exact O(1) routing: lookups stop scanning other
+        members, writes route directly (the state a never-grown fleet
+        is in).  One stranded sealed object keeps the fallback on.
+
+        Idempotent; run it after each growth step (or batch several
+        ``add_member`` calls and run it once).
+        """
+        examined = moved = sealed_kept = 0
+        # snapshot the walks first: an object moved to a later member
+        # must not be examined a second time on arrival
+        walks = [(index, store, self._walk_objects(store))
+                 for index, store in enumerate(self.members)
+                 if store.fs is not None]
+        for index, store, paths in walks:
+            for path in paths:
+                examined += 1
+                target = self.route(path)
+                if target == index:
+                    continue
+                if store.info(path).sealed:
+                    sealed_kept += 1
+                    continue
+                destination = self.members[target]
+                self._ensure_parents(destination, path)
+                destination.put(path, store.get(path))
+                store.delete(path)
+                moved += 1
+        routing_exact = sealed_kept == 0
+        if routing_exact:
+            self._grown = False  # primary-route lookups are exact again
+        return MigrationReport(examined=examined, moved=moved,
+                               sealed_kept=sealed_kept,
+                               routing_exact=routing_exact)
+
     def _locate(self, path: str) -> Tuple[int, TamperEvidentStore]:
         """Member actually holding ``path``: primary route first, then
         — only once the fleet has grown — the fallback scan (an object
@@ -328,7 +459,7 @@ class FleetStore:
         self.last_op = FleetOpStats(
             operation=operation, executor=executor.name,
             workers=outcome.workers, wall_seconds=wall,
-            worker_walls=outcome.worker_walls)
+            worker_walls=outcome.worker_walls, hosts=outcome.hosts)
         return payloads
 
     # -- object grain ------------------------------------------------------------

@@ -31,11 +31,15 @@ implementation) resolves through the same chain via
 
 The *fleet executor* — how :class:`~repro.workloads.fleet.FleetScheduler`
 and :class:`~repro.api.fleet.FleetStore` dispatch per-member passes
-(``serial`` / ``thread`` / ``process``, see :mod:`repro.parallel`) —
-resolves through the chain too, via :attr:`ExecutionPolicy.executor` /
-``repro.engine(executor="thread")`` / ``REPRO_FLEET_EXECUTOR``, with a
-worker-count bound alongside it (:attr:`ExecutionPolicy.max_workers` /
-``REPRO_FLEET_WORKERS``).  Both are read lazily at each dispatch.
+(``serial`` / ``thread`` / ``process`` / ``rpc``, see
+:mod:`repro.parallel`) — resolves through the chain too, via
+:attr:`ExecutionPolicy.executor` / ``repro.engine(executor="thread")``
+/ ``REPRO_FLEET_EXECUTOR``, with a worker-count bound alongside it
+(:attr:`ExecutionPolicy.max_workers` / ``REPRO_FLEET_WORKERS``) and,
+for the remote executor, the worker host set
+(:attr:`ExecutionPolicy.fleet_hosts` /
+``repro.engine(fleet_hosts=...)`` / ``REPRO_FLEET_HOSTS``).  All are
+read lazily at each dispatch.
 
 This module deliberately imports nothing from the rest of the package
 at import time (it sits below every other layer in the import graph);
@@ -62,6 +66,10 @@ EXECUTOR_ENV_VAR = "REPRO_FLEET_EXECUTOR"
 
 #: Environment variable bounding fleet executor workers (lazy).
 FLEET_WORKERS_ENV_VAR = "REPRO_FLEET_WORKERS"
+
+#: Environment variable naming remote fleet worker hosts for the
+#: ``rpc`` executor (comma-separated ``host:port`` items, lazy).
+FLEET_HOSTS_ENV_VAR = "REPRO_FLEET_HOSTS"
 
 #: Executor used when no layer pins one: the reference dispatch.
 DEFAULT_EXECUTOR = "serial"
@@ -159,16 +167,22 @@ class ExecutionPolicy:
             or a custom registration).
         sha256_backend: ``"hashlib"`` or ``"pure"``.
         executor: registered fleet executor name (``"serial"`` /
-            ``"thread"`` / ``"process"`` or a custom registration in
-            :mod:`repro.parallel`).
+            ``"thread"`` / ``"process"`` / ``"rpc"`` or a custom
+            registration in :mod:`repro.parallel`).
         max_workers: worker bound for pool executors (None = one per
             CPU core, capped at the member count).
+        fleet_hosts: remote worker addresses for the ``rpc`` executor
+            (``host:port`` strings, or one comma-separated string);
+            stored canonicalised (validated, de-duplicated, sorted) so
+            two policies naming the same hosts in different orders are
+            the same policy.
     """
 
     engine: Optional[str] = None
     sha256_backend: Optional[str] = None
     executor: Optional[str] = None
     max_workers: Optional[int] = None
+    fleet_hosts: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         if self.engine is not None:
@@ -184,6 +198,11 @@ class ExecutionPolicy:
             parallel.get_executor_spec(self.executor)  # validates
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if self.fleet_hosts is not None:
+            from ..parallel import remote  # lazy, as above
+
+            object.__setattr__(self, "fleet_hosts",
+                               remote.parse_hosts(self.fleet_hosts))
 
     @contextmanager
     def use(self) -> Iterator["ExecutionPolicy"]:
@@ -220,19 +239,23 @@ def get_policy() -> Optional[ExecutionPolicy]:
 def engine(name: Optional[str] = None, *,
            sha256: Optional[str] = None,
            executor: Optional[str] = None,
-           max_workers: Optional[int] = None) -> Iterator[ExecutionPolicy]:
+           max_workers: Optional[int] = None,
+           fleet_hosts: Optional[Tuple[str, ...]] = None
+           ) -> Iterator[ExecutionPolicy]:
     """Scoped engine override: ``with repro.engine("scalar"): ...``.
 
     Nested contexts stack; the innermost one that pins a given field
     wins, so ``with engine("scalar"), engine(sha256="pure"):`` runs the
     scalar engine *and* the pure hash.  Fleet dispatch scopes the same
-    way: ``with repro.engine(executor="thread", max_workers=4): ...``.
-    Thread- and async-safe (backed by a
-    :class:`contextvars.ContextVar`).
+    way: ``with repro.engine(executor="thread", max_workers=4): ...``,
+    and remote dispatch too: ``with repro.engine(executor="rpc",
+    fleet_hosts=("db1:7401", "db2:7401")): ...``.  Thread- and
+    async-safe (backed by a :class:`contextvars.ContextVar`).
     """
     with ExecutionPolicy(engine=name, sha256_backend=sha256,
                          executor=executor,
-                         max_workers=max_workers).use() as pol:
+                         max_workers=max_workers,
+                         fleet_hosts=fleet_hosts).use() as pol:
         yield pol
 
 
@@ -382,6 +405,38 @@ def resolve_max_workers(
     return None, "default"
 
 
+def resolve_fleet_hosts(
+        explicit: Union[None, str, Tuple[str, ...]] = None
+) -> Tuple[Optional[Tuple[str, ...]], str]:
+    """(canonical host tuple or None, deciding layer) for the ``rpc``
+    executor's worker set.
+
+    ``explicit`` may be a host sequence or one comma-separated string;
+    None walks context > installed policy > ``REPRO_FLEET_HOSTS`` (read
+    *now*, so exporting it after the scheduler exists works).  None
+    with source ``"default"`` means no layer names hosts — the rpc
+    executor turns that into a descriptive error at dispatch.
+    """
+    if explicit is not None:
+        from ..parallel import remote  # lazy: only parsing needs it
+
+        return remote.parse_hosts(explicit), "explicit"
+    # context/policy values were canonicalised by ExecutionPolicy
+    # validation, so these layers resolve without ever loading the
+    # wire-protocol module (describe_policy() must stay cheap)
+    for frame in reversed(_OVERRIDES.get()):
+        if frame.fleet_hosts is not None:
+            return frame.fleet_hosts, "context"
+    if _POLICY is not None and _POLICY.fleet_hosts is not None:
+        return _POLICY.fleet_hosts, "policy"
+    value = os.environ.get(FLEET_HOSTS_ENV_VAR)
+    if value is not None and value.strip():
+        from ..parallel import remote  # lazy, as above
+
+        return remote.parse_hosts(value), "env"
+    return None, "default"
+
+
 def describe_policy() -> Dict[str, object]:
     """Inspectable snapshot of the resolution: what would run now, and
     which layer decided it.  The answer an operator needs when a fleet
@@ -400,6 +455,7 @@ def describe_policy() -> Dict[str, object]:
             sha_source = "env"
     executor, executor_source = resolve_executor_name()
     max_workers, workers_source = resolve_max_workers()
+    fleet_hosts, hosts_source = resolve_fleet_hosts()
     from .. import parallel  # lazy; registers the built-in executors
 
     return {
@@ -412,6 +468,8 @@ def describe_policy() -> Dict[str, object]:
         "executor_source": executor_source,
         "max_workers": max_workers,
         "max_workers_source": workers_source,
+        "fleet_hosts": fleet_hosts,
+        "fleet_hosts_source": hosts_source,
         "available_engines": available_engines(),
         "available_executors": parallel.available_executors(),
         "installed_policy": _POLICY,

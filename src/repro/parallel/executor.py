@@ -74,12 +74,15 @@ class ExecutionOutcome:
         assignments: worker label per task, in task order.
         worker_walls: per-worker wall-clock breakdown.
         workers: workers the pass actually used.
+        hosts: remote worker addresses the pass dispatched to (empty
+            for in-host executors).
     """
 
     results: List[Tuple[Any, Any]] = field(default_factory=list)
     assignments: List[str] = field(default_factory=list)
     worker_walls: List[WorkerWall] = field(default_factory=list)
     workers: int = 1
+    hosts: Tuple[str, ...] = ()
 
 
 def _effective_workers(max_workers: Optional[int], n_tasks: int) -> int:
@@ -283,7 +286,7 @@ class ExecutorSpec:
 
 _EXECUTORS: Dict[str, ExecutorSpec] = {}
 
-_BUILTIN_EXECUTORS = ("serial", "thread", "process")
+_BUILTIN_EXECUTORS = ("serial", "thread", "process", "rpc")
 
 
 #: Instances handed out by :func:`make_executor`, keyed by
@@ -308,9 +311,21 @@ def close_executors() -> None:
     fleet work — or that swept many distinct ``max_workers`` bounds —
     calls this to release the pools.  The next resolution simply
     builds fresh instances.
+
+    The rpc executor's worker *connections* are pooled module-wide in
+    :mod:`repro.parallel.remote` (its host list resolves lazily, so
+    sockets key by address, not by executor instance); dropping cached
+    instances alone would leak those sockets, so the connection pool is
+    closed here too — including when every rpc dispatch went through
+    explicit (never-cached) executor instances.
     """
     for name in {key[0] for key in _INSTANCES}:
         _drop_instances(name)
+    import sys
+
+    remote = sys.modules.get(__package__ + ".remote")
+    if remote is not None:  # never imported → no pools to close
+        remote.close_connection_pools()
 
 
 def register_executor(spec: ExecutorSpec, *,
@@ -373,6 +388,14 @@ def make_executor(name: str,
     return instance
 
 
+def _rpc_factory(max_workers: Optional[int] = None) -> FleetExecutor:
+    """Build the remote executor (imported lazily so the wire-protocol
+    module only loads when rpc dispatch is actually selected)."""
+    from .remote import RpcExecutor
+
+    return RpcExecutor(max_workers=max_workers)
+
+
 register_executor(ExecutorSpec(
     "serial", SerialExecutor,
     "in-order dispatch in the calling thread (the reference)"))
@@ -382,6 +405,9 @@ register_executor(ExecutorSpec(
 register_executor(ExecutorSpec(
     "process", ProcessExecutor,
     "process pool; members travel as compact pickled snapshots"))
+register_executor(ExecutorSpec(
+    "rpc", _rpc_factory,
+    "TCP dispatch to remote worker daemons (REPRO_FLEET_HOSTS)"))
 
 
 def resolve_fleet_executor(

@@ -1,0 +1,630 @@
+"""Remote RPC fleet executor: fleet members across machines.
+
+PR 4 left the executor registry open and made the transport
+network-shaped — a member ships to a worker as a compact pickled
+snapshot (~1.3 MB for the bench fleet, see
+:meth:`repro.medium.medium.PatternedMedium.__getstate__`) and a
+read-only pass sends home a ~1 kB
+:class:`~repro.api.store.StoreStatePatch`.  This module closes the
+loop: the same member tasks, dispatched over TCP to worker daemons on
+other hosts, byte-identical to the ``serial`` reference.
+
+Three pieces:
+
+* **wire protocol** — length-prefixed pickle frames
+  (:func:`send_frame` / :func:`recv_frame`): a 4-byte magic, an 8-byte
+  big-endian length, then the pickled message.  Requests are small
+  tagged tuples (``("run", task)``, ``("ping",)``); responses carry
+  the task's result or a portable description of the exception it
+  raised.  Pickle is the member transport the in-host ``process``
+  executor already rides on, so the *same* compact snapshots cross the
+  network — but pickle also means the protocol authenticates nobody:
+  run workers only on trusted hosts/loopback (documented in API.md).
+
+* **worker daemon** — :func:`serve`, exposed as
+  ``python -m repro.parallel.remote serve --bind HOST:PORT``.  A
+  threaded TCP server that hosts member stores for the duration of a
+  pass: each connection unpickles tasks, executes them, and replies
+  with ``(wall_seconds, (payload, state))`` or the raised exception.
+  A member raising inside a pass travels back as the original
+  exception object (plus the remote traceback text), so a fleet pass
+  fails with the *same* error type whichever executor dispatched it.
+
+* **client executor** — :class:`RpcExecutor` (registered as ``rpc``),
+  a :class:`~repro.parallel.executor.FleetExecutor` that resolves its
+  host list lazily at each dispatch (explicit ``hosts=`` argument >
+  ``with repro.engine(fleet_hosts=...):`` > installed policy >
+  ``REPRO_FLEET_HOSTS``), assigns member *i* to the host a
+  :class:`~repro.parallel.ring.HashRing` over the host set owns —
+  deterministic and stable under host lists given in any order — and
+  drives the per-host connections from a thread pool.  Connections are
+  pooled module-wide (:data:`_POOL`) so repeated passes reuse warm
+  sockets; a stale pooled connection is redialled once *before* the
+  request is delivered, while any failure after delivery raises
+  :class:`RpcConnectionError` — a task that may have executed is never
+  silently retried (a seal pass must not heat a line twice).
+
+Failure semantics (the fault-injection contract):
+
+* worker process killed → the next frame on its connections hits EOF:
+  :class:`RpcConnectionError` naming the host, no member state folded
+  back (caller-held references keep their pre-pass state), and the
+  surviving hosts' pooled connections stay reusable;
+* connection dropped mid-frame (truncated header or body) →
+  :class:`RpcConnectionError`; a half-received frame is never
+  interpreted;
+* member raising inside a pass → the original exception re-raised at
+  the caller, ``__cause__``-chained to a :class:`RemoteTaskError`
+  carrying the remote traceback and host.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import socket
+import socketserver
+import struct
+import subprocess
+import sys
+import threading
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError, ReproError
+from .executor import (
+    ExecutionOutcome,
+    FleetExecutor,
+    MemberTask,
+    _collect_walls,
+)
+from .ring import HashRing
+
+#: Environment variable naming the worker hosts (``host:port`` items,
+#: comma-separated), read lazily at each dispatch.
+HOSTS_ENV_VAR = "REPRO_FLEET_HOSTS"
+
+#: Frame header: magic + 8-byte big-endian payload length.
+_MAGIC = b"SRPC"
+_HEADER = struct.Struct(">4sQ")
+
+#: Refuse absurd frames (a desynchronised peer must fail fast, not
+#: allocate gigabytes).  Generous: a bench member snapshot is ~1.3 MB.
+MAX_FRAME_BYTES = 1 << 30
+
+#: Dial attempts for a *fresh* connection (a worker still starting up
+#: refuses a few times before it listens).
+DIAL_RETRIES = 10
+DIAL_RETRY_DELAY_S = 0.2
+
+
+class RpcError(ReproError):
+    """Base class for remote-fleet RPC failures."""
+
+
+class RpcConnectionError(RpcError):
+    """A worker connection failed: dial refused, worker died, or a
+    frame was cut short.  The message names the host."""
+
+
+class RpcProtocolError(RpcError):
+    """The peer spoke something that is not the SRPC framing."""
+
+
+class RemoteTaskError(RpcError):
+    """A member task raised on a worker.
+
+    The original exception is re-raised at the caller with this as its
+    ``__cause__``; :attr:`host` and :attr:`remote_traceback` preserve
+    where and how it failed.
+    """
+
+    def __init__(self, message: str, *, host: str = "",
+                 remote_traceback: str = "") -> None:
+        super().__init__(message)
+        self.host = host
+        self.remote_traceback = remote_traceback
+
+
+# ---------------------------------------------------------------------------
+# Wire protocol
+
+
+def send_frame(sock: socket.socket, message: Any) -> int:
+    """Pickle ``message`` and send it as one length-prefixed frame.
+
+    Returns the payload size in bytes (the transport-accounting hook
+    the benchmarks use).
+    """
+    payload = pickle.dumps(message, pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(_MAGIC, len(payload)) + payload)
+    return len(payload)
+
+
+def _recv_exact(sock: socket.socket, n: int, what: str) -> bytes:
+    """Read exactly ``n`` bytes or raise :class:`RpcConnectionError`.
+
+    A connection dropped mid-frame surfaces here: the peer closed (or
+    died) with ``what`` only partially delivered, and a partial frame
+    must never be interpreted.
+    """
+    chunks: List[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            raise RpcConnectionError(
+                f"connection closed mid-frame ({got}/{n} bytes of {what}); "
+                "the peer dropped the link or its process died")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Any:
+    """Receive one frame and unpickle it.
+
+    Raises :class:`RpcConnectionError` on a truncated frame and
+    :class:`RpcProtocolError` on bad framing.  Returns the sentinel
+    ``None`` is a valid message; end-of-stream *between* frames raises
+    ``EOFError`` (the orderly-shutdown signal the server loop uses).
+    """
+    first = sock.recv(1)
+    if not first:
+        raise EOFError("peer closed between frames")
+    header = first + _recv_exact(sock, _HEADER.size - 1, "frame header")
+    magic, length = _HEADER.unpack(header)
+    if magic != _MAGIC:
+        raise RpcProtocolError(
+            f"bad frame magic {magic!r} (not an SRPC peer, or the "
+            "stream desynchronised)")
+    if length > MAX_FRAME_BYTES:
+        raise RpcProtocolError(f"frame of {length} bytes exceeds the "
+                               f"{MAX_FRAME_BYTES}-byte cap")
+    return pickle.loads(_recv_exact(sock, int(length), "frame body"))
+
+
+# ---------------------------------------------------------------------------
+# Worker daemon
+
+
+def _execute_request(request: Any) -> Tuple[Any, bool]:
+    """(response, keep_serving) for one request tuple."""
+    if not isinstance(request, tuple) or not request:
+        return ("err", None, "RpcProtocolError",
+                f"malformed request: {type(request).__name__}", ""), True
+    op = request[0]
+    if op == "ping":
+        return ("pong", os.getpid()), True
+    if op == "run":
+        task = request[1]
+        t0 = time.perf_counter()
+        try:
+            result = task()
+        except BaseException as exc:  # noqa: BLE001 — shipped to caller
+            try:
+                portable: Optional[BaseException] = pickle.loads(
+                    pickle.dumps(exc, pickle.HIGHEST_PROTOCOL))
+            except Exception:
+                portable = None
+            return ("err", portable, type(exc).__name__, str(exc),
+                    traceback.format_exc()), True
+        wall = time.perf_counter() - t0
+        return ("ok", wall, result), True
+    return ("err", None, "RpcProtocolError",
+            f"unknown request op {op!r}", ""), True
+
+
+class _WorkerHandler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:  # one connection: frames until EOF
+        while True:
+            try:
+                request = recv_frame(self.request)
+            except (EOFError, RpcConnectionError, ConnectionError,
+                    OSError):
+                return
+            except RpcProtocolError:
+                return  # a non-SRPC peer gets silence, not a stack dump
+            response, keep = _execute_request(request)
+            try:
+                send_frame(self.request, response)
+            except (ConnectionError, OSError):
+                return
+            if not keep:
+                return
+
+
+class _WorkerServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+def serve(bind: str, *, announce=print) -> None:
+    """Run a worker daemon on ``bind`` (``host:port``; port 0 picks a
+    free one) until interrupted.  ``announce`` receives one
+    ``"SRPC listening on host:port"`` line once the socket accepts —
+    launchers parse it to learn an ephemeral port.
+    """
+    host, port = parse_host(bind)
+    with _WorkerServer((host, port), _WorkerHandler) as server:
+        bound_host, bound_port = server.server_address[:2]
+        announce(f"SRPC listening on {bound_host}:{bound_port}")
+        try:
+            server.serve_forever(poll_interval=0.1)
+        except KeyboardInterrupt:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Host parsing
+
+
+def parse_host(spec: str) -> Tuple[str, int]:
+    """``"host:port"`` → ``(host, port)`` with validation."""
+    host, sep, port_text = str(spec).strip().rpartition(":")
+    if not sep or not host:
+        raise ConfigurationError(
+            f"fleet host must be 'host:port', got {spec!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"fleet host port must be an integer, got {spec!r}") from None
+    if not 0 <= port <= 65535:
+        raise ConfigurationError(f"fleet host port out of range: {spec!r}")
+    return host, port
+
+
+def parse_hosts(spec: Union[str, Sequence[str]]) -> Tuple[str, ...]:
+    """Normalise a host list (string ``"h:p,h:p"`` or sequence) to a
+    canonical tuple: validated, de-duplicated, sorted.
+
+    Sorting makes everything downstream order-independent: two nodes
+    configured with the same hosts in different orders build the same
+    :class:`HashRing` and assign members identically.
+    """
+    if isinstance(spec, str):
+        items = [item for item in spec.replace(",", " ").split() if item]
+    else:
+        items = [str(item) for item in spec]
+    if not items:
+        raise ConfigurationError("fleet host list is empty")
+    canonical = {f"{host}:{port}" for host, port in map(parse_host, items)}
+    return tuple(sorted(canonical))
+
+
+# ---------------------------------------------------------------------------
+# Client connection pool (module-wide: RpcExecutor instances resolve
+# their hosts lazily, so the sockets — keyed by address, not by
+# instance — are shared and survive between passes.
+# repro.parallel.close_executors() closes this pool too.)
+
+_POOL: Dict[str, List[socket.socket]] = {}
+_POOL_LOCK = threading.Lock()
+
+
+def _pooled_connections(addr: Optional[str] = None) -> int:
+    """Idle pooled connections (diagnostics/tests)."""
+    with _POOL_LOCK:
+        if addr is not None:
+            return len(_POOL.get(addr, ()))
+        return sum(len(socks) for socks in _POOL.values())
+
+
+def close_connection_pools() -> int:
+    """Close every idle pooled worker connection; returns the count.
+
+    Connections checked out by an in-flight pass are not touched —
+    they return to a now-empty pool when the pass completes.
+    """
+    with _POOL_LOCK:
+        sockets = [s for socks in _POOL.values() for s in socks]
+        _POOL.clear()
+    for sock in sockets:
+        try:
+            sock.close()
+        except OSError:
+            pass
+    return len(sockets)
+
+
+def _dial(addr: str, *, retries: int = DIAL_RETRIES,
+          timeout: Optional[float] = None) -> socket.socket:
+    """Fresh connection to ``addr``, retrying brief refusals."""
+    host, port = parse_host(addr)
+    last: Optional[Exception] = None
+    for attempt in range(max(1, retries)):
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return sock
+        except OSError as exc:
+            last = exc
+            if attempt + 1 < retries:
+                time.sleep(DIAL_RETRY_DELAY_S)
+    raise RpcConnectionError(
+        f"cannot reach fleet worker at {addr}: {last}") from last
+
+
+def _borrow(addr: str) -> Tuple[socket.socket, bool]:
+    """A connection to ``addr``: pooled (True) or freshly dialled."""
+    with _POOL_LOCK:
+        pooled = _POOL.get(addr)
+        if pooled:
+            return pooled.pop(), True
+    return _dial(addr), False
+
+
+def _give_back(addr: str, sock: socket.socket) -> None:
+    with _POOL_LOCK:
+        _POOL.setdefault(addr, []).append(sock)
+
+
+def _discard(sock: socket.socket) -> None:
+    try:
+        sock.close()
+    except OSError:
+        pass
+
+
+def call_worker(addr: str, request: Any) -> Any:
+    """One request/response round trip with ``addr``, via the pool.
+
+    A *stale* pooled connection (the worker restarted since the last
+    pass) fails while the request is being sent; since an undelivered
+    request cannot have executed, it is retried once on a fresh
+    connection.  Any failure after the request was delivered — EOF or
+    a truncated reply — raises :class:`RpcConnectionError` instead:
+    the task may have run, and mutating passes must never run twice.
+    """
+    sock, from_pool = _borrow(addr)
+    try:
+        send_frame(sock, request)
+    except (ConnectionError, OSError) as exc:
+        _discard(sock)
+        if not from_pool:
+            raise RpcConnectionError(
+                f"fleet worker at {addr} rejected the request: "
+                f"{exc}") from exc
+        sock = _dial(addr)  # stale pooled socket: one reconnect
+        try:
+            send_frame(sock, request)
+        except (ConnectionError, OSError) as exc2:
+            _discard(sock)
+            raise RpcConnectionError(
+                f"fleet worker at {addr} rejected the request after "
+                f"reconnect: {exc2}") from exc2
+    try:
+        response = recv_frame(sock)
+    except EOFError as exc:
+        _discard(sock)
+        raise RpcConnectionError(
+            f"fleet worker at {addr} closed the connection before "
+            "replying (worker killed mid-task?)") from exc
+    except (RpcConnectionError, RpcProtocolError):
+        _discard(sock)
+        raise RpcConnectionError(
+            f"reply from fleet worker at {addr} was cut short or "
+            "malformed; the connection dropped mid-frame")
+    except (ConnectionError, OSError) as exc:
+        _discard(sock)
+        raise RpcConnectionError(
+            f"connection to fleet worker at {addr} failed mid-reply: "
+            f"{exc}") from exc
+    _give_back(addr, sock)
+    return response
+
+
+def ping(addr: str, *, timeout: float = 5.0) -> int:
+    """Round-trip a ping; returns the worker's PID.  Waits up to
+    ``timeout`` seconds for the worker to start listening."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            response = call_worker(addr, ("ping",))
+        except RpcConnectionError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(DIAL_RETRY_DELAY_S)
+            continue
+        if not (isinstance(response, tuple) and response[0] == "pong"):
+            raise RpcProtocolError(f"unexpected ping reply: {response!r}")
+        return int(response[1])
+
+
+# ---------------------------------------------------------------------------
+# The executor
+
+
+def _worker_label(addr: str) -> str:
+    return f"rpc-{addr}"
+
+
+class RpcExecutor(FleetExecutor):
+    """Dispatch fleet passes to remote worker daemons over TCP.
+
+    Args:
+        hosts: worker addresses (``"host:port"`` items, or one
+            comma-separated string).  None resolves lazily at *each*
+            dispatch through the policy chain
+            (``repro.engine(fleet_hosts=...)`` > installed policy >
+            ``REPRO_FLEET_HOSTS``), so exporting the variable after the
+            scheduler exists still works.
+        max_workers: bound on concurrent in-flight tasks (default: one
+            per resolved host).
+
+    Member *i* goes to the host that owns ``"member-i"`` on a
+    consistent-hash ring over the host set — a pure function of the
+    canonicalised host list, so every node that knows the same hosts
+    (in any order) computes the same placement, and growing the host
+    list remaps only its ring share of members.
+    """
+
+    name = "rpc"
+    crosses_process = True  # results cross a machine boundary
+
+    def __init__(self, hosts: Union[None, str, Sequence[str]] = None,
+                 max_workers: Optional[int] = None) -> None:
+        self.hosts = parse_hosts(hosts) if hosts is not None else None
+        self.max_workers = max_workers
+
+    def _resolve_hosts(self) -> Tuple[str, ...]:
+        if self.hosts is not None:
+            return self.hosts
+        # lazy, like every other policy switch: read at dispatch time
+        from ..api import policy as _policy
+
+        hosts, _source = _policy.resolve_fleet_hosts(None)
+        if not hosts:
+            raise ConfigurationError(
+                "the rpc executor needs worker hosts: pass "
+                "RpcExecutor(hosts=[...]), scope "
+                "repro.engine(fleet_hosts=...), or export "
+                f"{HOSTS_ENV_VAR}=host:port,host:port (start workers "
+                "with `python -m repro.parallel.remote serve`)")
+        return parse_hosts(hosts)
+
+    def close(self) -> None:
+        """Release the pooled worker connections (idempotent)."""
+        close_connection_pools()
+
+    @staticmethod
+    def _run_one(addr: str, task: MemberTask) -> Tuple[str, float, Any]:
+        response = call_worker(addr, ("run", task))
+        if not isinstance(response, tuple) or not response:
+            raise RpcProtocolError(
+                f"malformed reply from fleet worker at {addr}: "
+                f"{type(response).__name__}")
+        if response[0] == "ok":
+            _tag, wall, result = response
+            return _worker_label(addr), float(wall), result
+        if response[0] == "err":
+            _tag, portable, etype, message, tb = response
+            cause = RemoteTaskError(
+                f"member task raised {etype} on fleet worker {addr}: "
+                f"{message}\n--- remote traceback ---\n{tb}",
+                host=addr, remote_traceback=tb)
+            if isinstance(portable, BaseException):
+                raise portable from cause
+            raise cause
+        raise RpcProtocolError(
+            f"unknown reply tag {response[0]!r} from worker at {addr}")
+
+    def run(self, tasks: Sequence[MemberTask]) -> ExecutionOutcome:
+        n = len(tasks)
+        hosts = self._resolve_hosts()
+        if n == 0:
+            return ExecutionOutcome(workers=0, hosts=hosts)
+        ring = HashRing(hosts)
+        assignment = [ring.lookup(f"member-{i}") for i in range(n)]
+        bound = self.max_workers if self.max_workers is not None \
+            else len(hosts)
+        workers = max(1, min(bound, n))
+        outcome = ExecutionOutcome(workers=workers, hosts=hosts)
+        per_worker: Dict[str, List[float]] = {}
+        with ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix="rpc-client") as pool:
+            futures = [pool.submit(self._run_one, addr, task)
+                       for addr, task in zip(assignment, tasks)]
+            for future in futures:
+                label, wall, result = future.result()
+                outcome.results.append(result)
+                outcome.assignments.append(label)
+                per_worker.setdefault(label, []).append(wall)
+        outcome.worker_walls = _collect_walls(per_worker)
+        return outcome
+
+
+# The ``rpc`` registry entry lives in :mod:`repro.parallel.executor`
+# (a lazy factory over :class:`RpcExecutor`), so selecting any other
+# executor never loads the wire protocol — and ``python -m
+# repro.parallel.remote`` can execute this module as ``__main__``
+# without a duplicate registration.
+
+
+# ---------------------------------------------------------------------------
+# Local worker management (examples, benchmarks, CI)
+
+
+class LocalWorker:
+    """Handle on a worker daemon subprocess on this machine."""
+
+    def __init__(self, process: subprocess.Popen, address: str) -> None:
+        self.process = process
+        self.address = address
+
+    def kill(self) -> None:
+        """SIGKILL the worker (fault injection: no orderly goodbye)."""
+        self.process.kill()
+        self.process.wait(timeout=10)
+
+    def stop(self) -> None:
+        """Terminate the worker and reap it (idempotent)."""
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.kill()
+
+
+def spawn_local_worker(bind: str = "127.0.0.1:0", *,
+                       timeout: float = 30.0) -> LocalWorker:
+    """Start ``python -m repro.parallel.remote serve`` as a subprocess
+    and wait for its announce line; returns the :class:`LocalWorker`
+    with the actual ``host:port`` (port 0 picks a free one).
+    """
+    package_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = package_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.parallel.remote", "serve",
+         "--bind", bind],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        env=env, text=True)
+    deadline = time.monotonic() + timeout
+    line = ""
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if line.startswith("SRPC listening on "):
+            address = line.strip().rpartition(" ")[2]
+            return LocalWorker(process, address)
+        if process.poll() is not None:
+            break
+    process.kill()
+    raise RpcConnectionError(
+        f"local worker failed to start (last output: {line!r})")
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.parallel.remote",
+        description="SERO fleet RPC worker daemon")
+    sub = parser.add_subparsers(dest="command", required=True)
+    serve_p = sub.add_parser("serve", help="host fleet member passes")
+    serve_p.add_argument("--bind", default="127.0.0.1:0",
+                         help="host:port to listen on (port 0 = free)")
+    ping_p = sub.add_parser("ping", help="wait for a worker to answer")
+    ping_p.add_argument("address", help="worker host:port")
+    ping_p.add_argument("--timeout", type=float, default=15.0)
+    args = parser.parse_args(argv)
+    if args.command == "serve":
+        serve(args.bind)
+        return 0
+    pid = ping(args.address, timeout=args.timeout)
+    print(f"worker at {args.address} alive (pid {pid})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,9 @@ member of a fleet —
   verification otherwise)
 
 — and dispatches them on a named *fleet executor*
-(:mod:`repro.parallel`: ``serial`` / ``thread`` / ``process``),
+(:mod:`repro.parallel`: ``serial`` / ``thread`` / ``process`` /
+``rpc`` — the last shipping members to worker daemons on other
+machines, see :mod:`repro.parallel.remote`),
 resolved lazily through the execution-policy chain at every pass
 (explicit constructor pin > ``with repro.engine(executor=...)`` >
 installed policy > ``REPRO_FLEET_EXECUTOR`` read at dispatch time).
@@ -113,7 +115,12 @@ class FleetReport:
         wall_seconds: simulator wall-clock for the whole pass.
         executor: name of the executor that dispatched the pass.
         workers: workers the executor actually used.
-        worker_walls: per-worker host wall-clock breakdown.
+        worker_walls: per-worker host wall-clock breakdown (for the
+            ``rpc`` executor one entry per remote host, labelled
+            ``rpc-host:port`` — the per-host wall an operator reads
+            when one rack node drags the pass).
+        hosts: remote worker addresses the pass dispatched to (empty
+            for in-host executors).
     """
 
     operation: str
@@ -122,6 +129,7 @@ class FleetReport:
     executor: str = "serial"
     workers: int = 1
     worker_walls: List[WorkerWall] = field(default_factory=list)
+    hosts: Tuple[str, ...] = ()
 
     @property
     def device_count(self) -> int:
@@ -367,6 +375,7 @@ class FleetScheduler:
             report.devices.append(device_report)
         report.workers = outcome.workers
         report.worker_walls = outcome.worker_walls
+        report.hosts = outcome.hosts
         return report
 
     # -- passes ------------------------------------------------------------------

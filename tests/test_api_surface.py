@@ -27,10 +27,11 @@ EXPECTED_API = sorted([
     "resolve_vectorized",
     "set_policy",
     "unregister_engine",
-    # fleet executors (PR 4)
+    # fleet executors (PR 4; remote hosts PR 5)
     "DEFAULT_EXECUTOR",
     "EXECUTOR_ENV_VAR",
     "ExecutorSpec",
+    "FLEET_HOSTS_ENV_VAR",
     "FLEET_WORKERS_ENV_VAR",
     "FleetExecutor",
     "available_executors",
@@ -38,6 +39,7 @@ EXPECTED_API = sorted([
     "register_executor",
     "resolve_executor_name",
     "resolve_fleet_executor",
+    "resolve_fleet_hosts",
     "resolve_max_workers",
     "unregister_executor",
     # store façade
@@ -50,10 +52,11 @@ EXPECTED_API = sorted([
     "StoreConfig",
     "TamperEvidentStore",
     "VerifyReport",
-    # fleet façade (PR 4)
+    # fleet façade (PR 4; rebalance PR 5)
     "FleetEvidenceExport",
     "FleetOpStats",
     "FleetStore",
+    "MigrationReport",
     "coerce_member",
 ])
 

@@ -1,10 +1,30 @@
-"""Failure-injection tests: the stack under adverse conditions."""
+"""Failure-injection tests: the stack under adverse conditions.
+
+The second half targets the fleet executor layer: a worker process
+killed mid-pass, an RPC connection dropped mid-frame, and a member
+raising inside a pass must each fail the pass with a clear, raised
+error — never a hang or a silently partial report — while leaving
+caller-held member references consistent (no half-folded state) and
+the cached connection/process pools reusable for the next pass.
+"""
+
+import os
+import socket
+import threading
+from functools import partial
 
 import numpy as np
 import pytest
 
+import repro
+import repro.api as api
 from repro.device.sero import DeviceConfig, SERODevice, VerifyStatus
-from repro.errors import HeatError, NoSpaceError, ReadError
+from repro.errors import (
+    HeatError,
+    ImmutableFileError,
+    NoSpaceError,
+    ReadError,
+)
 from repro.fs.fsck import deep_scan, fsck
 from repro.fs.lfs import FSConfig, SeroFS
 from repro.medium.medium import MediumConfig
@@ -125,3 +145,186 @@ def test_erb_rounds_one_device_still_verifies():
     device.heat_line(0, 4)
     for _ in range(5):
         assert device.verify_line(0).status is VerifyStatus.INTACT
+
+
+# ---------------------------------------------------------------------------
+# Fleet executor layer under faults
+
+
+def _member_snapshots(fleet):
+    """Executor-invariant state of every caller-held member."""
+    return [(dict(dev.medium.counters),
+             dev.heated_lines,
+             dev.medium._rng.bit_generator.state,
+             dev.account.elapsed)
+            for dev in fleet.devices]
+
+
+def test_rpc_worker_killed_mid_task():
+    """A worker that dies while executing a task (no reply ever sent)
+    must surface as a raised RpcConnectionError, not a hang."""
+    from repro.parallel import RpcConnectionError, RpcExecutor, \
+        spawn_local_worker
+
+    worker = spawn_local_worker()
+    try:
+        executor = RpcExecutor([worker.address])
+        # os._exit on the worker: the process dies mid-request, after
+        # the task was delivered but before any reply
+        with pytest.raises(RpcConnectionError, match="before replying"):
+            executor.run([partial(os._exit, 17)])
+    finally:
+        worker.stop()
+
+
+def test_rpc_worker_killed_between_passes_fails_cleanly():
+    """SIGKILL one of two workers: the next pass raises a descriptive
+    error, caller-held members keep their pre-pass state, and both the
+    member fleet and the surviving worker's pooled connections remain
+    usable for a follow-up pass."""
+    from repro.parallel import HashRing, RpcConnectionError, RpcExecutor, \
+        close_connection_pools, parse_hosts, spawn_local_worker
+    from repro.workloads.fleet import FleetScheduler
+
+    worker_a, worker_b = spawn_local_worker(), spawn_local_worker()
+    # kill a worker the ring actually assigned members to (the
+    # executor's assignment is a pure function of the host set, so the
+    # test can compute it) — the failed pass is then guaranteed
+    hosts = parse_hosts([worker_a.address, worker_b.address])
+    victim_addr = HashRing(hosts).lookup("member-0")
+    victim, survivor = (worker_a, worker_b) \
+        if worker_a.address == victim_addr else (worker_b, worker_a)
+    try:
+        fleet = FleetScheduler.build(
+            3, 32, switching_sigma=0.02,
+            executor=RpcExecutor([survivor.address, victim.address]))
+        twin = FleetScheduler.build(3, 32, switching_sigma=0.02,
+                                    executor="serial")
+        assert fleet.format_fleet().fingerprints() == \
+            twin.format_fleet().fingerprints()
+
+        victim.kill()
+        before = _member_snapshots(fleet)
+        with pytest.raises(RpcConnectionError):
+            fleet.audit_fleet()
+        # no member state was folded back: caller references are
+        # exactly as they were before the failed pass
+        assert _member_snapshots(fleet) == before
+
+        # the fleet (same member stores) carries on over the survivor,
+        # byte-identical to the serial twin
+        rest = FleetScheduler(fleet.stores,
+                              executor=RpcExecutor([survivor.address]))
+        assert rest.audit_fleet().fingerprints() == \
+            twin.audit_fleet().fingerprints()
+    finally:
+        survivor.stop()
+        victim.stop()
+        close_connection_pools()
+
+
+def _one_shot_server(behavior):
+    """A TCP endpoint that serves exactly one connection with
+    ``behavior(conn)`` (fault simulation)."""
+    server = socket.socket()
+    server.bind(("127.0.0.1", 0))
+    server.listen(1)
+    port = server.getsockname()[1]
+
+    def run():
+        conn, _addr = server.accept()
+        try:
+            behavior(conn)
+        finally:
+            conn.close()
+            server.close()
+
+    threading.Thread(target=run, daemon=True).start()
+    return f"127.0.0.1:{port}"
+
+
+def test_rpc_connection_dropped_before_reply():
+    """Peer reads the request then drops the link: the task may or may
+    not have run, so the client must raise — never retry silently."""
+    from repro.parallel import RpcConnectionError
+    from repro.parallel.remote import call_worker, recv_frame
+
+    addr = _one_shot_server(lambda conn: recv_frame(conn))  # read, close
+    with pytest.raises(RpcConnectionError, match="before replying"):
+        call_worker(addr, ("run", partial(divmod, 1, 1)))
+
+
+def test_rpc_connection_dropped_mid_frame():
+    """Peer dies halfway through writing the reply frame: the partial
+    frame must never be interpreted."""
+    from repro.parallel import RpcConnectionError
+    from repro.parallel.remote import call_worker, recv_frame
+
+    def truncate_reply(conn):
+        recv_frame(conn)  # consume the request
+        conn.sendall(b"SRPC" + (4096).to_bytes(8, "big") + b"stub")
+
+    addr = _one_shot_server(truncate_reply)
+    with pytest.raises(RpcConnectionError, match="cut short"):
+        call_worker(addr, ("run", partial(divmod, 1, 1)))
+
+
+def test_rpc_member_exception_propagates_with_remote_context():
+    """A member raising inside a pass re-raises the *original*
+    exception at the caller, chained to a RemoteTaskError naming the
+    worker and carrying the remote traceback; the pool stays usable."""
+    from repro.parallel import RemoteTaskError, close_connection_pools, \
+        spawn_local_worker
+
+    worker = spawn_local_worker()
+    try:
+        fleet = api.FleetStore.create(2, total_blocks=192, seed=13)
+        paths = [f"/e{i}" for i in range(4)]
+        for path in paths:
+            fleet.put(path, b"x" * 40)
+        fleet.seal_many(paths[:1])  # serial: now /e0 is immutable
+        with repro.engine(executor="rpc", fleet_hosts=(worker.address,)):
+            with pytest.raises(ImmutableFileError) as excinfo:
+                fleet.seal_many(paths)  # /e0 re-sealed inside the pass
+            cause = excinfo.value.__cause__
+            assert isinstance(cause, RemoteTaskError)
+            assert cause.host == worker.address
+            assert "remote traceback" in str(cause)
+            # pool reusable, members consistent: a clean pass succeeds
+            receipts = fleet.seal_many(paths[1:])
+            assert [r.path for r in receipts] == paths[1:]
+            assert fleet.audit().clean
+    finally:
+        worker.stop()
+        close_connection_pools()
+
+
+def test_process_pool_worker_killed_mid_pass():
+    """A process-pool worker dying mid-task raises BrokenProcessPool
+    and the cached executor rebuilds its pool for the next pass."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    from repro.parallel import ProcessExecutor
+
+    executor = ProcessExecutor(max_workers=2)
+    try:
+        with pytest.raises(BrokenProcessPool):
+            executor.run([partial(os._exit, 1)])
+        outcome = executor.run([partial(divmod, 9, 4)])  # pool rebuilt
+        assert outcome.results == [(2, 1)]
+    finally:
+        executor.close()
+
+
+def test_thread_executor_member_exception_keeps_members_consistent():
+    """An in-pass exception under the thread executor propagates as
+    the original error and folds no state back."""
+    fleet = api.FleetStore.create(2, total_blocks=192, seed=17)
+    paths = [f"/t{i}" for i in range(4)]
+    for path in paths:
+        fleet.put(path, b"y" * 40)
+    fleet.seal_many(paths[:1])
+    with repro.engine(executor="thread", max_workers=2):
+        with pytest.raises(ImmutableFileError):
+            fleet.seal_many(paths)
+        assert fleet.audit().clean  # still consistent and auditable

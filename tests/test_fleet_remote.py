@@ -1,0 +1,460 @@
+"""The remote RPC fleet executor, over real loopback workers.
+
+Four layers under test:
+
+* **wire protocol** — framed pickle round trips, host parsing, the
+  truncated-frame contract;
+* **resolution** — ``fleet_hosts`` through the full policy chain
+  (explicit > ``repro.engine(fleet_hosts=...)`` > installed policy >
+  ``REPRO_FLEET_HOSTS`` read lazily at dispatch) and
+  ``describe_policy()`` naming the deciding layer;
+* **equivalence** — every fleet pass (format / seal / audit / fsck,
+  scheduler and :class:`FleetStore` surface) dispatched on ``rpc``
+  must be byte-identical to the ``serial`` reference, including RNG
+  continuation on the members afterwards;
+* **plumbing** — per-host walls and host naming in the reports,
+  connection-pool reuse, :func:`repro.parallel.close_executors`
+  closing the pools, and :class:`HashRing` stability under permuted
+  host lists.
+
+Worker daemons are spawned on loopback per module; every test that
+does not need them runs without.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import numpy as np
+import pytest
+
+import repro
+import repro.api as api
+from repro.api.fleet import FleetStore
+from repro.api.policy import ExecutionPolicy
+from repro.api.store import TamperEvidentStore
+from repro.errors import ConfigurationError
+from repro.parallel import (
+    HashRing,
+    RpcConnectionError,
+    RpcExecutor,
+    close_connection_pools,
+    close_executors,
+    parse_hosts,
+    spawn_local_worker,
+)
+from repro.parallel.remote import (
+    _pooled_connections,
+    ping,
+    recv_frame,
+    send_frame,
+)
+from repro.workloads.fleet import FleetScheduler
+
+
+@pytest.fixture(autouse=True)
+def _clean_policy_env(monkeypatch):
+    # the CI remote-fleet job exports REPRO_FLEET_EXECUTOR/HOSTS for
+    # the example run; these tests manage their own workers and must
+    # see the documented defaults
+    monkeypatch.delenv(api.EXECUTOR_ENV_VAR, raising=False)
+    monkeypatch.delenv(api.FLEET_HOSTS_ENV_VAR, raising=False)
+    yield
+    api.set_policy(None)
+
+
+@pytest.fixture(scope="module")
+def workers():
+    spawned = [spawn_local_worker() for _ in range(2)]
+    try:
+        yield tuple(w.address for w in spawned)
+    finally:
+        for worker in spawned:
+            worker.stop()
+        close_connection_pools()
+
+
+def _build_pair(executor, n=3, blocks=32):
+    """Twin fleets (identical seeds): serial reference + one under
+    ``executor``."""
+    serial = FleetScheduler.build(n, blocks, switching_sigma=0.02,
+                                  executor="serial")
+    other = FleetScheduler.build(n, blocks, switching_sigma=0.02,
+                                 executor=executor)
+    return serial, other
+
+
+def _all_passes(fleet):
+    return (fleet.format_fleet().fingerprints(),
+            fleet.seal_fleet(lines_per_device=2,
+                             line_blocks=4).fingerprints(),
+            fleet.audit_fleet().fingerprints(),
+            fleet.fsck_fleet().fingerprints())
+
+
+# -- wire protocol -------------------------------------------------------------
+
+
+def test_parse_hosts_canonicalises():
+    assert parse_hosts("b:2,a:1") == ("a:1", "b:2")
+    assert parse_hosts(["b:2", "a:1", "a:1"]) == ("a:1", "b:2")
+    assert parse_hosts("a:1, b:2") == ("a:1", "b:2")
+    for bad in ("", "nohost", "host:", "host:notaport", "host:70000"):
+        with pytest.raises(ConfigurationError):
+            parse_hosts(bad)
+
+
+def test_frame_roundtrip_over_socketpair():
+    a, b = socket.socketpair()
+    try:
+        message = {"snapshot": np.arange(5), "n": 7}
+        send_frame(a, message)
+        out = recv_frame(b)
+        assert out["n"] == 7
+        assert np.array_equal(out["snapshot"], np.arange(5))
+    finally:
+        a.close()
+        b.close()
+
+
+def test_truncated_frame_raises_connection_error():
+    a, b = socket.socketpair()
+    try:
+        a.sendall(b"SRPC" + (200).to_bytes(8, "big") + b"only a little")
+        a.close()
+        with pytest.raises(RpcConnectionError, match="mid-frame"):
+            recv_frame(b)
+    finally:
+        b.close()
+
+
+def test_ping_and_worker_pid(workers):
+    pids = {addr: ping(addr) for addr in workers}
+    assert all(isinstance(pid, int) and pid > 0 for pid in pids.values())
+    assert len(set(pids.values())) == 2  # two distinct daemons
+
+
+# -- resolution chain ----------------------------------------------------------
+
+
+def test_fleet_hosts_resolution_layers(monkeypatch):
+    monkeypatch.delenv(api.FLEET_HOSTS_ENV_VAR, raising=False)
+    assert api.resolve_fleet_hosts() == (None, "default")
+
+    monkeypatch.setenv(api.FLEET_HOSTS_ENV_VAR, "h2:2,h1:1")
+    assert api.resolve_fleet_hosts() == (("h1:1", "h2:2"), "env")
+
+    api.set_policy(ExecutionPolicy(fleet_hosts=("p1:1",)))
+    assert api.resolve_fleet_hosts() == (("p1:1",), "policy")
+
+    with repro.engine(fleet_hosts=("c1:1", "c2:2")):
+        assert api.resolve_fleet_hosts() == (("c1:1", "c2:2"), "context")
+        d = api.describe_policy()
+        assert d["fleet_hosts"] == ("c1:1", "c2:2")
+        assert d["fleet_hosts_source"] == "context"
+
+    assert api.resolve_fleet_hosts("x:9") == (("x:9",), "explicit")
+
+
+def test_policy_validates_and_canonicalises_hosts():
+    policy = ExecutionPolicy(fleet_hosts=("b:2", "a:1"))
+    assert policy.fleet_hosts == ("a:1", "b:2")
+    with pytest.raises(ConfigurationError):
+        ExecutionPolicy(fleet_hosts=("not-a-host",))
+
+
+def test_rpc_without_hosts_is_a_descriptive_error(monkeypatch):
+    monkeypatch.delenv(api.FLEET_HOSTS_ENV_VAR, raising=False)
+    fleet = FleetScheduler.build(2, 16, executor="rpc")
+    with pytest.raises(ConfigurationError, match="REPRO_FLEET_HOSTS"):
+        fleet.format_fleet()
+
+
+def test_env_hosts_read_lazily_after_scheduler_built(workers, monkeypatch):
+    """Exporting REPRO_FLEET_EXECUTOR=rpc + REPRO_FLEET_HOSTS after
+    the scheduler exists must still dispatch remotely."""
+    monkeypatch.delenv(api.EXECUTOR_ENV_VAR, raising=False)
+    monkeypatch.delenv(api.FLEET_HOSTS_ENV_VAR, raising=False)
+    fleet = FleetScheduler.build(2, 16)
+    assert fleet.format_fleet().executor == "serial"
+    monkeypatch.setenv(api.EXECUTOR_ENV_VAR, "rpc")
+    monkeypatch.setenv(api.FLEET_HOSTS_ENV_VAR, ",".join(workers))
+    report = fleet.audit_fleet()
+    assert report.executor == "rpc"
+    assert report.hosts == tuple(sorted(workers))
+
+
+def test_engine_context_selects_rpc(workers):
+    fleet = FleetScheduler.build(2, 16)
+    with repro.engine(executor="rpc", fleet_hosts=workers):
+        report = fleet.format_fleet()
+    assert report.executor == "rpc"
+    assert report.hosts == tuple(sorted(workers))
+    assert fleet.audit_fleet().executor == "serial"  # scope ended
+
+
+# -- equivalence ---------------------------------------------------------------
+
+
+def test_rpc_passes_byte_identical_vs_serial(workers):
+    """The acceptance criterion: format/seal/audit/fsck per-member
+    fingerprints under ``rpc`` match the serial executor byte for
+    byte."""
+    serial, remote = _build_pair(RpcExecutor(workers))
+    assert _all_passes(serial) == _all_passes(remote)
+
+
+def test_rpc_reinstalls_member_state_exactly(workers):
+    """After an rpc pass the caller's members carry the worker-side
+    state (medium arrays, RNG position) exactly as a serial pass
+    would have left them — and the *next* pass still agrees."""
+    serial, remote = _build_pair(RpcExecutor(workers), n=2)
+    for fleet in (serial, remote):
+        fleet.format_fleet()
+        fleet.seal_fleet(lines_per_device=2, line_blocks=4)
+        fleet.audit_fleet()
+    for s_dev, r_dev in zip(serial.devices, remote.devices):
+        assert s_dev.heated_lines == r_dev.heated_lines
+        assert np.array_equal(s_dev.medium._mag, r_dev.medium._mag)
+        assert np.array_equal(s_dev.medium._sharpness,
+                              r_dev.medium._sharpness)
+        assert s_dev.medium._rng.bit_generator.state == \
+            r_dev.medium._rng.bit_generator.state
+    assert serial.audit_fleet().fingerprints() == \
+        remote.audit_fleet().fingerprints()
+
+
+def test_rpc_keeps_caller_references_live(workers):
+    """Caller-held member/device/medium objects must see the mutating
+    rpc-pass results in place (the adopt_state contract)."""
+    fleet = FleetScheduler.build(2, 32, switching_sigma=0.02,
+                                 executor=RpcExecutor(workers))
+    held_store = fleet.stores[0]
+    held_device = held_store.device
+    held_medium = held_device.medium
+    fleet.format_fleet()
+    fleet.seal_fleet(lines_per_device=2, line_blocks=4)
+    assert fleet.stores[0] is held_store
+    assert held_store.device is held_device
+    assert held_device.medium is held_medium
+    assert len(held_device.heated_lines) == 2
+    assert held_medium.heated_count() > 0
+
+
+def test_fleet_store_surface_over_rpc(workers):
+    """FleetStore seal_many/audit through the rpc executor: same
+    receipts and verdicts as serial, hosts named in last_op."""
+    def build():
+        fleet = FleetStore.create(2, total_blocks=192, seed=33)
+        paths = [f"/obj-{i}" for i in range(8)]
+        for path in paths:
+            fleet.put(path, path.encode() * 8)
+        return fleet, paths
+
+    fleet_a, paths = build()
+    receipts_serial = fleet_a.seal_many(paths)
+    audit_serial = fleet_a.audit()
+
+    fleet_b, _ = build()
+    with repro.engine(executor="rpc", fleet_hosts=workers):
+        receipts_rpc = fleet_b.seal_many(paths)
+        audit_rpc = fleet_b.audit()
+    assert [r.line_hash for r in receipts_rpc] == \
+        [r.line_hash for r in receipts_serial]
+    key = lambda rep: [(r.status, r.line_start, r.label, r.stored_hash)
+                       for r in rep.reports]
+    assert key(audit_rpc) == key(audit_serial)
+    assert fleet_b.last_op.executor == "rpc"
+    assert fleet_b.last_op.hosts == tuple(sorted(workers))
+
+
+# -- reporting plumbing --------------------------------------------------------
+
+
+def test_report_names_hosts_and_per_host_walls(workers):
+    fleet = FleetScheduler.build(3, 32, switching_sigma=0.02,
+                                 executor=RpcExecutor(workers))
+    report = fleet.audit_fleet()
+    assert report.executor == "rpc"
+    assert report.hosts == tuple(sorted(workers))
+    assert sum(w.tasks for w in report.worker_walls) == 3
+    for wall in report.worker_walls:
+        host = wall.worker.removeprefix("rpc-")
+        assert host in workers
+        assert wall.wall_seconds >= 0.0
+    assert {d.worker.removeprefix("rpc-")
+            for d in report.devices} <= set(workers)
+
+
+def test_serial_reports_have_no_hosts():
+    fleet = FleetScheduler.build(1, 16)
+    assert fleet.format_fleet().hosts == ()
+
+
+# -- connection pooling --------------------------------------------------------
+
+
+def test_connection_pool_reused_between_passes(workers):
+    close_connection_pools()
+    fleet = FleetScheduler.build(4, 16, executor=RpcExecutor(workers))
+    fleet.format_fleet()
+    pooled_after_first = _pooled_connections()
+    assert pooled_after_first >= 1
+    fleet.audit_fleet()
+    # the second pass reuses the warm sockets instead of stacking more
+    assert _pooled_connections() <= pooled_after_first + len(workers)
+
+
+def test_close_executors_closes_rpc_pools(workers):
+    """Regression: close_executors() must release the module-wide rpc
+    connection pool even when no rpc instance was ever cached in the
+    executor-instance registry (explicit instances bypass it)."""
+    close_connection_pools()
+    fleet = FleetScheduler.build(2, 16, executor=RpcExecutor(workers))
+    fleet.format_fleet()
+    assert _pooled_connections() > 0
+    close_executors()
+    assert _pooled_connections() == 0
+    # and the next pass simply dials fresh connections
+    assert fleet.audit_fleet().executor == "rpc"
+
+
+def test_call_worker_reconnects_after_stale_pooled_socket(workers):
+    """A pooled socket whose peer vanished is redialled transparently
+    when the failure happens before the request is delivered."""
+    addr = workers[0]
+    assert isinstance(ping(addr), int)  # leaves a pooled connection
+    # sabotage: shut down every pooled socket to this worker locally
+    from repro.parallel import remote as remote_mod
+
+    with remote_mod._POOL_LOCK:
+        for sock in remote_mod._POOL.get(addr, []):
+            sock.shutdown(socket.SHUT_RDWR)
+    assert isinstance(ping(addr), int)  # reconnect, not an error
+
+
+# -- host assignment stability -------------------------------------------------
+
+
+def test_hash_ring_stable_under_host_order():
+    """Satellite: the ring is a pure function of the host *set* — two
+    nodes configured with the same hosts in different orders must
+    route every key identically."""
+    hosts = [f"10.0.0.{i}:7401" for i in range(1, 6)]
+    ring_a = HashRing(hosts)
+    ring_b = HashRing(list(reversed(hosts)))
+    ring_c = HashRing(hosts[2:] + hosts[:2])
+    keys = [f"member-{i}" for i in range(300)]
+    route_a = [ring_a.lookup(k) for k in keys]
+    assert route_a == [ring_b.lookup(k) for k in keys]
+    assert route_a == [ring_c.lookup(k) for k in keys]
+    # and the successor walks agree too (capability fallback path)
+    for key in keys[:20]:
+        assert list(ring_a.successors(key)) == list(ring_b.successors(key))
+
+
+def test_rpc_assignment_stable_under_host_order(workers):
+    """The executor canonicalises its host list, so permuted configs
+    dispatch every member to the same worker."""
+    from functools import partial
+
+    a = RpcExecutor(list(workers))
+    b = RpcExecutor(list(reversed(workers)))
+    assert a.hosts == b.hosts
+    tasks = [partial(divmod, 7, 3)] * 5  # picklable placeholder tasks
+    run_a, run_b = a.run(tasks), b.run(tasks)
+    assert run_a.assignments == run_b.assignments
+    assert run_a.results == [(2, 1)] * 5
+
+
+# -- migration (rebalance) -----------------------------------------------------
+
+
+def test_migrate_unsealed_restores_exact_routing():
+    fleet = FleetStore.create(2, total_blocks=192, seed=61)
+    paths = [f"/m{i}" for i in range(16)]
+    for path in paths:
+        fleet.put(path, path.encode() * 4)
+    before = {p: fleet.route(p) for p in paths}
+    while True:  # grow until at least one key remaps
+        fleet.add_member(TamperEvidentStore.create(total_blocks=192))
+        moved = [p for p in paths if fleet.route(p) != before[p]]
+        if moved:
+            break
+    report = fleet.migrate_unsealed()
+    assert report.moved >= len(moved)
+    assert report.sealed_kept == 0
+    assert report.routing_exact
+    # objects now live on their routed member: reads touch nobody else
+    for path in paths:
+        index = fleet.route(path)
+        others = [i for i in range(fleet.member_count) if i != index]
+        counters = [dict(fleet.members[i].device.medium.counters)
+                    for i in others]
+        assert fleet.get(path) == path.encode() * 4
+        assert [dict(fleet.members[i].device.medium.counters)
+                for i in others] == counters
+    # and a second pass is a no-op
+    again = fleet.migrate_unsealed()
+    assert again.moved == 0
+    assert again.routing_exact
+
+
+def test_migrate_skips_member_local_namespaces():
+    """Evidence bags and instruction-log chunks are member-local (not
+    ring-routed), so they must neither move nor block routing_exact."""
+    fleet = FleetStore.create(2, total_blocks=256, seed=81,
+                              audit_log=True, audit_rotate_bytes=64)
+    paths = [f"/u{i}" for i in range(8)]
+    for path in paths:  # enough traffic to rotate sealed log chunks
+        fleet.put(path, b"z" * 16)
+    export = fleet.export_evidence(
+        "case-a", {f"ex-{i}": bytes([i]) * 32 for i in range(4)})
+    assert export.intact
+    fleet.add_member(TamperEvidentStore.create(total_blocks=256))
+    report = fleet.migrate_unsealed()
+    # the sealed evidence/log files are not counted as stranded fleet
+    # objects: exact routing comes back for the real keyspace
+    assert report.sealed_kept == 0
+    assert report.routing_exact
+    for path in paths:
+        assert fleet.get(path) == b"z" * 16
+    assert fleet.audit().clean  # bags and log chunks sealed in place
+
+
+def test_describe_policy_does_not_load_wire_protocol():
+    """describe_policy() is a diagnostics call; with no rpc usage it
+    must not import the wire-protocol module."""
+    import os
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    env.pop(api.FLEET_HOSTS_ENV_VAR, None)
+    env.pop(api.EXECUTOR_ENV_VAR, None)
+    code = ("import sys, repro.api as api; api.describe_policy(); "
+            "assert 'repro.parallel.remote' not in sys.modules, "
+            "'wire protocol loaded eagerly'")
+    subprocess.run([sys.executable, "-c", code], env=env, check=True)
+
+
+def test_migrate_unsealed_refuses_sealed_objects():
+    fleet = FleetStore.create(2, total_blocks=256, seed=71)
+    paths = [f"/s{i}" for i in range(12)]
+    for path in paths:
+        fleet.put(path, b"x" * 64)
+    fleet.seal_many(paths)
+    homes = {p: fleet._locate(p)[0] for p in paths}
+    before = {p: fleet.route(p) for p in paths}
+    while True:
+        fleet.add_member(TamperEvidentStore.create(total_blocks=256))
+        stranded = [p for p in paths if fleet.route(p) != before[p]]
+        if stranded:
+            break
+    report = fleet.migrate_unsealed()
+    assert report.sealed_kept >= len(stranded)
+    assert report.moved == 0  # nothing unsealed to move
+    assert not report.routing_exact  # fallback must stay on
+    for path in paths:  # sealed lines stay put and stay readable
+        assert fleet._locate(path)[0] == homes[path]
+        assert fleet.verify(path).intact

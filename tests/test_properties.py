@@ -131,6 +131,107 @@ def test_venti_stream_roundtrip_property(data):
     assert store.read_stream(store.put_stream(data)) == data
 
 
+# ---------------------------------------------------------------------------
+# Compact medium snapshot transport (the fleet's process/rpc pickle)
+
+
+def _scrambled_medium(seed, heated_frac, touched_frac, uniform, sigma,
+                      rng_draws):
+    """A small medium driven into an arbitrary-but-physical state.
+
+    Randomised mag bits, an arbitrary touched-dot bitmap, and (unless
+    ``uniform``) non-uniform sharpness values — the exact surface the
+    compact ``__getstate__`` snapshot has to reproduce.  The one
+    physical invariant is honoured: a dot heated below the sharpness
+    threshold holds no magnetisation (``mag == 0``), which is what
+    makes the packed-sign-bit encoding lossless.
+    """
+    from repro.device.sero import SERODevice
+    from repro.medium.dot import HEATED_SHARPNESS_THRESHOLD
+    from repro.medium.medium import MediumConfig
+
+    device = SERODevice.create(
+        2, medium_config=MediumConfig(seed=seed, switching_sigma=sigma))
+    medium = device.medium
+    n = medium.geometry.total_dots
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    medium._mag[:] = np.where(rng.integers(0, 2, size=n) > 0, 1,
+                              -1).astype(np.int8)
+    touched = rng.random(n) < touched_frac
+    heated = touched & (rng.random(n) < heated_frac)
+    sharpness = np.ones(n, dtype=np.float32)
+    if uniform:
+        sharpness[touched] = np.float32(0.25)
+        heated = touched  # one repeated sub-threshold value
+    else:
+        # non-uniform: heated dots well below the threshold, merely
+        # annealed dots above it but visibly below 1.0
+        sharpness[touched] = rng.uniform(
+            0.51, 0.95, size=int(touched.sum())).astype(np.float32)
+        sharpness[heated] = rng.uniform(
+            0.001, 0.2, size=int(heated.sum())).astype(np.float32)
+    medium._sharpness[:] = sharpness
+    medium._mag[medium._sharpness < HEATED_SHARPNESS_THRESHOLD] = 0
+    medium.counters.update(
+        {"mrb": int(rng.integers(0, 1000)),
+         "mwb": int(rng.integers(0, 1000)),
+         "heat": int(rng.integers(0, 1000))})
+    for _ in range(rng_draws):  # advance the live RNG off its seed
+        medium._rng.integers(0, 2)
+    return medium
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1),
+       heated_frac=st.floats(0.0, 1.0),
+       touched_frac=st.floats(0.0, 1.0),
+       uniform=st.booleans(),
+       sigma=st.sampled_from([0.0, 0.02, 0.1]),
+       rng_draws=st.integers(0, 40))
+def test_medium_snapshot_roundtrip_exact(seed, heated_frac, touched_frac,
+                                         uniform, sigma, rng_draws):
+    """The compact pickled snapshot must reproduce the medium *exactly*
+    under arbitrary mag bits, touched bitmaps and non-uniform
+    sharpness — every array byte, the counters, and the RNG state."""
+    import pickle
+
+    medium = _scrambled_medium(seed, heated_frac, touched_frac, uniform,
+                               sigma, rng_draws)
+    clone = pickle.loads(pickle.dumps(medium, pickle.HIGHEST_PROTOCOL))
+    assert np.array_equal(clone._mag, medium._mag)
+    assert clone._mag.dtype == medium._mag.dtype
+    assert np.array_equal(clone._sharpness, medium._sharpness)
+    assert clone._sharpness.dtype == medium._sharpness.dtype
+    assert clone.counters == medium.counters
+    assert clone._rng.bit_generator.state == \
+        medium._rng.bit_generator.state
+    if sigma > 0.0:  # the k-scale regenerates bit-exactly from config
+        assert np.array_equal(clone._k_scale, medium._k_scale)
+    else:
+        assert clone._k_scale is None and medium._k_scale is None
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1),
+       heated_frac=st.floats(0.05, 1.0),
+       rng_draws=st.integers(0, 25))
+def test_medium_snapshot_rng_continuation(seed, heated_frac, rng_draws):
+    """A restored medium continues the exact random sequence: the read
+    noise of heated dots (the RNG consumer) matches draw for draw."""
+    import pickle
+
+    medium = _scrambled_medium(seed, heated_frac, 0.6, False, 0.0,
+                               rng_draws)
+    clone = pickle.loads(pickle.dumps(medium, pickle.HIGHEST_PROTOCOL))
+    n = medium.geometry.total_dots
+    for start, end in ((0, n // 2), (n // 2, n)):
+        assert np.array_equal(medium.read_mag_span(start, end),
+                              clone.read_mag_span(start, end))
+    assert medium.counters == clone.counters
+    assert medium._rng.bit_generator.state == \
+        clone._rng.bit_generator.state
+
+
 @settings(max_examples=20)
 @given(st.lists(st.binary(min_size=1, max_size=16), min_size=1, max_size=30,
                 unique=True))
