@@ -7,18 +7,20 @@ audit / fsck) dispatched on the ``rpc`` executor must produce
 per-member reports **byte-identical** to the ``serial`` reference,
 including line hashes and simulated device time.  That is the floor
 this bench enforces, against two real worker daemons spawned on
-loopback.
+loopback — in the classic snapshot mode *and* in the session-pinned,
+pipelined mode (``RpcExecutor(sessions=True)``).
 
 Alongside it, the bench records the quantities an operator sizes a
 real deployment with:
 
 * **transport bytes** — the compact member snapshot a mutating pass
-  ships each way, and the ~kB :class:`StoreStatePatch` a read-only
-  pass sends home (the asymmetry that makes audit fleets
-  network-friendly);
-* **walls** — serial vs rpc audit wall clock and the simulated rack
-  makespan under per-host dispatch (recorded, not floored: loopback
-  wall is hardware noise, and ring skew over two hosts is expected).
+  ships each way, the ~kB :class:`StoreStatePatch` a read-only pass
+  sends home, and the measured steady-state audit traffic in session
+  mode (descriptor out, patch back) vs snapshot mode — floored at a
+  >= 50x bytes-out reduction;
+* **walls** — serial vs rpc audit wall clock, pipelined vs blocking
+  session dispatch (floored: pipelining must not be slower), and the
+  simulated rack makespan under per-host dispatch.
 
 Results land in ``BENCH_rpc.json`` at the repo root.
 """
@@ -41,6 +43,9 @@ BLOCKS_PER_DEVICE = 64
 LINES_PER_DEVICE = 20
 LINE_BLOCKS = 2
 N_WORKERS = 2
+FLOORS = {"byte_identity": True,
+          "session_audit_bytes_out_reduction": 50.0,
+          "pipelined_not_slower_tolerance": 1.10}
 
 
 def _fleet(executor):
@@ -65,11 +70,12 @@ def _drive(fleet):
 
 def _best_audit_wall(fleet, rounds=3):
     best = float("inf")
+    last = None
     for _ in range(rounds):
         t0 = time.perf_counter()
-        fleet.audit_fleet()
+        last = fleet.audit_fleet()
         best = min(best, time.perf_counter() - t0)
-    return best
+    return best, last
 
 
 def test_rpc_byte_identity_floor(benchmark, show):
@@ -83,14 +89,36 @@ def test_rpc_byte_identity_floor(benchmark, show):
         remote_prints, remote_audit = benchmark.pedantic(
             lambda: _drive(remote), rounds=1, iterations=1)
 
-        # THE floor: remote dispatch must not change a single byte of
+        session = _fleet(RpcExecutor(hosts, sessions=True))
+        session_prints, _session_audit = _drive(session)
+
+        blocking = _fleet(RpcExecutor(hosts, sessions=True,
+                                      pipeline=False))
+        blocking_prints, _blocking_audit = _drive(blocking)
+
+        # THE floor: remote dispatch — snapshot, session+pipelined and
+        # session+blocking alike — must not change a single byte of
         # any per-member report, across all four passes
         for op in ("format", "seal", "audit", "fsck"):
             assert remote_prints[op] == serial_prints[op], \
                 f"rpc {op} pass diverged from the serial reference"
+            assert session_prints[op] == serial_prints[op], \
+                f"session {op} pass diverged from the serial reference"
+            assert blocking_prints[op] == serial_prints[op], \
+                f"blocking-session {op} pass diverged from serial"
 
-        serial_wall = _best_audit_wall(serial)
-        rpc_wall = _best_audit_wall(remote)
+        serial_wall, _ = _best_audit_wall(serial)
+        rpc_wall, snap_steady = _best_audit_wall(remote)
+        session_wall, sess_steady = _best_audit_wall(session)
+        blocking_wall, _ = _best_audit_wall(blocking)
+
+        # steady-state wire traffic: pins are warm, so a session audit
+        # sends task descriptors where snapshot mode re-ships members
+        snap_out = sum(snap_steady.bytes_out.values())
+        snap_back = sum(snap_steady.bytes_back.values())
+        sess_out = sum(sess_steady.bytes_out.values())
+        sess_back = sum(sess_steady.bytes_back.values())
+        out_reduction = snap_out / max(sess_out, 1)
 
         # transport accounting on a provisioned member
         member = remote.stores[0]
@@ -100,22 +128,27 @@ def test_rpc_byte_identity_floor(benchmark, show):
                                        pickle.HIGHEST_PROTOCOL))
 
         rows = [
-            ["serial", 1, round(serial_wall * 1e3, 2),
-             round(serial_audit.simulated_makespan_seconds * 1e3, 3)],
-            [f"rpc x{len(hosts)} hosts", remote_audit.workers,
-             round(rpc_wall * 1e3, 2),
-             round(remote_audit.simulated_makespan_seconds * 1e3, 3)],
+            ["serial", 1, round(serial_wall * 1e3, 2), "-", "-"],
+            [f"rpc snapshot x{len(hosts)}", remote_audit.workers,
+             round(rpc_wall * 1e3, 2), snap_out, snap_back],
+            [f"rpc session x{len(hosts)}", sess_steady.workers,
+             round(session_wall * 1e3, 2), sess_out, sess_back],
+            [f"rpc session (blocking) x{len(hosts)}", sess_steady.workers,
+             round(blocking_wall * 1e3, 2), "-", "-"],
         ]
         show(format_table(
-            ["dispatch", "workers", "audit wall [ms]", "sim makespan [ms]"],
+            ["dispatch", "workers", "audit wall [ms]",
+             "bytes out", "bytes back"],
             rows,
             title=f"rpc fleet audit, {N_DEVICES} devices x "
                   f"{BLOCKS_PER_DEVICE} blocks over {len(hosts)} "
-                  f"loopback workers"))
+                  f"loopback workers (steady state)"))
         show(f"transport per member: snapshot out "
              f"{snapshot_bytes / 1024:.1f} kB, read-only patch back "
              f"{patch_bytes / 1024:.1f} kB "
-             f"({snapshot_bytes / max(patch_bytes, 1):.0f}x asymmetry)")
+             f"({snapshot_bytes / max(patch_bytes, 1):.0f}x asymmetry); "
+             f"steady-state audit bytes-out reduction "
+             f"{out_reduction:.0f}x (session vs snapshot)")
 
         payload = {
             "bench": "rpc",
@@ -125,15 +158,24 @@ def test_rpc_byte_identity_floor(benchmark, show):
             "workers": len(hosts),
             "hosts": sorted(hosts),
             "byte_identical_passes": ["format", "seal", "audit", "fsck"],
+            "byte_identical_modes": ["snapshot", "session_pipelined",
+                                     "session_blocking"],
             "serial_audit_wall_s": round(serial_wall, 6),
             "rpc_audit_wall_s": round(rpc_wall, 6),
+            "session_audit_wall_s": round(session_wall, 6),
+            "session_blocking_audit_wall_s": round(blocking_wall, 6),
             "serial_makespan_s": round(
                 serial_audit.simulated_makespan_seconds, 6),
             "rpc_makespan_s": round(
                 remote_audit.simulated_makespan_seconds, 6),
             "snapshot_out_bytes": snapshot_bytes,
             "patch_back_bytes": patch_bytes,
-            "floors": {"byte_identity": True},
+            "steady_audit_out_bytes_snapshot": snap_out,
+            "steady_audit_back_bytes_snapshot": snap_back,
+            "steady_audit_out_bytes_session": sess_out,
+            "steady_audit_back_bytes_session": sess_back,
+            "steady_audit_out_reduction": round(out_reduction, 1),
+            "floors": FLOORS,
         }
         (REPO_ROOT / "BENCH_rpc.json").write_text(
             json.dumps(payload, indent=2) + "\n")
@@ -143,6 +185,14 @@ def test_rpc_byte_identity_floor(benchmark, show):
         # the read-only return leg must stay orders smaller than the
         # outbound snapshot (the network-shaped property PR 4 built)
         assert patch_bytes * 10 < snapshot_bytes
+        # the session floor: steady-state audit traffic out drops by
+        # >= 50x once members are pinned
+        assert out_reduction >= \
+            FLOORS["session_audit_bytes_out_reduction"]
+        # pipelining must not lose to one-round-trip-at-a-time
+        # dispatch (tolerance for loopback wall noise)
+        assert session_wall <= blocking_wall * \
+            FLOORS["pipelined_not_slower_tolerance"]
     finally:
         for worker in workers:
             worker.stop()

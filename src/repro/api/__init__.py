@@ -32,6 +32,7 @@ from .policy import (
     ENGINE_ENV_VAR,
     EXECUTOR_ENV_VAR,
     FLEET_HOSTS_ENV_VAR,
+    FLEET_SESSIONS_ENV_VAR,
     FLEET_WORKERS_ENV_VAR,
     SHA256_BACKENDS,
     SHA256_ENV_VAR,
@@ -46,6 +47,7 @@ from .policy import (
     resolve_engine,
     resolve_executor_name,
     resolve_fleet_hosts,
+    resolve_fleet_sessions,
     resolve_max_workers,
     resolve_sha256_backend,
     resolve_vectorized,
@@ -115,10 +117,12 @@ __all__ = [
     "get_executor_spec",
     "resolve_executor_name",
     "resolve_fleet_hosts",
+    "resolve_fleet_sessions",
     "resolve_max_workers",
     "resolve_fleet_executor",
     "EXECUTOR_ENV_VAR",
     "FLEET_HOSTS_ENV_VAR",
+    "FLEET_SESSIONS_ENV_VAR",
     "FLEET_WORKERS_ENV_VAR",
     "DEFAULT_EXECUTOR",
     # store façade

@@ -166,7 +166,9 @@ class FleetOpStats:
 
     ``hosts`` names the remote workers an ``rpc`` pass fanned out to
     (empty for in-host executors); ``worker_walls`` carries the
-    per-worker — for rpc, per-host — wall breakdown.
+    per-worker — for rpc, per-host — wall breakdown.  ``bytes_out`` /
+    ``bytes_back`` record the wire payload per remote host, which is
+    where the session transport's snapshot→descriptor win shows up.
     """
 
     operation: str = ""
@@ -175,6 +177,8 @@ class FleetOpStats:
     wall_seconds: float = 0.0
     worker_walls: List[WorkerWall] = field(default_factory=list)
     hosts: Tuple[str, ...] = ()
+    bytes_out: Dict[str, int] = field(default_factory=dict)
+    bytes_back: Dict[str, int] = field(default_factory=dict)
 
 
 # ---------------------------------------------------------------------------
@@ -459,7 +463,9 @@ class FleetStore:
         self.last_op = FleetOpStats(
             operation=operation, executor=executor.name,
             workers=outcome.workers, wall_seconds=wall,
-            worker_walls=outcome.worker_walls, hosts=outcome.hosts)
+            worker_walls=outcome.worker_walls, hosts=outcome.hosts,
+            bytes_out=dict(outcome.bytes_out),
+            bytes_back=dict(outcome.bytes_back))
         return payloads
 
     # -- object grain ------------------------------------------------------------

@@ -71,6 +71,10 @@ FLEET_WORKERS_ENV_VAR = "REPRO_FLEET_WORKERS"
 #: ``rpc`` executor (comma-separated ``host:port`` items, lazy).
 FLEET_HOSTS_ENV_VAR = "REPRO_FLEET_HOSTS"
 
+#: Environment variable enabling the ``rpc`` executor's session mode
+#: (pin-once member snapshots + pipelined dispatch, lazy).
+FLEET_SESSIONS_ENV_VAR = "REPRO_FLEET_SESSIONS"
+
 #: Executor used when no layer pins one: the reference dispatch.
 DEFAULT_EXECUTOR = "serial"
 
@@ -176,6 +180,11 @@ class ExecutionPolicy:
             stored canonicalised (validated, de-duplicated, sorted) so
             two policies naming the same hosts in different orders are
             the same policy.
+        fleet_sessions: whether the ``rpc`` executor runs in session
+            mode — members pinned once on their ring-assigned worker,
+            task descriptors (not snapshots) per pass, pipelined
+            dispatch.  A plain bool by design: resolving it must never
+            load the wire-protocol module.
     """
 
     engine: Optional[str] = None
@@ -183,6 +192,7 @@ class ExecutionPolicy:
     executor: Optional[str] = None
     max_workers: Optional[int] = None
     fleet_hosts: Optional[Tuple[str, ...]] = None
+    fleet_sessions: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.engine is not None:
@@ -198,6 +208,9 @@ class ExecutionPolicy:
             parallel.get_executor_spec(self.executor)  # validates
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if self.fleet_sessions is not None and \
+                not isinstance(self.fleet_sessions, bool):
+            raise TypeError("fleet_sessions must be a bool or None")
         if self.fleet_hosts is not None:
             from ..parallel import remote  # lazy, as above
 
@@ -240,7 +253,8 @@ def engine(name: Optional[str] = None, *,
            sha256: Optional[str] = None,
            executor: Optional[str] = None,
            max_workers: Optional[int] = None,
-           fleet_hosts: Optional[Tuple[str, ...]] = None
+           fleet_hosts: Optional[Tuple[str, ...]] = None,
+           fleet_sessions: Optional[bool] = None
            ) -> Iterator[ExecutionPolicy]:
     """Scoped engine override: ``with repro.engine("scalar"): ...``.
 
@@ -255,7 +269,8 @@ def engine(name: Optional[str] = None, *,
     with ExecutionPolicy(engine=name, sha256_backend=sha256,
                          executor=executor,
                          max_workers=max_workers,
-                         fleet_hosts=fleet_hosts).use() as pol:
+                         fleet_hosts=fleet_hosts,
+                         fleet_sessions=fleet_sessions).use() as pol:
         yield pol
 
 
@@ -437,6 +452,28 @@ def resolve_fleet_hosts(
     return None, "default"
 
 
+def resolve_fleet_sessions(
+        explicit: Optional[bool] = None) -> Tuple[bool, str]:
+    """(session mode on?, deciding layer) for the ``rpc`` executor.
+
+    The value is a plain bool through every layer — resolving it (and
+    therefore :func:`describe_policy`) never loads the wire-protocol
+    module.  ``REPRO_FLEET_SESSIONS`` is read *now*; any value outside
+    the falsey tokens enables sessions.  Default: off.
+    """
+    if explicit is not None:
+        return bool(explicit), "explicit"
+    for frame in reversed(_OVERRIDES.get()):
+        if frame.fleet_sessions is not None:
+            return frame.fleet_sessions, "context"
+    if _POLICY is not None and _POLICY.fleet_sessions is not None:
+        return _POLICY.fleet_sessions, "policy"
+    value = os.environ.get(FLEET_SESSIONS_ENV_VAR)
+    if value is not None and value.strip():
+        return value.strip().lower() not in _FALSEY, "env"
+    return False, "default"
+
+
 def describe_policy() -> Dict[str, object]:
     """Inspectable snapshot of the resolution: what would run now, and
     which layer decided it.  The answer an operator needs when a fleet
@@ -456,6 +493,7 @@ def describe_policy() -> Dict[str, object]:
     executor, executor_source = resolve_executor_name()
     max_workers, workers_source = resolve_max_workers()
     fleet_hosts, hosts_source = resolve_fleet_hosts()
+    fleet_sessions, sessions_source = resolve_fleet_sessions()
     from .. import parallel  # lazy; registers the built-in executors
 
     return {
@@ -470,6 +508,8 @@ def describe_policy() -> Dict[str, object]:
         "max_workers_source": workers_source,
         "fleet_hosts": fleet_hosts,
         "fleet_hosts_source": hosts_source,
+        "fleet_sessions": fleet_sessions,
+        "fleet_sessions_source": sessions_source,
         "available_engines": available_engines(),
         "available_executors": parallel.available_executors(),
         "installed_policy": _POLICY,

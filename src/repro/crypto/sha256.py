@@ -217,3 +217,86 @@ def sha256_iter(chunks: Iterable[_BytesLike]) -> bytes:
     for chunk in chunks:
         h.update(chunk)
     return h.digest()
+
+
+# ---------------------------------------------------------------------------
+# Batched multi-message digests
+
+
+def _sha256_pad(message: bytes) -> bytes:
+    """``message`` with its FIPS 180-4 padding appended (a multiple of
+    64 bytes; messages of equal length pad identically)."""
+    return message + b"\x80" + b"\x00" * ((55 - len(message)) % 64) \
+        + struct.pack(">Q", len(message) * 8)
+
+
+def _sha256_many_pure(messages: "list[bytes]") -> "list[bytes]":
+    """Pure-backend digests of many independent messages.
+
+    Messages of equal length share a padded block count, so each
+    length group runs the 64 compression rounds *once* with numpy
+    ``uint32`` lanes across the whole group (native modular
+    arithmetic) instead of once per message — the round count stops
+    scaling with the group size, which is what keeps a pinned pure
+    backend usable for fleet seal/audit passes.  Singleton groups (and
+    a missing numpy) fall back to the scalar :class:`SHA256`.
+    """
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy ships with the repo
+        return [SHA256(m).digest() for m in messages]
+
+    def rotr(x, n):  # lanes-wide rotate; uint32 shifts drop high bits
+        return (x >> np.uint32(n)) | (x << np.uint32(32 - n))
+
+    digests: "list[Optional[bytes]]" = [None] * len(messages)
+    groups: "dict[int, list[int]]" = {}
+    for i, message in enumerate(messages):
+        groups.setdefault(len(message), []).append(i)
+    for indices in groups.values():
+        if len(indices) == 1:
+            i = indices[0]
+            digests[i] = SHA256(messages[i]).digest()
+            continue
+        padded = np.frombuffer(
+            b"".join(_sha256_pad(messages[i]) for i in indices),
+            dtype=">u4").reshape(len(indices), -1).astype(np.uint32)
+        state = [np.full(len(indices), word, dtype=np.uint32)
+                 for word in _H0]
+        for blk in range(padded.shape[1] // 16):
+            w = [padded[:, blk * 16 + t] for t in range(16)]
+            for t in range(16, 64):
+                x15, x2 = w[t - 15], w[t - 2]
+                s0 = rotr(x15, 7) ^ rotr(x15, 18) ^ (x15 >> np.uint32(3))
+                s1 = rotr(x2, 17) ^ rotr(x2, 19) ^ (x2 >> np.uint32(10))
+                w.append(w[t - 16] + s0 + w[t - 7] + s1)
+            a, b, c, d, e, f, g, h = state
+            for t in range(64):
+                big_s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25)
+                ch = (e & f) ^ (~e & g)
+                t1 = h + big_s1 + ch + np.uint32(_K[t]) + w[t]
+                big_s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22)
+                maj = (a & b) ^ (a & c) ^ (b & c)
+                t2 = big_s0 + maj
+                h, g, f, e = g, f, e, d + t1
+                d, c, b, a = c, b, a, t1 + t2
+            state = [s + v for s, v in
+                     zip(state, (a, b, c, d, e, f, g, h))]
+        packed = np.stack(state, axis=1).astype(">u4").tobytes()
+        for row, i in enumerate(indices):
+            digests[i] = packed[row * DIGEST_SIZE:(row + 1) * DIGEST_SIZE]
+    return digests  # type: ignore[return-value]
+
+
+def sha256_many(messages: "Iterable[_BytesLike]") -> "list[bytes]":
+    """Digests of many *independent* messages with the active backend.
+
+    Semantically ``[sha256_digest(m) for m in messages]``; on the pure
+    backend, messages of equal length are processed as array-parallel
+    rounds (:func:`_sha256_many_pure`), so hashing a fleet pass's
+    lines costs one set of rounds per line *length*, not per line.
+    """
+    flat = [bytes(m) for m in messages]
+    if resolve_sha256_backend(_backend) == _PURE_BACKEND:
+        return _sha256_many_pure(flat)
+    return [hashlib.sha256(m).digest() for m in flat]

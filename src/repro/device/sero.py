@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..crypto.hashutil import line_hash
+from ..crypto.hashutil import line_hash, line_hash_many
 from ..crypto.manchester import CellState, classify_cell, encode_bytes
 from ..errors import (
     AlignmentError,
@@ -351,6 +351,29 @@ class SERODevice:
         self.scanner.transfer(end_dot - start_dot, "mrb")
         bits = self.medium.read_mag_span(start_dot, end_dot)
         return [frame.payload for frame in decode_frame_run(bits, first)]
+
+    def read_block_run(self, first: int, count: int) -> List[bytes]:
+        """mrs a run of ``count`` consecutive blocks.
+
+        Driver policy checks (range, bad block, heated hash block) are
+        applied per block before anything is read; on the span engine
+        the run is then read as one medium span (:meth:`_mrs_run`).
+        The scalar path, and a run of one, fall back to per-block
+        :meth:`read_block`.
+        """
+        if count <= 0:
+            return []
+        for pba in range(first, first + count):
+            self._check_pba(pba)
+            line = self.line_of_block(pba)
+            if line is not None and pba == line.start:
+                raise HeatedBlockError(
+                    f"block {pba} is the electrically written hash block "
+                    "of a heated line; use ers_block/verify_line")
+        if not self.config.span_engine or count == 1:
+            return [self.read_block(first + offset)
+                    for offset in range(count)]
+        return self._mrs_run(first, count)
 
     def write_block(self, pba: int, payload: bytes) -> None:
         """Magnetic write sector (mws).
@@ -683,10 +706,11 @@ class SERODevice:
             return self._mrs_run(addresses[0], len(addresses))
         return [self._mrs(pba) for pba in addresses]
 
-    def _verify_magnetic(self, start: int,
-                         meta: ElectricalPayload) -> VerificationResult:
-        """Magnetic half of line verification: recompute and compare
-        the line hash recorded in ``meta``."""
+    def _verify_magnetic_read(self, start: int, meta: ElectricalPayload):
+        """Read half of :meth:`_verify_magnetic`: the magnetic span
+        reads (and their charges), with the digest deferred.  Returns
+        a terminal :class:`VerificationResult`, or the
+        ``(addresses, blocks)`` awaiting a hash comparison."""
         n_blocks = 1 << meta.n_blocks_log2
         if meta.line_start != start:
             return VerificationResult(status=VerifyStatus.HASH_MISMATCH,
@@ -699,8 +723,11 @@ class SERODevice:
             # electrically destroyed dots, or a bulk erase
             return VerificationResult(status=VerifyStatus.UNREADABLE,
                                       start=start, stored_hash=meta.line_hash)
-        digest = line_hash(addresses, blocks,
-                           include_addresses=self.config.include_addresses_in_hash)
+        return addresses, blocks
+
+    @staticmethod
+    def _verify_digest_result(start: int, meta: ElectricalPayload,
+                              digest: bytes) -> VerificationResult:
         if digest != meta.line_hash:
             return VerificationResult(status=VerifyStatus.HASH_MISMATCH,
                                       start=start, stored_hash=meta.line_hash,
@@ -708,6 +735,18 @@ class SERODevice:
         return VerificationResult(status=VerifyStatus.INTACT, start=start,
                                   stored_hash=meta.line_hash,
                                   computed_hash=digest)
+
+    def _verify_magnetic(self, start: int,
+                         meta: ElectricalPayload) -> VerificationResult:
+        """Magnetic half of line verification: recompute and compare
+        the line hash recorded in ``meta``."""
+        read = self._verify_magnetic_read(start, meta)
+        if isinstance(read, VerificationResult):
+            return read
+        addresses, blocks = read
+        digest = line_hash(addresses, blocks,
+                           include_addresses=self.config.include_addresses_in_hash)
+        return self._verify_digest_result(start, meta, digest)
 
     def verify_lines(self, starts: Sequence[int]) -> List[VerificationResult]:
         """Batched :meth:`verify_line` over many line starts.
@@ -731,7 +770,13 @@ class SERODevice:
             return [self.verify_line(start) for start in starts]
         codes, erb_ops = self._ers_codes_many(starts)
         per_bit = self.timing.t_erb_for(self.config.erb_rounds)
-        results: List[VerificationResult] = []
+        results: List[Optional[VerificationResult]] = []
+        # lines whose reads all succeeded wait here so their digests
+        # compute in one batched pass (equal-length lines share one
+        # set of compression rounds on the pure backend); the device
+        # charges above already happened in protocol order
+        pending: List[Tuple[int, int, ElectricalPayload,
+                            List[int], List[bytes]]] = []
         for i, start in enumerate(starts):
             self.scanner.seek_to_block(start)
             self.scanner.transfer(int(erb_ops[i]), "erb", per_bit=per_bit)
@@ -755,8 +800,22 @@ class SERODevice:
                 # CRC failed: verify_line re-reads before concluding
                 results.append(self.verify_line(start))
                 continue
-            results.append(self._verify_magnetic(start, meta))
-        return results
+            read = self._verify_magnetic_read(start, meta)
+            if isinstance(read, VerificationResult):
+                results.append(read)
+                continue
+            addresses, blocks = read
+            pending.append((len(results), start, meta, addresses, blocks))
+            results.append(None)
+        if pending:
+            digests = line_hash_many(
+                [(addresses, blocks)
+                 for _i, _s, _m, addresses, blocks in pending],
+                include_addresses=self.config.include_addresses_in_hash)
+            for (slot, start, meta, _a, _b), digest in zip(pending, digests):
+                results[slot] = self._verify_digest_result(
+                    start, meta, digest)
+        return results  # type: ignore[return-value]
 
     def verify_all(self) -> List[VerificationResult]:
         """Verify every registered line (audit sweep, batched)."""

@@ -96,7 +96,33 @@ class DeepScanReport:
                    if f.verification.status is VerifyStatus.INTACT)
 
 
-def deep_scan(device: "SERODevice | TamperEvidentStore") -> DeepScanReport:
+def _pointer_runs(pointers: List[int]) -> List[tuple]:
+    """Group ``pointers`` (in order) into ``(first, count)`` runs of
+    consecutive PBAs — log-structured writes lay file blocks out
+    sequentially inside the line, so a recovered file is typically one
+    or two runs."""
+    runs: List[tuple] = []
+    for pba in pointers:
+        if runs and pba == runs[-1][0] + runs[-1][1]:
+            runs[-1] = (runs[-1][0], runs[-1][1] + 1)
+        else:
+            runs.append((pba, 1))
+    return runs
+
+
+def _read_pointers(device: SERODevice, pointers: List[int],
+                   batch: bool) -> List[bytes]:
+    """The payloads behind ``pointers``, span-batched when allowed."""
+    if not batch:
+        return [device.read_block(pba) for pba in pointers]
+    chunks: List[bytes] = []
+    for first, count in _pointer_runs(pointers):
+        chunks.extend(device.read_block_run(first, count))
+    return chunks
+
+
+def deep_scan(device: "SERODevice | TamperEvidentStore", *,
+              batch_pointer_reads: Optional[bool] = None) -> DeepScanReport:
     """Recover all heated files straight from the medium.
 
     Works with no checkpoint, no superblock and no directory tree: the
@@ -104,8 +130,18 @@ def deep_scan(device: "SERODevice | TamperEvidentStore") -> DeepScanReport:
     is parsed as an inode, and the file contents are reassembled from
     the inode's pointers (all inside the line).  Accepts a raw device
     or a :class:`~repro.api.store.TamperEvidentStore`.
+
+    ``batch_pointer_reads`` groups each file's pointer walk into runs
+    of consecutive blocks and reads them as medium spans
+    (:meth:`~repro.device.sero.SERODevice.read_block_run`) — the same
+    batching ``verify_lines`` applies to erb probing, and the recovery
+    analogue of the span engine's read path.  None (the default)
+    follows ``device.config.span_engine``; the device-time charges are
+    identical either way.
     """
     device = _as_device(device)
+    if batch_pointer_reads is None:
+        batch_pointer_reads = bool(device.config.span_engine)
     report = DeepScanReport(blocks_scanned=device.total_blocks)
     elapsed_before = device.account.elapsed
     records = device.scan_lines()
@@ -125,7 +161,7 @@ def deep_scan(device: "SERODevice | TamperEvidentStore") -> DeepScanReport:
             for ipba in inode.indirect:
                 pointers.extend(unpack_pointer_block(device.read_block(ipba)))
             pointers = pointers[:inode.n_blocks]
-            chunks = [device.read_block(pba) for pba in pointers]
+            chunks = _read_pointers(device, pointers, batch_pointer_reads)
             data = b"".join(chunks)[:inode.size]
         except ReadError:
             data = None

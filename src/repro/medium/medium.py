@@ -132,6 +132,12 @@ class PatternedMedium:
             self._k_scale = None
         # Operation counters (the timing model consumes these).
         self.counters = {"mrb": 0, "mwb": 0, "heat": 0}
+        # Monotone mutation epoch: bumped by every operation that can
+        # change the magnetisation or sharpness arrays (writes, heat
+        # pulses, bulk erase) and never by reads.  The remote session
+        # layer fingerprints it to decide whether a worker-pinned
+        # snapshot of this medium is still current.
+        self._mut_epoch = 0
 
     @property
     def _k_scale(self) -> Optional[np.ndarray]:
@@ -220,6 +226,7 @@ class PatternedMedium:
         if bit not in (0, 1):
             raise ValueError("bit must be 0 or 1")
         self.counters["mwb"] += 1
+        self._mut_epoch += 1
         if not self.is_writable(index):
             return
         self._mag[index] = 1 if bit else -1
@@ -237,6 +244,7 @@ class PatternedMedium:
         """
         self._check(index)
         self.counters["heat"] += 1
+        self._mut_epoch += 1
         pulse = self.config.pulse
         self._apply_pulse(index, pulse, distance=0.0)
         if self.config.collateral_heating:
@@ -266,6 +274,7 @@ class PatternedMedium:
         """
         healthy = self._sharpness >= HEATED_SHARPNESS_THRESHOLD
         self._mag[healthy] = -1
+        self._mut_epoch += 1
 
     def image_heated(self, indices: Optional[Sequence[int]] = None) -> np.ndarray:
         """Forensic magnetic imaging: the heated map as a bool array.
@@ -339,6 +348,7 @@ class PatternedMedium:
         if arr.size and (arr.min() < 0 or arr.max() > 1):
             raise ValueError("bits must be 0 or 1")
         self.counters["mwb"] += len(arr)
+        self._mut_epoch += 1
         span = slice(start, end)
         writable = self._sharpness[span] >= HEATED_SHARPNESS_THRESHOLD
         if self._k_scale is not None:
@@ -387,6 +397,7 @@ class PatternedMedium:
         if idx.size == 0:
             return
         self.counters["heat"] += int(idx.size)
+        self._mut_epoch += 1
         pulse = self.config.pulse
         temp_c = temperature_at_distance_c(pulse.power_w, 0.0,
                                            self.config.thermal)
@@ -506,6 +517,7 @@ class PatternedMedium:
             "config": self.config,
             "rng": self._rng,
             "counters": self.counters,
+            "mut_epoch": self._mut_epoch,
             "mag_bits": np.packbits(self._mag > 0),
             "touched_bits": np.packbits(touched),
             "sharp_vals": vals[:1] if uniform else vals,
@@ -530,6 +542,7 @@ class PatternedMedium:
         self._sharpness = sharpness
         self._rng = state["rng"]
         self.counters = state["counters"]
+        self._mut_epoch = state.get("mut_epoch", 0)
         self._anisotropy = AnisotropyModel(stack=self.config.stack,
                                            dot=self.geometry.dot)
         # regenerated lazily on first access: the construction-time

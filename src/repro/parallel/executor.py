@@ -76,6 +76,9 @@ class ExecutionOutcome:
         workers: workers the pass actually used.
         hosts: remote worker addresses the pass dispatched to (empty
             for in-host executors).
+        bytes_out: wire payload bytes sent per remote host this pass
+            (empty for in-host executors).
+        bytes_back: wire payload bytes received per remote host.
     """
 
     results: List[Tuple[Any, Any]] = field(default_factory=list)
@@ -83,6 +86,8 @@ class ExecutionOutcome:
     worker_walls: List[WorkerWall] = field(default_factory=list)
     workers: int = 1
     hosts: Tuple[str, ...] = ()
+    bytes_out: Dict[str, int] = field(default_factory=dict)
+    bytes_back: Dict[str, int] = field(default_factory=dict)
 
 
 def _effective_workers(max_workers: Optional[int], n_tasks: int) -> int:

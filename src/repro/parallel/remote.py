@@ -13,13 +13,38 @@ Three pieces:
 
 * **wire protocol** — length-prefixed pickle frames
   (:func:`send_frame` / :func:`recv_frame`): a 4-byte magic, an 8-byte
-  big-endian length, then the pickled message.  Requests are small
-  tagged tuples (``("run", task)``, ``("ping",)``); responses carry
-  the task's result or a portable description of the exception it
-  raised.  Pickle is the member transport the in-host ``process``
-  executor already rides on, so the *same* compact snapshots cross the
-  network — but pickle also means the protocol authenticates nobody:
-  run workers only on trusted hosts/loopback (documented in API.md).
+  big-endian length, the protocol-5 pickle body, then the frame's
+  out-of-band buffer segments (a 4-byte count, each segment
+  length-prefixed).  Large buffer-protocol payloads — the packed
+  mag-bit and touched-bitmap arrays of a member snapshot — travel as
+  raw segments via :class:`pickle.PickleBuffer` instead of being
+  memcpy'd into the pickle stream, and are reconstructed on the
+  receiver over the segment buffers directly.  Requests are small
+  tagged tuples (``("run", task)``, ``("ping",)``, the session verbs
+  below); responses carry the task's result or a portable description
+  of the exception it raised.  Pickle is the member transport the
+  in-host ``process`` executor already rides on, so the *same* compact
+  snapshots cross the network — but pickle also means the protocol
+  authenticates nobody: run workers only on trusted hosts/loopback
+  (documented in API.md).
+
+* **sessions** — the ``pin``/``unpin``/``run_pinned`` verbs.  A pin
+  ships a member snapshot once and caches it on the worker under a
+  ``(client, member)`` key and a client-assigned *generation*; later
+  passes send only a task descriptor (the store swapped for a
+  placeholder, see :mod:`repro.parallel.session`) and fold the
+  returned :class:`~repro.api.store.StoreStatePatch` — or, for a
+  mutating pass, the returned snapshot — into the caller-held store.
+  A ``run_pinned`` that finds no pin of the requested generation
+  (worker restarted, cache evicted, client-side mutation bumped the
+  generation) answers ``("nopin",)`` **without running the task**, so
+  the client can re-pin and resend without ever violating the
+  never-retry-after-delivery rule.  Session mode also *pipelines*: one
+  socket per host per pass, all frames written by a writer thread
+  while replies drain in order, so N members on one host cost ~one
+  round trip plus compute.  Enable with
+  ``repro.engine(fleet_sessions=True)`` / ``REPRO_FLEET_SESSIONS=1``
+  or ``RpcExecutor(sessions=True)``.
 
 * **worker daemon** — :func:`serve`, exposed as
   ``python -m repro.parallel.remote serve --bind HOST:PORT``.  A
@@ -55,7 +80,14 @@ Failure semantics (the fault-injection contract):
   interpreted;
 * member raising inside a pass → the original exception re-raised at
   the caller, ``__cause__``-chained to a :class:`RemoteTaskError`
-  carrying the remote traceback and host.
+  carrying the remote traceback and host — and in session mode the
+  worker *drops the pin* (its copy may be half-mutated) while the
+  client folds nothing;
+* session pass failing on any host → no member state folded anywhere,
+  every session touched by the pass invalidated (the pinned copies may
+  have advanced without a client fold), so the next pass re-pins from
+  the caller-held state — degraded to re-shipping, never to a stale
+  result.
 """
 
 from __future__ import annotations
@@ -71,6 +103,7 @@ import sys
 import threading
 import time
 import traceback
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -94,6 +127,17 @@ _HEADER = struct.Struct(">4sQ")
 #: Refuse absurd frames (a desynchronised peer must fail fast, not
 #: allocate gigabytes).  Generous: a bench member snapshot is ~1.3 MB.
 MAX_FRAME_BYTES = 1 << 30
+
+#: Buffers below this stay inside the pickle body; at or above it they
+#: travel as raw out-of-band segments (the packed snapshot bitmaps).
+INLINE_BUFFER_BYTES = 4096
+
+#: Cap on out-of-band segments per frame (desync protection, like
+#: :data:`MAX_FRAME_BYTES`).
+MAX_FRAME_BUFFERS = 1 << 16
+
+_BUF_COUNT = struct.Struct(">I")
+_BUF_LEN = struct.Struct(">Q")
 
 #: Dial attempts for a *fresh* connection (a worker still starting up
 #: refuses a few times before it listens).
@@ -136,12 +180,37 @@ class RemoteTaskError(RpcError):
 def send_frame(sock: socket.socket, message: Any) -> int:
     """Pickle ``message`` and send it as one length-prefixed frame.
 
-    Returns the payload size in bytes (the transport-accounting hook
-    the benchmarks use).
+    Pickles at protocol 5 with a buffer callback: large
+    buffer-protocol payloads (numpy arrays of
+    :data:`INLINE_BUFFER_BYTES` or more — a snapshot's packed bitmaps)
+    are *not* copied into the pickle stream but travel after the body
+    as raw length-prefixed segments, gathered into the socket in one
+    ``sendall``.  Returns the payload size in bytes — body plus
+    segments, excluding framing overhead (the transport-accounting
+    hook the benchmarks and the per-pass byte counters use).
     """
-    payload = pickle.dumps(message, pickle.HIGHEST_PROTOCOL)
-    sock.sendall(_HEADER.pack(_MAGIC, len(payload)) + payload)
-    return len(payload)
+    segments: List[memoryview] = []
+
+    def _collect(buffer: pickle.PickleBuffer):
+        try:
+            raw = buffer.raw()
+        except BufferError:  # non-contiguous: let pickle copy it
+            return True
+        if raw.nbytes < INLINE_BUFFER_BYTES:
+            return True  # small: in-band is cheaper than a segment
+        segments.append(raw)
+        return False
+
+    body = pickle.dumps(message, protocol=5, buffer_callback=_collect)
+    parts: List[Any] = [_HEADER.pack(_MAGIC, len(body)), body,
+                        _BUF_COUNT.pack(len(segments))]
+    payload = len(body)
+    for raw in segments:
+        parts.append(_BUF_LEN.pack(raw.nbytes))
+        parts.append(raw)
+        payload += raw.nbytes
+    sock.sendall(b"".join(parts))
+    return payload
 
 
 def _recv_exact(sock: socket.socket, n: int, what: str) -> bytes:
@@ -164,13 +233,27 @@ def _recv_exact(sock: socket.socket, n: int, what: str) -> bytes:
     return b"".join(chunks)
 
 
-def recv_frame(sock: socket.socket) -> Any:
-    """Receive one frame and unpickle it.
+def _recv_exact_into(sock: socket.socket, view: memoryview,
+                     what: str) -> None:
+    """Fill ``view`` from the socket or raise, like :func:`_recv_exact`
+    but without an intermediate copy (out-of-band segments)."""
+    n = len(view)
+    got = 0
+    while got < n:
+        read = sock.recv_into(view[got:], min(n - got, 1 << 20))
+        if not read:
+            raise RpcConnectionError(
+                f"connection closed mid-frame ({got}/{n} bytes of {what}); "
+                "the peer dropped the link or its process died")
+        got += read
 
-    Raises :class:`RpcConnectionError` on a truncated frame and
-    :class:`RpcProtocolError` on bad framing.  Returns the sentinel
-    ``None`` is a valid message; end-of-stream *between* frames raises
-    ``EOFError`` (the orderly-shutdown signal the server loop uses).
+
+def _recv_frame_counted(sock: socket.socket) -> Tuple[Any, int]:
+    """(message, payload bytes received) for one frame.
+
+    The out-of-band segments are received into writable buffers the
+    unpickled arrays map directly — the body never contains, and the
+    receiver never re-copies, the bulk payload.
     """
     first = sock.recv(1)
     if not first:
@@ -184,11 +267,71 @@ def recv_frame(sock: socket.socket) -> Any:
     if length > MAX_FRAME_BYTES:
         raise RpcProtocolError(f"frame of {length} bytes exceeds the "
                                f"{MAX_FRAME_BYTES}-byte cap")
-    return pickle.loads(_recv_exact(sock, int(length), "frame body"))
+    body = _recv_exact(sock, int(length), "frame body")
+    count = _BUF_COUNT.unpack(
+        _recv_exact(sock, _BUF_COUNT.size, "buffer count"))[0]
+    if count > MAX_FRAME_BUFFERS:
+        raise RpcProtocolError(f"frame with {count} out-of-band buffers "
+                               f"exceeds the {MAX_FRAME_BUFFERS} cap")
+    payload = int(length)
+    buffers: List[bytearray] = []
+    for _ in range(count):
+        nbytes = _BUF_LEN.unpack(
+            _recv_exact(sock, _BUF_LEN.size, "buffer header"))[0]
+        if nbytes > MAX_FRAME_BYTES:
+            raise RpcProtocolError(
+                f"out-of-band buffer of {nbytes} bytes exceeds the "
+                f"{MAX_FRAME_BYTES}-byte cap")
+        segment = bytearray(int(nbytes))
+        _recv_exact_into(sock, memoryview(segment), "buffer segment")
+        buffers.append(segment)
+        payload += int(nbytes)
+    return pickle.loads(body, buffers=buffers), payload
+
+
+def recv_frame(sock: socket.socket) -> Any:
+    """Receive one frame and unpickle it.
+
+    Raises :class:`RpcConnectionError` on a truncated frame and
+    :class:`RpcProtocolError` on bad framing.  Returns the sentinel
+    ``None`` is a valid message; end-of-stream *between* frames raises
+    ``EOFError`` (the orderly-shutdown signal the server loop uses).
+    """
+    return _recv_frame_counted(sock)[0]
 
 
 # ---------------------------------------------------------------------------
 # Worker daemon
+
+#: Worker-global pin cache: ``(client, member) key -> (generation,
+#: pinned store)``.  LRU-capped so an abandoned client cannot grow a
+#: worker without bound; an evicted pin costs the owner one ``nopin``
+#: round trip and a re-pin, never a wrong result.
+PIN_CACHE_CAP = 1024
+_PINS: "OrderedDict[Any, Tuple[int, Any]]" = OrderedDict()
+_PINS_LOCK = threading.Lock()
+
+
+def _pinned_members() -> int:
+    """Entries in this process's pin cache (diagnostics/tests)."""
+    with _PINS_LOCK:
+        return len(_PINS)
+
+
+def _run_task(task: Any) -> Tuple[Any, bool]:
+    t0 = time.perf_counter()
+    try:
+        result = task()
+    except BaseException as exc:  # noqa: BLE001 — shipped to caller
+        try:
+            portable: Optional[BaseException] = pickle.loads(
+                pickle.dumps(exc, pickle.HIGHEST_PROTOCOL))
+        except Exception:
+            portable = None
+        return ("err", portable, type(exc).__name__, str(exc),
+                traceback.format_exc()), True
+    wall = time.perf_counter() - t0
+    return ("ok", wall, result), True
 
 
 def _execute_request(request: Any) -> Tuple[Any, bool]:
@@ -196,24 +339,51 @@ def _execute_request(request: Any) -> Tuple[Any, bool]:
     if not isinstance(request, tuple) or not request:
         return ("err", None, "RpcProtocolError",
                 f"malformed request: {type(request).__name__}", ""), True
+    if len(request) == 2 and isinstance(request[0], int) \
+            and isinstance(request[1], tuple):
+        # tagged request: the pipelined client matches each reply to
+        # its in-flight request by id; untagged peers get untagged
+        # replies (backward compatible)
+        response, keep = _execute_request(request[1])
+        return (request[0], response), keep
     op = request[0]
     if op == "ping":
         return ("pong", os.getpid()), True
     if op == "run":
-        task = request[1]
-        t0 = time.perf_counter()
-        try:
-            result = task()
-        except BaseException as exc:  # noqa: BLE001 — shipped to caller
-            try:
-                portable: Optional[BaseException] = pickle.loads(
-                    pickle.dumps(exc, pickle.HIGHEST_PROTOCOL))
-            except Exception:
-                portable = None
-            return ("err", portable, type(exc).__name__, str(exc),
-                    traceback.format_exc()), True
-        wall = time.perf_counter() - t0
-        return ("ok", wall, result), True
+        return _run_task(request[1])
+    if op == "pin":
+        _op, key, generation, snapshot = request
+        with _PINS_LOCK:
+            _PINS[key] = (generation, snapshot)
+            _PINS.move_to_end(key)
+            while len(_PINS) > PIN_CACHE_CAP:
+                _PINS.popitem(last=False)
+        return ("pinned",), True
+    if op == "unpin":
+        with _PINS_LOCK:
+            dropped = _PINS.pop(request[1], None) is not None
+        return ("unpinned", dropped), True
+    if op == "run_pinned":
+        _op, key, generation, task = request
+        with _PINS_LOCK:
+            entry = _PINS.get(key)
+            if entry is not None and entry[0] == generation:
+                _PINS.move_to_end(key)
+                pinned = entry[1]
+            else:
+                pinned = None
+        if pinned is None:
+            # missing or stale pin: the task did NOT run, which is
+            # what makes a client-side re-pin + resend safe
+            return ("nopin",), True
+        from .session import bind_pinned
+
+        response, keep = _run_task(bind_pinned(task, pinned))
+        if response[0] == "err":
+            # the pinned copy may be half-mutated: never serve it again
+            with _PINS_LOCK:
+                _PINS.pop(key, None)
+        return response, keep
     return ("err", None, "RpcProtocolError",
             f"unknown request op {op!r}", ""), True
 
@@ -370,35 +540,13 @@ def _discard(sock: socket.socket) -> None:
         pass
 
 
-def call_worker(addr: str, request: Any) -> Any:
-    """One request/response round trip with ``addr``, via the pool.
-
-    A *stale* pooled connection (the worker restarted since the last
-    pass) fails while the request is being sent; since an undelivered
-    request cannot have executed, it is retried once on a fresh
-    connection.  Any failure after the request was delivered — EOF or
-    a truncated reply — raises :class:`RpcConnectionError` instead:
-    the task may have run, and mutating passes must never run twice.
-    """
-    sock, from_pool = _borrow(addr)
+def _recv_reply(addr: str, sock: socket.socket) -> Tuple[Any, int]:
+    """(reply, bytes received) after a delivered request; any failure
+    discards the socket and raises :class:`RpcConnectionError` (the
+    task may have run, so the caller must never silently retry a
+    non-session request)."""
     try:
-        send_frame(sock, request)
-    except (ConnectionError, OSError) as exc:
-        _discard(sock)
-        if not from_pool:
-            raise RpcConnectionError(
-                f"fleet worker at {addr} rejected the request: "
-                f"{exc}") from exc
-        sock = _dial(addr)  # stale pooled socket: one reconnect
-        try:
-            send_frame(sock, request)
-        except (ConnectionError, OSError) as exc2:
-            _discard(sock)
-            raise RpcConnectionError(
-                f"fleet worker at {addr} rejected the request after "
-                f"reconnect: {exc2}") from exc2
-    try:
-        response = recv_frame(sock)
+        return _recv_frame_counted(sock)
     except EOFError as exc:
         _discard(sock)
         raise RpcConnectionError(
@@ -414,8 +562,43 @@ def call_worker(addr: str, request: Any) -> Any:
         raise RpcConnectionError(
             f"connection to fleet worker at {addr} failed mid-reply: "
             f"{exc}") from exc
+
+
+def _call_worker_counted(addr: str, request: Any) -> Tuple[Any, int, int]:
+    """(reply, bytes out, bytes back) for one pooled round trip."""
+    sock, from_pool = _borrow(addr)
+    try:
+        sent = send_frame(sock, request)
+    except (ConnectionError, OSError) as exc:
+        _discard(sock)
+        if not from_pool:
+            raise RpcConnectionError(
+                f"fleet worker at {addr} rejected the request: "
+                f"{exc}") from exc
+        sock = _dial(addr)  # stale pooled socket: one reconnect
+        try:
+            sent = send_frame(sock, request)
+        except (ConnectionError, OSError) as exc2:
+            _discard(sock)
+            raise RpcConnectionError(
+                f"fleet worker at {addr} rejected the request after "
+                f"reconnect: {exc2}") from exc2
+    response, received = _recv_reply(addr, sock)
     _give_back(addr, sock)
-    return response
+    return response, sent, received
+
+
+def call_worker(addr: str, request: Any) -> Any:
+    """One request/response round trip with ``addr``, via the pool.
+
+    A *stale* pooled connection (the worker restarted since the last
+    pass) fails while the request is being sent; since an undelivered
+    request cannot have executed, it is retried once on a fresh
+    connection.  Any failure after the request was delivered — EOF or
+    a truncated reply — raises :class:`RpcConnectionError` instead:
+    the task may have run, and mutating passes must never run twice.
+    """
+    return _call_worker_counted(addr, request)[0]
 
 
 def ping(addr: str, *, timeout: float = 5.0) -> int:
@@ -443,6 +626,37 @@ def _worker_label(addr: str) -> str:
     return f"rpc-{addr}"
 
 
+class _TaskPlan:
+    """One member task's dispatch plan inside a session pass."""
+
+    __slots__ = ("index", "task", "store", "stripped", "session")
+
+    def __init__(self, index: int, task: MemberTask, store: Any = None,
+                 stripped: Any = None, session: Any = None) -> None:
+        self.index = index
+        self.task = task
+        self.store = store
+        self.stripped = stripped
+        self.session = session
+
+
+class _RoundFailed(Exception):
+    """Internal: one host's wire round died.
+
+    ``retry_safe`` means every delivered request was a session verb —
+    a re-pin from caller-held state plus a resend cannot double-run
+    anything, because nothing from the failed round is ever folded.
+    ``nothing_delivered`` marks the classic stale-pooled-socket case.
+    """
+
+    def __init__(self, error: RpcConnectionError, *, retry_safe: bool,
+                 nothing_delivered: bool) -> None:
+        super().__init__(str(error))
+        self.error = error
+        self.retry_safe = retry_safe
+        self.nothing_delivered = nothing_delivered
+
+
 class RpcExecutor(FleetExecutor):
     """Dispatch fleet passes to remote worker daemons over TCP.
 
@@ -455,6 +669,15 @@ class RpcExecutor(FleetExecutor):
             scheduler exists still works.
         max_workers: bound on concurrent in-flight tasks (default: one
             per resolved host).
+        sessions: pin members on their assigned workers and dispatch
+            passes as pipelined task descriptors instead of re-shipped
+            snapshots.  None resolves lazily through the policy chain
+            (``repro.engine(fleet_sessions=...)`` > installed policy >
+            ``REPRO_FLEET_SESSIONS``; default off).
+        pipeline: in session mode, keep every request of a host's
+            batch in flight on one socket (default).  ``False`` falls
+            back to one blocking round trip per request — the bench's
+            comparison baseline.  Ignored outside session mode.
 
     Member *i* goes to the host that owns ``"member-i"`` on a
     consistent-hash ring over the host set — a pure function of the
@@ -467,9 +690,13 @@ class RpcExecutor(FleetExecutor):
     crosses_process = True  # results cross a machine boundary
 
     def __init__(self, hosts: Union[None, str, Sequence[str]] = None,
-                 max_workers: Optional[int] = None) -> None:
+                 max_workers: Optional[int] = None, *,
+                 sessions: Optional[bool] = None,
+                 pipeline: Optional[bool] = None) -> None:
         self.hosts = parse_hosts(hosts) if hosts is not None else None
         self.max_workers = max_workers
+        self.sessions = sessions
+        self.pipeline = pipeline
 
     def _resolve_hosts(self) -> Tuple[str, ...]:
         if self.hosts is not None:
@@ -492,24 +719,34 @@ class RpcExecutor(FleetExecutor):
         close_connection_pools()
 
     @staticmethod
-    def _run_one(addr: str, task: MemberTask) -> Tuple[str, float, Any]:
-        response = call_worker(addr, ("run", task))
+    def _member_error(addr: str, response: Tuple) -> BaseException:
+        """The exception to raise for an ``("err", ...)`` reply: the
+        original (portable) exception ``__cause__``-chained to a
+        :class:`RemoteTaskError` naming the worker."""
+        _tag, portable, etype, message, tb = response
+        cause = RemoteTaskError(
+            f"member task raised {etype} on fleet worker {addr}: "
+            f"{message}\n--- remote traceback ---\n{tb}",
+            host=addr, remote_traceback=tb)
+        if isinstance(portable, BaseException):
+            portable.__cause__ = cause
+            return portable
+        return cause
+
+    @staticmethod
+    def _run_one(addr: str, task: MemberTask
+                 ) -> Tuple[str, float, Any, int, int]:
+        response, sent, received = _call_worker_counted(
+            addr, ("run", task))
         if not isinstance(response, tuple) or not response:
             raise RpcProtocolError(
                 f"malformed reply from fleet worker at {addr}: "
                 f"{type(response).__name__}")
         if response[0] == "ok":
             _tag, wall, result = response
-            return _worker_label(addr), float(wall), result
+            return addr, float(wall), result, sent, received
         if response[0] == "err":
-            _tag, portable, etype, message, tb = response
-            cause = RemoteTaskError(
-                f"member task raised {etype} on fleet worker {addr}: "
-                f"{message}\n--- remote traceback ---\n{tb}",
-                host=addr, remote_traceback=tb)
-            if isinstance(portable, BaseException):
-                raise portable from cause
-            raise cause
+            raise RpcExecutor._member_error(addr, response)
         raise RpcProtocolError(
             f"unknown reply tag {response[0]!r} from worker at {addr}")
 
@@ -520,6 +757,12 @@ class RpcExecutor(FleetExecutor):
             return ExecutionOutcome(workers=0, hosts=hosts)
         ring = HashRing(hosts)
         assignment = [ring.lookup(f"member-{i}") for i in range(n)]
+        from ..api import policy as _policy
+
+        use_sessions, _source = _policy.resolve_fleet_sessions(
+            self.sessions)
+        if use_sessions:
+            return self._run_session_pass(tasks, hosts, assignment)
         bound = self.max_workers if self.max_workers is not None \
             else len(hosts)
         workers = max(1, min(bound, n))
@@ -531,12 +774,277 @@ class RpcExecutor(FleetExecutor):
             futures = [pool.submit(self._run_one, addr, task)
                        for addr, task in zip(assignment, tasks)]
             for future in futures:
-                label, wall, result = future.result()
+                addr, wall, result, sent, received = future.result()
+                label = _worker_label(addr)
                 outcome.results.append(result)
                 outcome.assignments.append(label)
                 per_worker.setdefault(label, []).append(wall)
+                outcome.bytes_out[addr] = \
+                    outcome.bytes_out.get(addr, 0) + sent
+                outcome.bytes_back[addr] = \
+                    outcome.bytes_back.get(addr, 0) + received
         outcome.worker_walls = _collect_walls(per_worker)
         return outcome
+
+    # -- session mode -----------------------------------------------------------
+
+    def _run_session_pass(self, tasks: Sequence[MemberTask],
+                          hosts: Tuple[str, ...],
+                          assignment: List[str]) -> ExecutionOutcome:
+        """One pass in pinned-session mode: a dedicated (pipelined)
+        socket per host, member state folded only after *every* host
+        completed, every touched session invalidated on any failure.
+        """
+        from . import session as _session
+
+        pipeline = self.pipeline if self.pipeline is not None else True
+        plans: List[_TaskPlan] = []
+        for index, task in enumerate(tasks):
+            split = _session.split_task(task)
+            if split is None:
+                plans.append(_TaskPlan(index, task))
+            else:
+                stripped, store = split
+                plans.append(_TaskPlan(index, task, store, stripped,
+                                       _session.session_for(store)))
+        by_host: "OrderedDict[str, List[_TaskPlan]]" = OrderedDict()
+        for plan, addr in zip(plans, assignment):
+            by_host.setdefault(addr, []).append(plan)
+
+        host_results: Dict[str, Tuple[List, int, int]] = {}
+        errors: List[BaseException] = []
+        gate = threading.Lock()
+
+        def drive(addr: str, host_plans: List[_TaskPlan]) -> None:
+            try:
+                result = self._drive_host(addr, host_plans, pipeline)
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                with gate:
+                    errors.append(exc)
+                return
+            with gate:
+                host_results[addr] = result
+
+        threads = [threading.Thread(target=drive, args=item,
+                                    name=f"rpc-session-{item[0]}",
+                                    daemon=True)
+                   for item in by_host.items()]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        if errors:
+            # the pinned copies may have advanced without a client
+            # fold: nothing is folded, and every session this pass
+            # touched must re-pin from caller-held state next time
+            for plan in plans:
+                if plan.session is not None:
+                    plan.session.invalidate()
+            raise errors[0]
+
+        outcome = ExecutionOutcome(workers=len(by_host), hosts=hosts)
+        per_worker: Dict[str, List[float]] = {}
+        by_index: Dict[int, Tuple[str, Any]] = {}
+        for addr, (items, sent, received) in host_results.items():
+            label = _worker_label(addr)
+            outcome.bytes_out[addr] = sent
+            outcome.bytes_back[addr] = received
+            for index, wall, result in items:
+                per_worker.setdefault(label, []).append(wall)
+                by_index[index] = (label, result)
+        for plan in plans:
+            label, result = by_index[plan.index]
+            outcome.results.append(self._fold_result(plan, result))
+            outcome.assignments.append(label)
+        outcome.worker_walls = _collect_walls(per_worker)
+        return outcome
+
+    @staticmethod
+    def _fold_result(plan: _TaskPlan, result: Any) -> Any:
+        """Fold a pinned task's returned state into the caller-held
+        store and re-arm the session for the next pass."""
+        if plan.store is None:
+            return result
+        from . import session as _session
+
+        if not (isinstance(result, tuple) and len(result) == 2):
+            # not the (payload, state) member contract: nothing to
+            # fold, and the pinned copy's state is unknowable
+            plan.session.invalidate()
+            return result
+        from ..api.fleet import fold_member_state
+
+        payload, state = result
+        fold_member_state(plan.store, state)
+        # worker copy and caller store advanced identically (the
+        # byte-identity contract of the patch transport): re-capture
+        # the fingerprint so the next pass reuses the pin
+        plan.session.fingerprint = _session.store_fingerprint(plan.store)
+        # hand the *original* store back so the scheduler-level fold
+        # (fold_member_state(original, state)) is a no-op
+        return payload, plan.store
+
+    def _drive_host(self, addr: str, plans: List[_TaskPlan],
+                    pipeline: bool) -> Tuple[List, int, int]:
+        """All of one host's requests for a pass, with one retry when
+        the failed round provably could not have folded or double-run
+        anything (stale pooled socket before delivery, or a round of
+        pure session verbs — re-pinning from caller state is safe
+        even if the worker executed some of them)."""
+        for attempt in (0, 1):
+            sock, from_pool = _borrow(addr)
+            try:
+                return self._host_round(addr, sock, plans, pipeline)
+            except _RoundFailed as failure:
+                retriable = failure.retry_safe or \
+                    (failure.nothing_delivered and from_pool)
+                if attempt == 0 and retriable:
+                    for plan in plans:
+                        if plan.session is not None:
+                            plan.session.invalidate()
+                    continue
+                raise failure.error
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _host_round(self, addr: str, sock: socket.socket,
+                    plans: List[_TaskPlan], pipeline: bool
+                    ) -> Tuple[List, int, int]:
+        from . import session as _session
+
+        requests: List[Tuple[str, _TaskPlan, Tuple]] = []
+        for plan in plans:
+            if plan.store is None:
+                requests.append(("run", plan, ("run", plan.task)))
+                continue
+            sess = plan.session
+            current = sess.pin_current(addr) and \
+                sess.fingerprint is not None and \
+                sess.fingerprint == _session.store_fingerprint(plan.store)
+            if not current:
+                # new generation: any pin of the old state, on any
+                # worker, must never serve again
+                sess.invalidate()
+                requests.append(("pin", plan, (
+                    "pin", sess.key, sess.generation, plan.store)))
+            requests.append(("runp", plan, (
+                "run_pinned", sess.key, sess.generation, plan.stripped)))
+        session_only = all(kind != "run" for kind, _p, _q in requests)
+
+        counters = {"sent": 0, "received": 0, "delivered": 0}
+        items: List[Tuple[int, float, Any]] = []
+        member_errors: List[BaseException] = []
+        nopins: List[_TaskPlan] = []
+
+        def wire_failed(error: RpcConnectionError) -> "_RoundFailed":
+            return _RoundFailed(
+                error, retry_safe=session_only,
+                nothing_delivered=counters["delivered"] == 0)
+
+        def send_one(rid: int, payload: Tuple) -> None:
+            try:
+                nbytes = send_frame(sock, (rid, payload))
+            except (ConnectionError, OSError) as exc:
+                _discard(sock)
+                raise wire_failed(RpcConnectionError(
+                    f"fleet worker at {addr} rejected the request: "
+                    f"{exc}")) from exc
+            counters["sent"] += nbytes
+            counters["delivered"] += 1
+
+        def recv_one(rid: int, kind: str, plan: _TaskPlan) -> None:
+            try:
+                reply, nbytes = _recv_reply(addr, sock)
+            except RpcConnectionError as exc:
+                raise wire_failed(exc) from exc
+            counters["received"] += nbytes
+            if not (isinstance(reply, tuple) and len(reply) == 2
+                    and reply[0] == rid):
+                _discard(sock)
+                raise RpcProtocolError(
+                    f"fleet worker at {addr} answered out of order "
+                    f"(expected request {rid}, got {reply!r})")
+            response = reply[1]
+            tag = response[0] if isinstance(response, tuple) and response \
+                else None
+            if kind == "pin":
+                if tag != "pinned":
+                    _discard(sock)
+                    raise RpcProtocolError(
+                        f"unexpected pin reply {response!r} from "
+                        f"worker at {addr}")
+                plan.session.pins[addr] = plan.session.generation
+                return
+            if tag == "ok":
+                _tag, wall, result = response
+                items.append((plan.index, float(wall), result))
+                return
+            if tag == "nopin" and kind == "runp":
+                nopins.append(plan)
+                return
+            if tag == "err":
+                member_errors.append(self._member_error(addr, response))
+                return
+            _discard(sock)
+            raise RpcProtocolError(
+                f"unknown reply tag {tag!r} from worker at {addr}")
+
+        def run_round(batch: List[Tuple[str, _TaskPlan, Tuple]]) -> None:
+            if pipeline and len(batch) > 1:
+                send_error: List[BaseException] = []
+
+                def pump() -> None:
+                    try:
+                        for rid, (_kind, _plan, payload) in \
+                                enumerate(batch):
+                            send_one(rid, payload)
+                    except BaseException as exc:  # noqa: BLE001
+                        send_error.append(exc)
+                        _discard(sock)  # unblocks the reply reader
+
+                writer = threading.Thread(
+                    target=pump, name=f"rpc-writer-{addr}", daemon=True)
+                writer.start()
+                try:
+                    for rid, (kind, plan, _payload) in enumerate(batch):
+                        recv_one(rid, kind, plan)
+                finally:
+                    writer.join()
+                if send_error and not isinstance(
+                        send_error[0], _RoundFailed):
+                    raise send_error[0]
+            else:
+                for rid, (kind, plan, payload) in enumerate(batch):
+                    send_one(rid, payload)
+                    recv_one(rid, kind, plan)
+
+        run_round(requests)
+        retried = set()
+        while nopins:
+            # a run_pinned missed (worker restarted or evicted the
+            # pin) without running the task: re-pin from caller state
+            # on the same, still-healthy connection and resend
+            missed, nopins = nopins, []
+            batch: List[Tuple[str, _TaskPlan, Tuple]] = []
+            for plan in missed:
+                if plan.index in retried:
+                    _discard(sock)
+                    raise RpcProtocolError(
+                        f"worker at {addr} dropped a freshly shipped "
+                        f"pin for member {plan.index}")
+                retried.add(plan.index)
+                sess = plan.session
+                sess.invalidate()
+                batch.append(("pin", plan, (
+                    "pin", sess.key, sess.generation, plan.store)))
+                batch.append(("runp", plan, (
+                    "run_pinned", sess.key, sess.generation,
+                    plan.stripped)))
+            run_round(batch)
+        _give_back(addr, sock)
+        if member_errors:
+            raise member_errors[0]
+        return items, counters["sent"], counters["received"]
 
 
 # The ``rpc`` registry entry lives in :mod:`repro.parallel.executor`

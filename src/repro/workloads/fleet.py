@@ -121,6 +121,11 @@ class FleetReport:
             when one rack node drags the pass).
         hosts: remote worker addresses the pass dispatched to (empty
             for in-host executors).
+        bytes_out: wire payload bytes sent per remote host this pass
+            (empty for in-host executors) — in session mode the
+            steady-state audit figure drops from snapshot-sized to
+            descriptor-sized, and this is where that win is visible.
+        bytes_back: wire payload bytes received per remote host.
     """
 
     operation: str
@@ -130,6 +135,8 @@ class FleetReport:
     workers: int = 1
     worker_walls: List[WorkerWall] = field(default_factory=list)
     hosts: Tuple[str, ...] = ()
+    bytes_out: Dict[str, int] = field(default_factory=dict)
+    bytes_back: Dict[str, int] = field(default_factory=dict)
 
     @property
     def device_count(self) -> int:
@@ -376,6 +383,8 @@ class FleetScheduler:
         report.workers = outcome.workers
         report.worker_walls = outcome.worker_walls
         report.hosts = outcome.hosts
+        report.bytes_out = dict(outcome.bytes_out)
+        report.bytes_back = dict(outcome.bytes_back)
         return report
 
     # -- passes ------------------------------------------------------------------

@@ -27,11 +27,12 @@ EXPECTED_API = sorted([
     "resolve_vectorized",
     "set_policy",
     "unregister_engine",
-    # fleet executors (PR 4; remote hosts PR 5)
+    # fleet executors (PR 4; remote hosts PR 5; sessions PR 6)
     "DEFAULT_EXECUTOR",
     "EXECUTOR_ENV_VAR",
     "ExecutorSpec",
     "FLEET_HOSTS_ENV_VAR",
+    "FLEET_SESSIONS_ENV_VAR",
     "FLEET_WORKERS_ENV_VAR",
     "FleetExecutor",
     "available_executors",
@@ -40,6 +41,7 @@ EXPECTED_API = sorted([
     "resolve_executor_name",
     "resolve_fleet_executor",
     "resolve_fleet_hosts",
+    "resolve_fleet_sessions",
     "resolve_max_workers",
     "unregister_executor",
     # store façade

@@ -223,6 +223,105 @@ def test_rpc_worker_killed_between_passes_fails_cleanly():
         close_connection_pools()
 
 
+def test_session_worker_kill_and_restart_repins():
+    """Session mode under a worker SIGKILL: the failed pass folds
+    nothing (members keep their pre-pass state), and once a worker
+    listens on that address again the next pass re-pins from the
+    caller-held state and completes byte-identical to the serial twin
+    — no RemoteTaskError, no stale pinned state."""
+    from repro.parallel import HashRing, RpcConnectionError, RpcExecutor, \
+        close_connection_pools, parse_hosts, spawn_local_worker
+    from repro.workloads.fleet import FleetScheduler
+
+    worker_a, worker_b = spawn_local_worker(), spawn_local_worker()
+    hosts = parse_hosts([worker_a.address, worker_b.address])
+    victim_addr = HashRing(hosts).lookup("member-0")
+    victim, survivor = (worker_a, worker_b) \
+        if worker_a.address == victim_addr else (worker_b, worker_a)
+    replacement = None
+    try:
+        fleet = FleetScheduler.build(
+            3, 32, switching_sigma=0.02,
+            executor=RpcExecutor(list(hosts), sessions=True))
+        twin = FleetScheduler.build(3, 32, switching_sigma=0.02,
+                                    executor="serial")
+        for f in (fleet, twin):
+            f.format_fleet()
+            f.seal_fleet(lines_per_device=2, line_blocks=4)
+
+        victim.kill()
+        before = _member_snapshots(fleet)
+        with pytest.raises(RpcConnectionError):
+            fleet.audit_fleet()
+        # the dead worker's pinned copies are gone, but nothing was
+        # folded: caller members are exactly as before the failed pass
+        assert _member_snapshots(fleet) == before
+
+        # a worker comes back on the same address: the pass re-pins
+        # (fresh daemon, empty pin cache) and simply succeeds
+        replacement = spawn_local_worker(victim_addr)
+        assert fleet.audit_fleet().fingerprints() == \
+            twin.audit_fleet().fingerprints()
+        # and the pins are warm again: one more pass, still identical
+        assert fleet.audit_fleet().fingerprints() == \
+            twin.audit_fleet().fingerprints()
+    finally:
+        survivor.stop()
+        victim.stop()
+        if replacement is not None:
+            replacement.stop()
+        close_connection_pools()
+
+
+def test_session_generation_bump_after_client_side_mutation():
+    """A client-side mutation between pinned passes (here a direct
+    block write on a caller-held device) must invalidate the pin: the
+    next audit re-pins from the mutated state instead of silently
+    reusing the stale worker copy."""
+    from repro.parallel import RpcExecutor, close_connection_pools, \
+        spawn_local_worker
+    from repro.parallel.session import session_for
+    from repro.workloads.fleet import FleetScheduler
+
+    workers = [spawn_local_worker() for _ in range(2)]
+    try:
+        fleet = FleetScheduler.build(
+            2, 32, switching_sigma=0.02,
+            executor=RpcExecutor([w.address for w in workers],
+                                 sessions=True))
+        twin = FleetScheduler.build(2, 32, switching_sigma=0.02,
+                                    executor="serial")
+        for f in (fleet, twin):
+            f.format_fleet()
+            f.seal_fleet(lines_per_device=2, line_blocks=4)
+            f.audit_fleet()
+
+        generations = [session_for(store).generation
+                       for store in fleet.stores]
+
+        def mutate(device):  # a legitimate write outside any line
+            pba = next(p for p in range(device.total_blocks - 1, 0, -1)
+                       if not device.is_block_heated(p)
+                       and p not in device.bad_blocks)
+            device.write_block(pba, PAYLOAD)
+
+        for f in (fleet, twin):
+            for device in f.devices:
+                mutate(device)
+
+        # the post-mutation audit agrees with the serial twin — it
+        # cannot have reused the stale pins...
+        assert fleet.audit_fleet().fingerprints() == \
+            twin.audit_fleet().fingerprints()
+        # ...and indeed every session re-pinned under a new generation
+        assert all(session_for(store).generation > gen
+                   for store, gen in zip(fleet.stores, generations))
+    finally:
+        close_connection_pools()
+        for w in workers:
+            w.stop()
+
+
 def _one_shot_server(behavior):
     """A TCP endpoint that serves exactly one connection with
     ``behavior(conn)`` (fault simulation)."""

@@ -268,6 +268,124 @@ def test_fleet_store_surface_over_rpc(workers):
     assert fleet_b.last_op.hosts == tuple(sorted(workers))
 
 
+# -- sessions ------------------------------------------------------------------
+
+
+def test_fleet_sessions_resolution_layers(monkeypatch):
+    monkeypatch.delenv(api.FLEET_SESSIONS_ENV_VAR, raising=False)
+    assert api.resolve_fleet_sessions() == (False, "default")
+
+    monkeypatch.setenv(api.FLEET_SESSIONS_ENV_VAR, "1")
+    assert api.resolve_fleet_sessions() == (True, "env")
+    monkeypatch.setenv(api.FLEET_SESSIONS_ENV_VAR, "off")
+    assert api.resolve_fleet_sessions() == (False, "env")
+
+    api.set_policy(ExecutionPolicy(fleet_sessions=True))
+    assert api.resolve_fleet_sessions() == (True, "policy")
+
+    with repro.engine(fleet_sessions=False):
+        assert api.resolve_fleet_sessions() == (False, "context")
+        d = api.describe_policy()
+        assert d["fleet_sessions"] is False
+        assert d["fleet_sessions_source"] == "context"
+
+    assert api.resolve_fleet_sessions(True) == (True, "explicit")
+    with pytest.raises(TypeError):
+        ExecutionPolicy(fleet_sessions="yes")
+
+
+def test_session_passes_byte_identical_vs_serial(workers):
+    """Acceptance: all four passes in session+pipelined mode match the
+    serial reference byte for byte, and steady-state audit traffic is
+    descriptor-sized, not snapshot-sized."""
+    serial, pinned = _build_pair(RpcExecutor(workers, sessions=True))
+    assert _all_passes(serial) == _all_passes(pinned)
+    # pins were shipped during format; the audit that just ran sent
+    # only task descriptors
+    report = pinned.audit_fleet()
+    assert set(report.bytes_out) <= set(workers)
+    assert sum(report.bytes_out.values()) < 8_000
+    assert sum(report.bytes_back.values()) > 0
+    assert serial.audit_fleet().fingerprints() == report.fingerprints()
+
+
+def test_session_rng_continuation(workers):
+    """After pinned passes the caller-held members carry the exact
+    medium arrays and RNG position of the serial twin — and the next
+    pass continues from them identically."""
+    serial, pinned = _build_pair(RpcExecutor(workers, sessions=True), n=2)
+    for fleet in (serial, pinned):
+        fleet.format_fleet()
+        fleet.seal_fleet(lines_per_device=2, line_blocks=4)
+        fleet.audit_fleet()
+    for s_dev, p_dev in zip(serial.devices, pinned.devices):
+        assert s_dev.heated_lines == p_dev.heated_lines
+        assert np.array_equal(s_dev.medium._mag, p_dev.medium._mag)
+        assert s_dev.medium._rng.bit_generator.state == \
+            p_dev.medium._rng.bit_generator.state
+    assert serial.audit_fleet().fingerprints() == \
+        pinned.audit_fleet().fingerprints()
+
+
+def test_pipelined_matches_blocking_dispatch(workers):
+    """Pipelining is a transport optimisation only: per-member results
+    and folded state must match the one-round-trip-at-a-time client."""
+    blocking = FleetScheduler.build(
+        3, 32, switching_sigma=0.02,
+        executor=RpcExecutor(workers, sessions=True, pipeline=False))
+    piped = FleetScheduler.build(
+        3, 32, switching_sigma=0.02,
+        executor=RpcExecutor(workers, sessions=True, pipeline=True))
+    assert _all_passes(blocking) == _all_passes(piped)
+
+
+def test_session_reports_wire_traffic(workers):
+    """FleetOpStats/FleetReport expose per-host bytes: snapshot-sized
+    while pinning, then orders of magnitude down once pinned."""
+    fleet = FleetScheduler.build(2, 32, switching_sigma=0.02,
+                                 executor=RpcExecutor(workers,
+                                                      sessions=True))
+    first = fleet.format_fleet()
+    pin_bytes = sum(first.bytes_out.values())
+    fleet.seal_fleet(lines_per_device=2, line_blocks=4)
+    steady = fleet.audit_fleet()
+    steady_bytes = sum(steady.bytes_out.values())
+    assert pin_bytes > 50 * steady_bytes
+    # and the plain snapshot executor reports its traffic too
+    snap_fleet = FleetScheduler.build(2, 32, switching_sigma=0.02,
+                                      executor=RpcExecutor(workers))
+    snap = snap_fleet.format_fleet()
+    assert sum(snap.bytes_out.values()) > 0
+    assert set(snap.bytes_back) <= set(workers)
+
+
+def test_session_fleet_store_surface(workers):
+    """The FleetStore object surface (seal_many/audit) rides sessions
+    transparently and records byte counters in last_op."""
+    def build():
+        fleet = FleetStore.create(2, total_blocks=192, seed=33)
+        paths = [f"/obj-{i}" for i in range(8)]
+        for path in paths:
+            fleet.put(path, path.encode() * 8)
+        return fleet, paths
+
+    fleet_a, paths = build()
+    receipts_serial = fleet_a.seal_many(paths)
+    audit_serial = fleet_a.audit()
+
+    fleet_b, _ = build()
+    with repro.engine(executor="rpc", fleet_hosts=workers,
+                      fleet_sessions=True):
+        receipts_rpc = fleet_b.seal_many(paths)
+        audit_rpc = fleet_b.audit()
+    assert [r.line_hash for r in receipts_rpc] == \
+        [r.line_hash for r in receipts_serial]
+    key = lambda rep: [(r.status, r.line_start, r.label, r.stored_hash)
+                       for r in rep.reports]
+    assert key(audit_rpc) == key(audit_serial)
+    assert sum(fleet_b.last_op.bytes_out.values()) > 0
+
+
 # -- reporting plumbing --------------------------------------------------------
 
 
