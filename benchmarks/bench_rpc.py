@@ -197,3 +197,88 @@ def test_rpc_byte_identity_floor(benchmark, show):
         for worker in workers:
             worker.stop()
         close_connection_pools()
+
+
+def test_rpc_failover_floor(benchmark, show):
+    """The recovery floor (ISSUE 7): SIGKILL one of three workers
+    mid-sequence — the next pass, running with a retry budget in
+    ``on_failure="raise"`` mode, must absorb the dead host and stay
+    byte-identical to the serial reference.  Records the cost of that
+    recovery: the first post-kill pass pays failure detection, backoff
+    and re-dispatch; once the host's breaker is open, subsequent
+    passes return to near-clean walls."""
+    from repro.parallel import HashRing, parse_hosts, reset_host_health
+
+    workers = [spawn_local_worker() for _ in range(3)]
+    hosts = [w.address for w in workers]
+    # kill a host the ring actually placed members on (placement is a
+    # pure function of the host set, so the bench can compute it)
+    victim_addr = HashRing(parse_hosts(hosts)).lookup("member-0")
+    reset_host_health()
+    try:
+        # audits mutate member state (RNG, counters, cost account), so
+        # the serial twin is driven in lockstep, pass for pass
+        serial = _fleet("serial")
+        fleet = _fleet(RpcExecutor(hosts, retries=2))
+        assert fleet.format_fleet().fingerprints() == \
+            serial.format_fleet().fingerprints()
+        assert fleet.seal_fleet(
+            lines_per_device=LINES_PER_DEVICE,
+            line_blocks=LINE_BLOCKS).fingerprints() == \
+            serial.seal_fleet(lines_per_device=LINES_PER_DEVICE,
+                              line_blocks=LINE_BLOCKS).fingerprints()
+        clean_wall, clean = _best_audit_wall(fleet)  # 3 audits
+        serial.audit_fleet()
+        serial.audit_fleet()
+        assert clean.fingerprints() == \
+            serial.audit_fleet().fingerprints()
+
+        victim = next(w for w in workers if w.address == victim_addr)
+        victim.kill()
+        t0 = time.perf_counter()
+        audited = benchmark.pedantic(fleet.audit_fleet,
+                                     rounds=1, iterations=1)
+        failover_wall = time.perf_counter() - t0
+        # THE floor: the recovered pass is byte-identical to serial
+        assert audited.fingerprints() == \
+            serial.audit_fleet().fingerprints(), \
+            "failover audit pass diverged from the serial reference"
+        assert sum(audited.retries.values()) >= 1
+        # breaker now open: the next pass routes around the dead host
+        steady_wall, steady = _best_audit_wall(fleet)
+        serial.audit_fleet()
+        serial.audit_fleet()
+        assert steady.fingerprints() == \
+            serial.audit_fleet().fingerprints()
+        assert fleet.fsck_fleet().fingerprints() == \
+            serial.fsck_fleet().fingerprints()
+
+        show(format_table(
+            ["pass", "wall [ms]", "note"],
+            [["clean (3 workers)", round(clean_wall * 1e3, 2), "-"],
+             ["failover (1 killed)", round(failover_wall * 1e3, 2),
+              f"{sum(audited.retries.values())} re-dispatches"],
+             ["steady (breaker open)", round(steady_wall * 1e3, 2),
+              "dead host skipped"]],
+            title="rpc failover recovery cost, audit pass, "
+                  f"{N_DEVICES} devices over 3 -> 2 loopback workers"))
+
+        path = REPO_ROOT / "BENCH_rpc.json"
+        payload = json.loads(path.read_text()) if path.exists() else {
+            "bench": "rpc"}
+        payload.update({
+            "failover_byte_identical": True,
+            "failover_mode": "raise+retries=2",
+            "failover_clean_audit_wall_s": round(clean_wall, 6),
+            "failover_recovery_audit_wall_s": round(failover_wall, 6),
+            "failover_steady_audit_wall_s": round(steady_wall, 6),
+            "failover_redispatches": sum(audited.retries.values()),
+            "failover_recovery_overhead_x": round(
+                failover_wall / max(clean_wall, 1e-9), 2),
+        })
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+    finally:
+        for worker in workers:
+            worker.stop()
+        close_connection_pools()
+        reset_host_health()

@@ -32,7 +32,11 @@ from .policy import (
     ENGINE_ENV_VAR,
     EXECUTOR_ENV_VAR,
     FLEET_HOSTS_ENV_VAR,
+    FLEET_ON_FAILURE_ENV_VAR,
+    FLEET_ON_FAILURE_MODES,
+    FLEET_RETRIES_ENV_VAR,
     FLEET_SESSIONS_ENV_VAR,
+    FLEET_TIMEOUT_ENV_VAR,
     FLEET_WORKERS_ENV_VAR,
     SHA256_BACKENDS,
     SHA256_ENV_VAR,
@@ -47,7 +51,10 @@ from .policy import (
     resolve_engine,
     resolve_executor_name,
     resolve_fleet_hosts,
+    resolve_fleet_on_failure,
+    resolve_fleet_retries,
     resolve_fleet_sessions,
+    resolve_fleet_timeout,
     resolve_max_workers,
     resolve_sha256_backend,
     resolve_vectorized,
@@ -57,6 +64,7 @@ from .policy import (
 from ..parallel import (
     ExecutorSpec,
     FleetExecutor,
+    MemberFailure,
     available_executors,
     get_executor_spec,
     register_executor,
@@ -111,18 +119,26 @@ __all__ = [
     # fleet executors
     "ExecutorSpec",
     "FleetExecutor",
+    "MemberFailure",
     "register_executor",
     "unregister_executor",
     "available_executors",
     "get_executor_spec",
     "resolve_executor_name",
     "resolve_fleet_hosts",
+    "resolve_fleet_on_failure",
+    "resolve_fleet_retries",
     "resolve_fleet_sessions",
+    "resolve_fleet_timeout",
     "resolve_max_workers",
     "resolve_fleet_executor",
     "EXECUTOR_ENV_VAR",
     "FLEET_HOSTS_ENV_VAR",
+    "FLEET_ON_FAILURE_ENV_VAR",
+    "FLEET_ON_FAILURE_MODES",
+    "FLEET_RETRIES_ENV_VAR",
     "FLEET_SESSIONS_ENV_VAR",
+    "FLEET_TIMEOUT_ENV_VAR",
     "FLEET_WORKERS_ENV_VAR",
     "DEFAULT_EXECUTOR",
     # store façade

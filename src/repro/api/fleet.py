@@ -48,6 +48,7 @@ from ..medium.medium import MediumConfig
 from ..parallel import (
     FleetExecutor,
     HashRing,
+    MemberFailure,
     WorkerWall,
     resolve_fleet_executor,
     shard_key,
@@ -169,6 +170,10 @@ class FleetOpStats:
     per-worker — for rpc, per-host — wall breakdown.  ``bytes_out`` /
     ``bytes_back`` record the wire payload per remote host, which is
     where the session transport's snapshot→descriptor win shows up.
+    ``failures`` holds the :class:`~repro.parallel.MemberFailure`
+    records of a degraded rpc pass (members that folded nothing);
+    ``retries`` / ``timeouts`` count failover re-dispatches and
+    request-deadline expiries per remote host.
     """
 
     operation: str = ""
@@ -179,6 +184,14 @@ class FleetOpStats:
     hosts: Tuple[str, ...] = ()
     bytes_out: Dict[str, int] = field(default_factory=dict)
     bytes_back: Dict[str, int] = field(default_factory=dict)
+    failures: List[MemberFailure] = field(default_factory=list)
+    retries: Dict[str, int] = field(default_factory=dict)
+    timeouts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the pass completed without some of its members."""
+        return bool(self.failures)
 
 
 # ---------------------------------------------------------------------------
@@ -457,7 +470,19 @@ class FleetStore:
         outcome = executor.run(tasks)
         wall = time.perf_counter() - t0
         payloads = []
-        for index, (payload, state) in zip(member_indices, outcome.results):
+        failures: List[MemberFailure] = []
+        for index, result in zip(member_indices, outcome.results):
+            if isinstance(result, MemberFailure):
+                # degraded rpc pass: the member folded nothing — its
+                # store is untouched and the failure record *is* the
+                # payload, for the caller to surface.  Re-key the
+                # record from task position to fleet member index
+                # (the pass may cover a subset of members).
+                failure = dataclasses.replace(result, index=index)
+                failures.append(failure)
+                payloads.append(failure)
+                continue
+            payload, state = result
             fold_member_state(self.members[index], state)
             payloads.append(payload)
         self.last_op = FleetOpStats(
@@ -465,7 +490,10 @@ class FleetStore:
             workers=outcome.workers, wall_seconds=wall,
             worker_walls=outcome.worker_walls, hosts=outcome.hosts,
             bytes_out=dict(outcome.bytes_out),
-            bytes_back=dict(outcome.bytes_back))
+            bytes_back=dict(outcome.bytes_back),
+            failures=failures,
+            retries=dict(outcome.retries),
+            timeouts=dict(outcome.timeouts))
         return payloads
 
     # -- object grain ------------------------------------------------------------
@@ -520,7 +548,11 @@ class FleetStore:
         """Seal a batch of objects, fleet-wide.
 
         Paths group by owning member and the per-member batches run on
-        the resolved executor; receipts come back in input order.
+        the resolved executor; receipts come back in input order.  In
+        a degraded rpc pass (``on_failure="degrade"``) a failed
+        member's paths carry its :class:`~repro.parallel.MemberFailure`
+        record in place of a receipt — those objects are *not* sealed
+        and can be resubmitted verbatim.
         """
         groups: Dict[int, List[str]] = {}
         for path in paths:
@@ -536,6 +568,10 @@ class FleetStore:
             for i in member_indices])
         by_path: Dict[str, SealReceipt] = {}
         for index, receipts in zip(member_indices, payloads):
+            if isinstance(receipts, MemberFailure):
+                for path in groups[index]:
+                    by_path[path] = receipts
+                continue
             for path, receipt in zip(groups[index], receipts):
                 by_path[path] = receipt
         return [by_path[path] for path in paths]
@@ -551,7 +587,10 @@ class FleetStore:
 
         Per-member sweeps run on the resolved executor; line labels
         are prefixed ``m<i>:`` so a tampered verdict names the member
-        it came from, and file-system findings merge the same way.
+        it came from, and file-system findings merge the same way.  A
+        member that failed out of a degraded rpc pass contributes an
+        ``fs_errors`` entry instead of line verdicts — an audit that
+        could not cover the whole fleet is *not* clean.
         """
         member_indices = list(range(len(self.members)))
         payloads = self._fan_out("audit", member_indices, lambda patch: [
@@ -560,6 +599,12 @@ class FleetStore:
         merged = AuditReport(deep=deep)
         for index, report in zip(member_indices, payloads):
             tag = self._node_name(index)
+            if isinstance(report, MemberFailure):
+                merged.fs_errors.append(
+                    f"{tag}: member audit failed after "
+                    f"{report.attempts} attempt(s): "
+                    f"{report.error_type}: {report.message}")
+                continue
             merged.reports.extend(
                 dataclasses.replace(
                     r, label=f"{tag}:{r.label}" if r.label is not None
@@ -593,10 +638,16 @@ class FleetStore:
                 partial(_export_member, self.members[i], case,
                         groups[i], timestamp)
                 for i in member_indices])
-        exports = tuple(payloads)
+        # a degraded pass yields MemberFailure payloads: their
+        # exhibits were never bagged, so the fleet export is not
+        # intact (the sub-bags that did seal remain individually
+        # valid and are kept)
+        exports = tuple(p for p in payloads
+                        if not isinstance(p, MemberFailure))
         return FleetEvidenceExport(
             case=case, exports=exports,
-            intact=all(export.intact for export in exports))
+            intact=len(exports) == len(payloads)
+            and all(export.intact for export in exports))
 
     # -- content-addressed archive -------------------------------------------------
 

@@ -75,6 +75,22 @@ FLEET_HOSTS_ENV_VAR = "REPRO_FLEET_HOSTS"
 #: (pin-once member snapshots + pipelined dispatch, lazy).
 FLEET_SESSIONS_ENV_VAR = "REPRO_FLEET_SESSIONS"
 
+#: Environment variable setting the ``rpc`` executor's per-request
+#: socket deadline in seconds (lazy; ``0`` or negative disables).
+FLEET_TIMEOUT_ENV_VAR = "REPRO_FLEET_TIMEOUT"
+
+#: Environment variable setting the ``rpc`` executor's failover
+#: re-dispatch budget (waves of re-placement on surviving hosts, lazy).
+FLEET_RETRIES_ENV_VAR = "REPRO_FLEET_RETRIES"
+
+#: Environment variable selecting the ``rpc`` executor's exhausted-
+#: member handling: ``raise`` (abort the pass) or ``degrade``
+#: (return typed ``MemberFailure`` records in a partial pass, lazy).
+FLEET_ON_FAILURE_ENV_VAR = "REPRO_FLEET_ON_FAILURE"
+
+#: Recognised ``fleet_on_failure`` modes.
+FLEET_ON_FAILURE_MODES = ("raise", "degrade")
+
 #: Executor used when no layer pins one: the reference dispatch.
 DEFAULT_EXECUTOR = "serial"
 
@@ -185,6 +201,17 @@ class ExecutionPolicy:
             task descriptors (not snapshots) per pass, pipelined
             dispatch.  A plain bool by design: resolving it must never
             load the wire-protocol module.
+        fleet_timeout: per-request socket deadline in seconds for the
+            ``rpc`` executor (None = no deadline; a hung worker blocks
+            until the fault is external).
+        fleet_retries: failover re-dispatch budget — how many waves of
+            re-placement on surviving hosts a pass may attempt for
+            members whose host died (None = defer; the chain's default
+            is 0, fail fast).
+        fleet_on_failure: ``"raise"`` or ``"degrade"`` — what an rpc
+            pass does with members that exhausted their retries.
+            Plain values by design, like ``fleet_sessions``: resolving
+            any of the three never loads the wire-protocol module.
     """
 
     engine: Optional[str] = None
@@ -193,6 +220,9 @@ class ExecutionPolicy:
     max_workers: Optional[int] = None
     fleet_hosts: Optional[Tuple[str, ...]] = None
     fleet_sessions: Optional[bool] = None
+    fleet_timeout: Optional[float] = None
+    fleet_retries: Optional[int] = None
+    fleet_on_failure: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.engine is not None:
@@ -211,6 +241,26 @@ class ExecutionPolicy:
         if self.fleet_sessions is not None and \
                 not isinstance(self.fleet_sessions, bool):
             raise TypeError("fleet_sessions must be a bool or None")
+        if self.fleet_timeout is not None:
+            if isinstance(self.fleet_timeout, bool) or \
+                    not isinstance(self.fleet_timeout, (int, float)):
+                raise TypeError("fleet_timeout must be a number or None")
+            if self.fleet_timeout <= 0:
+                raise ValueError("fleet_timeout must be > 0 seconds")
+            object.__setattr__(self, "fleet_timeout",
+                               float(self.fleet_timeout))
+        if self.fleet_retries is not None:
+            if isinstance(self.fleet_retries, bool) or \
+                    not isinstance(self.fleet_retries, int):
+                raise TypeError("fleet_retries must be an int or None")
+            if self.fleet_retries < 0:
+                raise ValueError("fleet_retries must be >= 0")
+        if self.fleet_on_failure is not None and \
+                self.fleet_on_failure not in FLEET_ON_FAILURE_MODES:
+            raise ValueError(
+                f"unknown fleet_on_failure mode "
+                f"{self.fleet_on_failure!r}; expected one of "
+                f"{FLEET_ON_FAILURE_MODES}")
         if self.fleet_hosts is not None:
             from ..parallel import remote  # lazy, as above
 
@@ -254,7 +304,10 @@ def engine(name: Optional[str] = None, *,
            executor: Optional[str] = None,
            max_workers: Optional[int] = None,
            fleet_hosts: Optional[Tuple[str, ...]] = None,
-           fleet_sessions: Optional[bool] = None
+           fleet_sessions: Optional[bool] = None,
+           fleet_timeout: Optional[float] = None,
+           fleet_retries: Optional[int] = None,
+           fleet_on_failure: Optional[str] = None
            ) -> Iterator[ExecutionPolicy]:
     """Scoped engine override: ``with repro.engine("scalar"): ...``.
 
@@ -262,15 +315,21 @@ def engine(name: Optional[str] = None, *,
     wins, so ``with engine("scalar"), engine(sha256="pure"):`` runs the
     scalar engine *and* the pure hash.  Fleet dispatch scopes the same
     way: ``with repro.engine(executor="thread", max_workers=4): ...``,
-    and remote dispatch too: ``with repro.engine(executor="rpc",
-    fleet_hosts=("db1:7401", "db2:7401")): ...``.  Thread- and
-    async-safe (backed by a :class:`contextvars.ContextVar`).
+    remote dispatch too: ``with repro.engine(executor="rpc",
+    fleet_hosts=("db1:7401", "db2:7401")): ...``, and so does fault
+    handling: ``with repro.engine(fleet_timeout=5.0, fleet_retries=2,
+    fleet_on_failure="degrade"): ...``.  Thread- and async-safe
+    (backed by a :class:`contextvars.ContextVar`).
     """
     with ExecutionPolicy(engine=name, sha256_backend=sha256,
                          executor=executor,
                          max_workers=max_workers,
                          fleet_hosts=fleet_hosts,
-                         fleet_sessions=fleet_sessions).use() as pol:
+                         fleet_sessions=fleet_sessions,
+                         fleet_timeout=fleet_timeout,
+                         fleet_retries=fleet_retries,
+                         fleet_on_failure=fleet_on_failure
+                         ).use() as pol:
         yield pol
 
 
@@ -474,6 +533,92 @@ def resolve_fleet_sessions(
     return False, "default"
 
 
+def resolve_fleet_timeout(
+        explicit: Optional[float] = None) -> Tuple[Optional[float], str]:
+    """(per-request deadline in seconds or None, deciding layer) for
+    the ``rpc`` executor.
+
+    None means no deadline — a hung worker blocks until an external
+    fault (peer death, connection reset) surfaces.  The env value is
+    read *now*; ``REPRO_FLEET_TIMEOUT=0`` (or negative) is an explicit
+    disable, an unparsable value is ignored.
+    """
+    if explicit is not None:
+        if explicit <= 0:
+            raise ValueError("fleet timeout must be > 0 seconds")
+        return float(explicit), "explicit"
+    for frame in reversed(_OVERRIDES.get()):
+        if frame.fleet_timeout is not None:
+            return frame.fleet_timeout, "context"
+    if _POLICY is not None and _POLICY.fleet_timeout is not None:
+        return _POLICY.fleet_timeout, "policy"
+    value = os.environ.get(FLEET_TIMEOUT_ENV_VAR)
+    if value is not None and value.strip():
+        try:
+            seconds = float(value.strip())
+        except ValueError:
+            return None, "default"
+        return (seconds if seconds > 0 else None), "env"
+    return None, "default"
+
+
+def resolve_fleet_retries(
+        explicit: Optional[int] = None) -> Tuple[int, str]:
+    """(failover re-dispatch budget, deciding layer) for the ``rpc``
+    executor.
+
+    ``0`` (the default) keeps the fail-fast contract: the first host
+    loss aborts the pass.  A negative or unparsable env value is
+    ignored.
+    """
+    if explicit is not None:
+        if isinstance(explicit, bool) or not isinstance(explicit, int):
+            raise TypeError("fleet retries must be an int or None")
+        if explicit < 0:
+            raise ValueError("fleet retries must be >= 0")
+        return explicit, "explicit"
+    for frame in reversed(_OVERRIDES.get()):
+        if frame.fleet_retries is not None:
+            return frame.fleet_retries, "context"
+    if _POLICY is not None and _POLICY.fleet_retries is not None:
+        return _POLICY.fleet_retries, "policy"
+    value = os.environ.get(FLEET_RETRIES_ENV_VAR)
+    if value is not None and value.strip():
+        try:
+            waves = int(value.strip())
+        except ValueError:
+            waves = -1
+        if waves >= 0:
+            return waves, "env"
+    return 0, "default"
+
+
+def resolve_fleet_on_failure(
+        explicit: Optional[str] = None) -> Tuple[str, str]:
+    """(exhausted-member mode, deciding layer) for the ``rpc``
+    executor: ``"raise"`` (default, abort the pass) or ``"degrade"``
+    (partial pass with typed ``MemberFailure`` records).  An env value
+    outside the recognised modes is ignored.
+    """
+    if explicit is not None:
+        if explicit not in FLEET_ON_FAILURE_MODES:
+            raise ValueError(
+                f"unknown fleet on_failure mode {explicit!r}; "
+                f"expected one of {FLEET_ON_FAILURE_MODES}")
+        return explicit, "explicit"
+    for frame in reversed(_OVERRIDES.get()):
+        if frame.fleet_on_failure is not None:
+            return frame.fleet_on_failure, "context"
+    if _POLICY is not None and _POLICY.fleet_on_failure is not None:
+        return _POLICY.fleet_on_failure, "policy"
+    value = os.environ.get(FLEET_ON_FAILURE_ENV_VAR)
+    if value is not None:
+        token = value.strip().lower()
+        if token in FLEET_ON_FAILURE_MODES:
+            return token, "env"
+    return "raise", "default"
+
+
 def describe_policy() -> Dict[str, object]:
     """Inspectable snapshot of the resolution: what would run now, and
     which layer decided it.  The answer an operator needs when a fleet
@@ -494,6 +639,9 @@ def describe_policy() -> Dict[str, object]:
     max_workers, workers_source = resolve_max_workers()
     fleet_hosts, hosts_source = resolve_fleet_hosts()
     fleet_sessions, sessions_source = resolve_fleet_sessions()
+    fleet_timeout, timeout_source = resolve_fleet_timeout()
+    fleet_retries, retries_source = resolve_fleet_retries()
+    fleet_on_failure, on_failure_source = resolve_fleet_on_failure()
     from .. import parallel  # lazy; registers the built-in executors
 
     return {
@@ -510,6 +658,12 @@ def describe_policy() -> Dict[str, object]:
         "fleet_hosts_source": hosts_source,
         "fleet_sessions": fleet_sessions,
         "fleet_sessions_source": sessions_source,
+        "fleet_timeout": fleet_timeout,
+        "fleet_timeout_source": timeout_source,
+        "fleet_retries": fleet_retries,
+        "fleet_retries_source": retries_source,
+        "fleet_on_failure": fleet_on_failure,
+        "fleet_on_failure_source": on_failure_source,
         "available_engines": available_engines(),
         "available_executors": parallel.available_executors(),
         "installed_policy": _POLICY,

@@ -22,6 +22,7 @@ from .executor import (
     ExecutionOutcome,
     ExecutorSpec,
     FleetExecutor,
+    MemberFailure,
     MemberTask,
     ProcessExecutor,
     SerialExecutor,
@@ -48,8 +49,11 @@ _REMOTE_EXPORTS = (
     "RpcError",
     "RpcExecutor",
     "RpcProtocolError",
+    "RpcTimeoutError",
     "close_connection_pools",
+    "host_health_snapshot",
     "parse_hosts",
+    "reset_host_health",
     "spawn_local_worker",
 )
 
@@ -76,13 +80,17 @@ __all__ = [
     "RpcError",
     "RpcExecutor",
     "RpcProtocolError",
+    "RpcTimeoutError",
     "close_connection_pools",
+    "host_health_snapshot",
     "parse_hosts",
+    "reset_host_health",
     "spawn_local_worker",
     "ExecutionOutcome",
     "ExecutorSpec",
     "FleetExecutor",
     "HashRing",
+    "MemberFailure",
     "MemberTask",
     "ProcessExecutor",
     "SerialExecutor",

@@ -50,6 +50,38 @@ MemberTask = Callable[[], Tuple[Any, Any]]
 
 
 @dataclass(frozen=True)
+class MemberFailure:
+    """Typed record of one member task an executor could not complete.
+
+    Produced only in the ``rpc`` executor's *degraded* mode
+    (``on_failure="degrade"``): a member whose dispatch exhausted its
+    failover retries — or whose task raised on a worker — comes back as
+    this record in the task's result slot instead of aborting the whole
+    pass.  The fleet layers skip folding for it (the caller-held member
+    keeps its pre-pass state) and surface it in
+    :attr:`~repro.workloads.fleet.FleetReport.failures` /
+    :attr:`~repro.api.fleet.FleetOpStats.failures`.
+
+    Attributes:
+        index: position of the member's task in the pass.
+        error_type: class name of the final error.
+        message: final error message.
+        hosts_tried: worker addresses that failed this member, in
+            dispatch order (empty when the task itself raised).
+        attempts: dispatch attempts made (1 = no retry happened).
+        timed_out: the final failure was an
+            :class:`~repro.parallel.remote.RpcTimeoutError`.
+    """
+
+    index: int
+    error_type: str
+    message: str
+    hosts_tried: Tuple[str, ...] = ()
+    attempts: int = 1
+    timed_out: bool = False
+
+
+@dataclass(frozen=True)
 class WorkerWall:
     """Wall-clock share of one worker in one fleet pass.
 
@@ -79,6 +111,14 @@ class ExecutionOutcome:
         bytes_out: wire payload bytes sent per remote host this pass
             (empty for in-host executors).
         bytes_back: wire payload bytes received per remote host.
+        retries: member re-dispatches per *failed* host — ``{addr: n}``
+            means ``n`` member tasks had to fail over off ``addr``
+            (empty when the pass saw no faults).
+        timeouts: per-host count of request deadlines that expired
+            (:class:`~repro.parallel.remote.RpcTimeoutError`).
+        failures: degraded-mode :class:`MemberFailure` records, member
+            order.  When non-empty, the corresponding ``results`` slots
+            hold the failure record instead of ``(payload, state)``.
     """
 
     results: List[Tuple[Any, Any]] = field(default_factory=list)
@@ -88,6 +128,9 @@ class ExecutionOutcome:
     hosts: Tuple[str, ...] = ()
     bytes_out: Dict[str, int] = field(default_factory=dict)
     bytes_back: Dict[str, int] = field(default_factory=dict)
+    retries: Dict[str, int] = field(default_factory=dict)
+    timeouts: Dict[str, int] = field(default_factory=dict)
+    failures: List[MemberFailure] = field(default_factory=list)
 
 
 def _effective_workers(max_workers: Optional[int], n_tasks: int) -> int:

@@ -95,6 +95,7 @@ from __future__ import annotations
 import argparse
 import os
 import pickle
+import random
 import socket
 import socketserver
 import struct
@@ -111,6 +112,7 @@ from ..errors import ConfigurationError, ReproError
 from .executor import (
     ExecutionOutcome,
     FleetExecutor,
+    MemberFailure,
     MemberTask,
     _collect_walls,
 )
@@ -144,6 +146,21 @@ _BUF_LEN = struct.Struct(">Q")
 DIAL_RETRIES = 10
 DIAL_RETRY_DELAY_S = 0.2
 
+#: Failover re-dispatch backoff: wave ``k`` sleeps
+#: ``base * 2**k`` seconds (capped), stretched by up to ``JITTER``
+#: so a rack of clients re-dispatching off one dead host does not
+#: stampede the survivors in lockstep.
+FAILOVER_BACKOFF_BASE_S = 0.05
+FAILOVER_BACKOFF_CAP_S = 2.0
+FAILOVER_BACKOFF_JITTER = 0.25
+
+#: Consecutive wire failures that open a host's circuit breaker.
+HEALTH_FAILURE_THRESHOLD = 3
+
+#: Seconds an open breaker keeps a host out of dispatch before a
+#: probation ``ping`` may re-admit it.
+HEALTH_PROBATION_S = 2.0
+
 
 class RpcError(ReproError):
     """Base class for remote-fleet RPC failures."""
@@ -152,6 +169,14 @@ class RpcError(ReproError):
 class RpcConnectionError(RpcError):
     """A worker connection failed: dial refused, worker died, or a
     frame was cut short.  The message names the host."""
+
+
+class RpcTimeoutError(RpcConnectionError):
+    """A per-request socket deadline expired: the worker accepted the
+    connection but stopped sending (hung task, wedged process, black-
+    holed network).  Subclasses :class:`RpcConnectionError` — a hung
+    worker gets the same no-fold/failover treatment as a dead one —
+    but stays distinguishable for the per-host timeout stats."""
 
 
 class RpcProtocolError(RpcError):
@@ -223,7 +248,13 @@ def _recv_exact(sock: socket.socket, n: int, what: str) -> bytes:
     chunks: List[bytes] = []
     got = 0
     while got < n:
-        chunk = sock.recv(min(n - got, 1 << 20))
+        try:
+            chunk = sock.recv(min(n - got, 1 << 20))
+        except TimeoutError as exc:  # the per-request socket deadline
+            raise RpcTimeoutError(
+                f"socket deadline expired mid-frame ({got}/{n} bytes of "
+                f"{what}); the peer is hung or the network stalled"
+            ) from exc
         if not chunk:
             raise RpcConnectionError(
                 f"connection closed mid-frame ({got}/{n} bytes of {what}); "
@@ -240,7 +271,13 @@ def _recv_exact_into(sock: socket.socket, view: memoryview,
     n = len(view)
     got = 0
     while got < n:
-        read = sock.recv_into(view[got:], min(n - got, 1 << 20))
+        try:
+            read = sock.recv_into(view[got:], min(n - got, 1 << 20))
+        except TimeoutError as exc:
+            raise RpcTimeoutError(
+                f"socket deadline expired mid-frame ({got}/{n} bytes of "
+                f"{what}); the peer is hung or the network stalled"
+            ) from exc
         if not read:
             raise RpcConnectionError(
                 f"connection closed mid-frame ({got}/{n} bytes of {what}); "
@@ -255,7 +292,12 @@ def _recv_frame_counted(sock: socket.socket) -> Tuple[Any, int]:
     unpickled arrays map directly — the body never contains, and the
     receiver never re-copies, the bulk payload.
     """
-    first = sock.recv(1)
+    try:
+        first = sock.recv(1)
+    except TimeoutError as exc:
+        raise RpcTimeoutError(
+            "socket deadline expired waiting for a frame; the peer is "
+            "hung or the network stalled") from exc
     if not first:
         raise EOFError("peer closed between frames")
     header = first + _recv_exact(sock, _HEADER.size - 1, "frame header")
@@ -450,11 +492,15 @@ def parse_host(spec: str) -> Tuple[str, int]:
 
 def parse_hosts(spec: Union[str, Sequence[str]]) -> Tuple[str, ...]:
     """Normalise a host list (string ``"h:p,h:p"`` or sequence) to a
-    canonical tuple: validated, de-duplicated, sorted.
+    canonical tuple: validated, sorted, duplicates rejected.
 
     Sorting makes everything downstream order-independent: two nodes
     configured with the same hosts in different orders build the same
-    :class:`HashRing` and assign members identically.
+    :class:`HashRing` and assign members identically.  A *duplicated*
+    host is a configuration error, not a bigger host: silently
+    de-duplicating would let two nodes that disagree about the list
+    believe they agree, and the placement/health layers key per
+    address — so it is rejected outright.
     """
     if isinstance(spec, str):
         items = [item for item in spec.replace(",", " ").split() if item]
@@ -462,7 +508,20 @@ def parse_hosts(spec: Union[str, Sequence[str]]) -> Tuple[str, ...]:
         items = [str(item) for item in spec]
     if not items:
         raise ConfigurationError("fleet host list is empty")
-    canonical = {f"{host}:{port}" for host, port in map(parse_host, items)}
+    canonical: List[str] = []
+    seen: Dict[str, str] = {}
+    for item in items:
+        host, port = parse_host(item)
+        key = f"{host}:{port}"
+        if key in seen:
+            duplicate = f" (as {seen[key]!r} and {item!r})" \
+                if {seen[key], str(item).strip()} != {key} else ""
+            raise ConfigurationError(
+                f"duplicate fleet host {key!r}{duplicate}: each worker "
+                "may be listed once — listing it twice would skew "
+                "HashRing placement and double-count its health")
+        seen[key] = str(item).strip()
+        canonical.append(key)
     return tuple(sorted(canonical))
 
 
@@ -519,13 +578,24 @@ def _dial(addr: str, *, retries: int = DIAL_RETRIES,
         f"cannot reach fleet worker at {addr}: {last}") from last
 
 
-def _borrow(addr: str) -> Tuple[socket.socket, bool]:
-    """A connection to ``addr``: pooled (True) or freshly dialled."""
+def _borrow(addr: str,
+            deadline: Optional[float] = None) -> Tuple[socket.socket, bool]:
+    """A connection to ``addr``: pooled (True) or freshly dialled.
+
+    ``deadline`` is the per-request socket timeout in seconds (None =
+    block forever, the pre-fault-tolerance behaviour); it is re-armed
+    on every borrow, so a socket parked in the pool with a deadline
+    set never surprises its next, deadline-free borrower.
+    """
     with _POOL_LOCK:
         pooled = _POOL.get(addr)
         if pooled:
-            return pooled.pop(), True
-    return _dial(addr), False
+            sock = pooled.pop()
+            sock.settimeout(deadline)
+            return sock, True
+    sock = _dial(addr, timeout=deadline if deadline else None)
+    sock.settimeout(deadline)
+    return sock, False
 
 
 def _give_back(addr: str, sock: socket.socket) -> None:
@@ -544,7 +614,8 @@ def _recv_reply(addr: str, sock: socket.socket) -> Tuple[Any, int]:
     """(reply, bytes received) after a delivered request; any failure
     discards the socket and raises :class:`RpcConnectionError` (the
     task may have run, so the caller must never silently retry a
-    non-session request)."""
+    non-session request).  An expired socket deadline keeps its
+    :class:`RpcTimeoutError` type for the per-host timeout stats."""
     try:
         return _recv_frame_counted(sock)
     except EOFError as exc:
@@ -552,6 +623,12 @@ def _recv_reply(addr: str, sock: socket.socket) -> Tuple[Any, int]:
         raise RpcConnectionError(
             f"fleet worker at {addr} closed the connection before "
             "replying (worker killed mid-task?)") from exc
+    except RpcTimeoutError as exc:
+        _discard(sock)
+        raise RpcTimeoutError(
+            f"no reply from fleet worker at {addr} within the request "
+            f"deadline; the worker is hung or the network stalled"
+        ) from exc
     except (RpcConnectionError, RpcProtocolError):
         _discard(sock)
         raise RpcConnectionError(
@@ -564,18 +641,27 @@ def _recv_reply(addr: str, sock: socket.socket) -> Tuple[Any, int]:
             f"{exc}") from exc
 
 
-def _call_worker_counted(addr: str, request: Any) -> Tuple[Any, int, int]:
+def _call_worker_counted(addr: str, request: Any,
+                         deadline: Optional[float] = None
+                         ) -> Tuple[Any, int, int]:
     """(reply, bytes out, bytes back) for one pooled round trip."""
-    sock, from_pool = _borrow(addr)
+    sock, from_pool = _borrow(addr, deadline)
     try:
         sent = send_frame(sock, request)
+    except TimeoutError as exc:
+        _discard(sock)
+        raise RpcTimeoutError(
+            f"request to fleet worker at {addr} stalled past the "
+            f"socket deadline while sending") from exc
     except (ConnectionError, OSError) as exc:
         _discard(sock)
         if not from_pool:
             raise RpcConnectionError(
                 f"fleet worker at {addr} rejected the request: "
                 f"{exc}") from exc
-        sock = _dial(addr)  # stale pooled socket: one reconnect
+        # stale pooled socket: one reconnect
+        sock = _dial(addr, timeout=deadline if deadline else None)
+        sock.settimeout(deadline)
         try:
             sent = send_frame(sock, request)
         except (ConnectionError, OSError) as exc2:
@@ -588,7 +674,8 @@ def _call_worker_counted(addr: str, request: Any) -> Tuple[Any, int, int]:
     return response, sent, received
 
 
-def call_worker(addr: str, request: Any) -> Any:
+def call_worker(addr: str, request: Any, *,
+                deadline: Optional[float] = None) -> Any:
     """One request/response round trip with ``addr``, via the pool.
 
     A *stale* pooled connection (the worker restarted since the last
@@ -597,17 +684,22 @@ def call_worker(addr: str, request: Any) -> Any:
     connection.  Any failure after the request was delivered — EOF or
     a truncated reply — raises :class:`RpcConnectionError` instead:
     the task may have run, and mutating passes must never run twice.
+    ``deadline`` bounds every blocking socket operation of the round
+    trip; expiry raises :class:`RpcTimeoutError`.
     """
-    return _call_worker_counted(addr, request)[0]
+    return _call_worker_counted(addr, request, deadline)[0]
 
 
 def ping(addr: str, *, timeout: float = 5.0) -> int:
     """Round-trip a ping; returns the worker's PID.  Waits up to
-    ``timeout`` seconds for the worker to start listening."""
+    ``timeout`` seconds for the worker to start listening; each round
+    trip also carries ``timeout`` as its socket deadline, so a worker
+    that *accepts* but never answers (hung event loop) fails the ping
+    instead of blocking it forever."""
     deadline = time.monotonic() + timeout
     while True:
         try:
-            response = call_worker(addr, ("ping",))
+            response = call_worker(addr, ("ping",), deadline=timeout)
         except RpcConnectionError:
             if time.monotonic() >= deadline:
                 raise
@@ -616,6 +708,125 @@ def ping(addr: str, *, timeout: float = 5.0) -> int:
         if not (isinstance(response, tuple) and response[0] == "pong"):
             raise RpcProtocolError(f"unexpected ping reply: {response!r}")
         return int(response[1])
+
+
+# ---------------------------------------------------------------------------
+# Per-host health (module-wide, like the connection pool: executor
+# instances come and go, the rack's health does not)
+
+
+class _HostHealth:
+    """Mutable health book entry for one worker address."""
+
+    __slots__ = ("consecutive_failures", "open_until",
+                 "total_failures", "total_timeouts")
+
+    def __init__(self) -> None:
+        self.consecutive_failures = 0
+        self.open_until = 0.0
+        self.total_failures = 0
+        self.total_timeouts = 0
+
+
+_HEALTH: Dict[str, _HostHealth] = {}
+_HEALTH_LOCK = threading.Lock()
+
+
+def record_host_success(addr: str) -> None:
+    """A round trip with ``addr`` completed: close its breaker."""
+    with _HEALTH_LOCK:
+        entry = _HEALTH.get(addr)
+        if entry is not None:
+            entry.consecutive_failures = 0
+            entry.open_until = 0.0
+
+
+def record_host_failure(addr: str, *, timed_out: bool = False) -> None:
+    """A wire round trip with ``addr`` failed.  After
+    :data:`HEALTH_FAILURE_THRESHOLD` *consecutive* failures the host's
+    circuit breaker opens for :data:`HEALTH_PROBATION_S` seconds:
+    dispatch stops routing members to it until a probation
+    :func:`ping` proves it back."""
+    with _HEALTH_LOCK:
+        entry = _HEALTH.setdefault(addr, _HostHealth())
+        entry.consecutive_failures += 1
+        entry.total_failures += 1
+        if timed_out:
+            entry.total_timeouts += 1
+        if entry.consecutive_failures >= HEALTH_FAILURE_THRESHOLD:
+            entry.open_until = time.monotonic() + HEALTH_PROBATION_S
+
+
+def host_breaker_open(addr: str) -> bool:
+    """Is ``addr`` currently excluded from dispatch?"""
+    with _HEALTH_LOCK:
+        entry = _HEALTH.get(addr)
+        if entry is None or \
+                entry.consecutive_failures < HEALTH_FAILURE_THRESHOLD:
+            return False
+    return True
+
+
+def reset_host_health() -> None:
+    """Forget all recorded host health (tests, fresh soak runs)."""
+    with _HEALTH_LOCK:
+        _HEALTH.clear()
+
+
+def host_health_snapshot() -> Dict[str, Dict[str, float]]:
+    """Diagnostics: per-host failure/timeout counters and breaker
+    state, for operators and the soak report."""
+    with _HEALTH_LOCK:
+        return {
+            addr: {
+                "consecutive_failures": entry.consecutive_failures,
+                "total_failures": entry.total_failures,
+                "total_timeouts": entry.total_timeouts,
+                "breaker_open": entry.consecutive_failures
+                >= HEALTH_FAILURE_THRESHOLD,
+            }
+            for addr, entry in _HEALTH.items()
+        }
+
+
+def usable_hosts(hosts: Sequence[str], *,
+                 probe_timeout: float = 1.0,
+                 force_probe: bool = False) -> Tuple[str, ...]:
+    """The subset of ``hosts`` dispatch may route members to.
+
+    Hosts with a closed breaker pass straight through (the common,
+    lock-only path).  A host whose breaker is open is skipped while
+    its probation window runs; once the window elapses it gets one
+    :func:`ping` probe — success closes the breaker and re-admits it,
+    failure re-opens the window.  Order is preserved (the host list is
+    canonical/sorted, and placement must stay a pure function of it).
+
+    ``force_probe`` probes open-breaker hosts even inside their
+    probation window — the desperation path a failover wave takes
+    when every admitted host just failed, so a freshly restarted
+    worker can be re-admitted immediately rather than the pass dying
+    while a live host waits out its window.
+    """
+    admitted: List[str] = []
+    for addr in hosts:
+        with _HEALTH_LOCK:
+            entry = _HEALTH.get(addr)
+            open_ = entry is not None and \
+                entry.consecutive_failures >= HEALTH_FAILURE_THRESHOLD
+            on_probation = open_ and time.monotonic() >= entry.open_until
+        if not open_:
+            admitted.append(addr)
+            continue
+        if not (on_probation or force_probe):
+            continue
+        try:
+            ping(addr, timeout=probe_timeout)
+        except (RpcError, OSError):
+            record_host_failure(addr)  # re-opens the probation window
+            continue
+        record_host_success(addr)
+        admitted.append(addr)
+    return tuple(admitted)
 
 
 # ---------------------------------------------------------------------------
@@ -678,12 +889,38 @@ class RpcExecutor(FleetExecutor):
             batch in flight on one socket (default).  ``False`` falls
             back to one blocking round trip per request — the bench's
             comparison baseline.  Ignored outside session mode.
+        timeout: per-request socket deadline in seconds; a worker that
+            stops sending for this long surfaces as
+            :class:`RpcTimeoutError` instead of blocking the pass
+            forever.  None resolves through the policy chain
+            (``repro.engine(fleet_timeout=...)`` > installed policy >
+            ``REPRO_FLEET_TIMEOUT``; default: no deadline).
+        retries: failover re-dispatch waves for members whose host
+            failed mid-pass.  A failed host folds zero partial state,
+            so its members re-place on a :class:`HashRing` over the
+            surviving hosts (exponential backoff + jitter between
+            waves) and re-run byte-identically from caller-held state.
+            None resolves through the chain
+            (``repro.engine(fleet_retries=...)`` >
+            ``REPRO_FLEET_RETRIES``; default 0 — fail fast, the PR 5
+            contract).
+        on_failure: ``"raise"`` (default) aborts the pass on the first
+            exhausted member; ``"degrade"`` returns exhausted members
+            as typed :class:`~repro.parallel.MemberFailure` records in
+            their result slots so the surviving members' pass still
+            folds.  Resolves through the chain
+            (``repro.engine(fleet_on_failure=...)`` >
+            ``REPRO_FLEET_ON_FAILURE``).
 
     Member *i* goes to the host that owns ``"member-i"`` on a
     consistent-hash ring over the host set — a pure function of the
     canonicalised host list, so every node that knows the same hosts
     (in any order) computes the same placement, and growing the host
-    list remaps only its ring share of members.
+    list remaps only its ring share of members.  Hosts whose circuit
+    breaker is open (:data:`HEALTH_FAILURE_THRESHOLD` consecutive
+    failures) are excluded from the ring until a probation ``ping``
+    re-admits them, so a dead host stops receiving work instead of
+    charging every pass a timeout.
     """
 
     name = "rpc"
@@ -692,11 +929,17 @@ class RpcExecutor(FleetExecutor):
     def __init__(self, hosts: Union[None, str, Sequence[str]] = None,
                  max_workers: Optional[int] = None, *,
                  sessions: Optional[bool] = None,
-                 pipeline: Optional[bool] = None) -> None:
+                 pipeline: Optional[bool] = None,
+                 timeout: Optional[float] = None,
+                 retries: Optional[int] = None,
+                 on_failure: Optional[str] = None) -> None:
         self.hosts = parse_hosts(hosts) if hosts is not None else None
         self.max_workers = max_workers
         self.sessions = sessions
         self.pipeline = pipeline
+        self.timeout = timeout
+        self.retries = retries
+        self.on_failure = on_failure
 
     def _resolve_hosts(self) -> Tuple[str, ...]:
         if self.hosts is not None:
@@ -733,11 +976,34 @@ class RpcExecutor(FleetExecutor):
             return portable
         return cause
 
+    def _resolve_fault_policy(
+            self) -> Tuple[Optional[float], int, str]:
+        """(timeout, retries, on_failure) through the policy chain."""
+        from ..api import policy as _policy
+
+        deadline, _src = _policy.resolve_fleet_timeout(self.timeout)
+        retries, _src = _policy.resolve_fleet_retries(self.retries)
+        on_failure, _src = _policy.resolve_fleet_on_failure(
+            self.on_failure)
+        return deadline, retries, on_failure
+
     @staticmethod
-    def _run_one(addr: str, task: MemberTask
+    def _backoff_sleep(wave: int) -> None:
+        """Exponential backoff with jitter between failover waves —
+        gives a briefly wedged host (GC pause, packet loss) room to
+        come back before its members re-place, and decorrelates the
+        retry stampede when several clients share a fleet."""
+        delay = min(FAILOVER_BACKOFF_CAP_S,
+                    FAILOVER_BACKOFF_BASE_S * (2 ** wave))
+        time.sleep(delay * (1.0 + FAILOVER_BACKOFF_JITTER
+                            * random.random()))
+
+    @staticmethod
+    def _run_one(addr: str, task: MemberTask,
+                 deadline: Optional[float] = None
                  ) -> Tuple[str, float, Any, int, int]:
         response, sent, received = _call_worker_counted(
-            addr, ("run", task))
+            addr, ("run", task), deadline)
         if not isinstance(response, tuple) or not response:
             raise RpcProtocolError(
                 f"malformed reply from fleet worker at {addr}: "
@@ -755,45 +1021,166 @@ class RpcExecutor(FleetExecutor):
         hosts = self._resolve_hosts()
         if n == 0:
             return ExecutionOutcome(workers=0, hosts=hosts)
-        ring = HashRing(hosts)
-        assignment = [ring.lookup(f"member-{i}") for i in range(n)]
         from ..api import policy as _policy
 
         use_sessions, _source = _policy.resolve_fleet_sessions(
             self.sessions)
+        deadline, retries, on_failure = self._resolve_fault_policy()
+        live = list(usable_hosts(hosts))
+        if not live:
+            # every breaker is open: probe them all right now rather
+            # than failing a pass that a restarted worker could serve
+            live = list(usable_hosts(hosts, force_probe=True))
+        if not live:
+            raise RpcConnectionError(
+                "no usable fleet worker hosts: every host's circuit "
+                f"breaker is open ({', '.join(hosts)}) and none "
+                "answered a probe; restart the workers")
         if use_sessions:
-            return self._run_session_pass(tasks, hosts, assignment)
+            return self._run_session_pass(
+                tasks, hosts, live, deadline, retries, on_failure)
+        return self._run_snapshot_pass(
+            tasks, hosts, live, deadline, retries, on_failure)
+
+    def _run_snapshot_pass(self, tasks: Sequence[MemberTask],
+                           hosts: Tuple[str, ...], live: List[str],
+                           deadline: Optional[float], retries: int,
+                           on_failure: str) -> ExecutionOutcome:
+        """Snapshot dispatch with bounded failover waves.
+
+        Wave *k* places every still-pending member on a
+        :class:`HashRing` over the hosts that survived waves
+        ``0..k-1``.  Safe because a failed ``run`` request folds
+        nothing anywhere — the member snapshot travelled by value and
+        the caller still holds the only authoritative copy — so a
+        re-dispatch to another host is byte-identical to a first
+        dispatch.  Member *task* exceptions are deterministic and are
+        never retried; they raise (or degrade) immediately.
+        """
+        n = len(tasks)
         bound = self.max_workers if self.max_workers is not None \
             else len(hosts)
         workers = max(1, min(bound, n))
         outcome = ExecutionOutcome(workers=workers, hosts=hosts)
+        results: List[Any] = [None] * n
+        labels: List[str] = [""] * n
         per_worker: Dict[str, List[float]] = {}
+        tried: Dict[int, List[str]] = {i: [] for i in range(n)}
+        last_error: Dict[int, BaseException] = {}
+        pending = list(range(n))
+        wave = 0
         with ThreadPoolExecutor(
                 max_workers=workers,
                 thread_name_prefix="rpc-client") as pool:
-            futures = [pool.submit(self._run_one, addr, task)
-                       for addr, task in zip(assignment, tasks)]
-            for future in futures:
-                addr, wall, result, sent, received = future.result()
-                label = _worker_label(addr)
-                outcome.results.append(result)
-                outcome.assignments.append(label)
-                per_worker.setdefault(label, []).append(wall)
-                outcome.bytes_out[addr] = \
-                    outcome.bytes_out.get(addr, 0) + sent
-                outcome.bytes_back[addr] = \
-                    outcome.bytes_back.get(addr, 0) + received
+            while pending:
+                ring = HashRing(tuple(live))
+                placement = {i: ring.lookup(f"member-{i}")
+                             for i in pending}
+                futures = {
+                    i: pool.submit(self._run_one, placement[i],
+                                   tasks[i], deadline)
+                    for i in pending}
+                failed: List[int] = []
+                failed_hosts: set = set()
+                for i in pending:
+                    addr = placement[i]
+                    try:
+                        _addr, wall, result, sent, received = \
+                            futures[i].result()
+                    except RpcConnectionError as exc:
+                        timed_out = isinstance(exc, RpcTimeoutError)
+                        record_host_failure(addr, timed_out=timed_out)
+                        if timed_out:
+                            outcome.timeouts[addr] = \
+                                outcome.timeouts.get(addr, 0) + 1
+                        tried[i].append(addr)
+                        last_error[i] = exc
+                        failed.append(i)
+                        failed_hosts.add(addr)
+                        continue
+                    except RpcProtocolError:
+                        raise  # a bug, not a fault: never degrade
+                    except BaseException as exc:  # noqa: BLE001
+                        # the member task itself raised: the wire
+                        # round trip worked, so the host is healthy —
+                        # and the error is deterministic, so a retry
+                        # would only reproduce it
+                        record_host_success(addr)
+                        if on_failure != "degrade":
+                            raise
+                        results[i] = MemberFailure(
+                            index=i, error_type=type(exc).__name__,
+                            message=str(exc),
+                            hosts_tried=tuple(tried[i]) + (addr,),
+                            attempts=len(tried[i]) + 1)
+                        labels[i] = _worker_label(addr)
+                        continue
+                    record_host_success(addr)
+                    label = _worker_label(addr)
+                    results[i] = result
+                    labels[i] = label
+                    per_worker.setdefault(label, []).append(wall)
+                    outcome.bytes_out[addr] = \
+                        outcome.bytes_out.get(addr, 0) + sent
+                    outcome.bytes_back[addr] = \
+                        outcome.bytes_back.get(addr, 0) + received
+                pending = failed
+                if not pending:
+                    break
+                survivors = [h for h in live if h not in failed_hosts]
+                if not survivors and wave < retries:
+                    # every admitted host just failed: desperation
+                    # probe — a restarted worker still waiting out
+                    # its probation window beats aborting the pass
+                    survivors = [
+                        h for h in usable_hosts(hosts,
+                                                force_probe=True)
+                        if h not in failed_hosts]
+                if wave >= retries or not survivors:
+                    break
+                for i in pending:
+                    addr = tried[i][-1]
+                    outcome.retries[addr] = \
+                        outcome.retries.get(addr, 0) + 1
+                live = survivors
+                self._backoff_sleep(wave)
+                wave += 1
+        if pending:
+            if on_failure != "degrade":
+                raise last_error[min(pending)]
+            for i in pending:
+                exc = last_error[i]
+                results[i] = MemberFailure(
+                    index=i, error_type=type(exc).__name__,
+                    message=str(exc), hosts_tried=tuple(tried[i]),
+                    attempts=len(tried[i]),
+                    timed_out=isinstance(exc, RpcTimeoutError))
+                labels[i] = _worker_label(tried[i][-1])
+        outcome.results = results
+        outcome.assignments = labels
+        outcome.failures = [r for r in results
+                            if isinstance(r, MemberFailure)]
         outcome.worker_walls = _collect_walls(per_worker)
         return outcome
 
     # -- session mode -----------------------------------------------------------
 
     def _run_session_pass(self, tasks: Sequence[MemberTask],
-                          hosts: Tuple[str, ...],
-                          assignment: List[str]) -> ExecutionOutcome:
+                          hosts: Tuple[str, ...], live: List[str],
+                          deadline: Optional[float], retries: int,
+                          on_failure: str) -> ExecutionOutcome:
         """One pass in pinned-session mode: a dedicated (pipelined)
         socket per host, member state folded only after *every* host
-        completed, every touched session invalidated on any failure.
+        round settled, every touched session invalidated on any
+        raise-mode failure.
+
+        Failover works per *host round*: a host whose wire round died
+        folds zero partial state (the fold is the client-side
+        ``_fold_result``, which never ran), so its members' sessions
+        invalidate and the members re-place on a ring over the
+        surviving hosts — where they re-pin from caller-held state and
+        re-run byte-identically.  Member *task* errors are
+        deterministic and never requeue.
         """
         from . import session as _session
 
@@ -807,56 +1194,161 @@ class RpcExecutor(FleetExecutor):
                 stripped, store = split
                 plans.append(_TaskPlan(index, task, store, stripped,
                                        _session.session_for(store)))
-        by_host: "OrderedDict[str, List[_TaskPlan]]" = OrderedDict()
-        for plan, addr in zip(plans, assignment):
-            by_host.setdefault(addr, []).append(plan)
 
-        host_results: Dict[str, Tuple[List, int, int]] = {}
-        errors: List[BaseException] = []
-        gate = threading.Lock()
+        completed: Dict[int, Tuple[str, float, Any]] = {}
+        member_failed: Dict[int, Tuple[str, BaseException]] = {}
+        wire_failed: Dict[int, Tuple[List[str], BaseException]] = {}
+        tried: Dict[int, List[str]] = {p.index: [] for p in plans}
+        bytes_out: Dict[str, int] = {}
+        bytes_back: Dict[str, int] = {}
+        retry_stats: Dict[str, int] = {}
+        timeout_stats: Dict[str, int] = {}
+        fatal: List[BaseException] = []
+        pending = list(plans)
+        wave = 0
 
-        def drive(addr: str, host_plans: List[_TaskPlan]) -> None:
-            try:
-                result = self._drive_host(addr, host_plans, pipeline)
-            except BaseException as exc:  # noqa: BLE001 — re-raised below
-                with gate:
-                    errors.append(exc)
-                return
-            with gate:
-                host_results[addr] = result
+        while pending and not fatal:
+            ring = HashRing(tuple(live))
+            by_host: "OrderedDict[str, List[_TaskPlan]]" = OrderedDict()
+            for plan in pending:
+                addr = ring.lookup(f"member-{plan.index}")
+                by_host.setdefault(addr, []).append(plan)
 
-        threads = [threading.Thread(target=drive, args=item,
-                                    name=f"rpc-session-{item[0]}",
-                                    daemon=True)
-                   for item in by_host.items()]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
+            round_results: Dict[str, Tuple[List, List, int, int]] = {}
+            round_errors: Dict[str, RpcConnectionError] = {}
+            gate = threading.Lock()
 
-        if errors:
+            def drive(addr: str, host_plans: List[_TaskPlan]) -> None:
+                try:
+                    result = self._drive_host(
+                        addr, host_plans, pipeline, deadline)
+                except RpcConnectionError as exc:
+                    with gate:
+                        round_errors[addr] = exc
+                except BaseException as exc:  # noqa: BLE001
+                    with gate:
+                        fatal.append(exc)
+                else:
+                    with gate:
+                        round_results[addr] = result
+
+            threads = [threading.Thread(target=drive, args=item,
+                                        name=f"rpc-session-{item[0]}",
+                                        daemon=True)
+                       for item in by_host.items()]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            requeue: List[_TaskPlan] = []
+            for addr, host_plans in by_host.items():
+                if addr in round_results:
+                    items, errs, sent, received = round_results[addr]
+                    record_host_success(addr)
+                    bytes_out[addr] = bytes_out.get(addr, 0) + sent
+                    bytes_back[addr] = \
+                        bytes_back.get(addr, 0) + received
+                    for index, wall, result in items:
+                        completed[index] = (addr, wall, result)
+                    for plan, exc in errs:
+                        member_failed[plan.index] = (addr, exc)
+                elif addr in round_errors:
+                    exc = round_errors[addr]
+                    timed_out = isinstance(exc, RpcTimeoutError)
+                    record_host_failure(addr, timed_out=timed_out)
+                    if timed_out:
+                        timeout_stats[addr] = \
+                            timeout_stats.get(addr, 0) + 1
+                    for plan in host_plans:
+                        tried[plan.index].append(addr)
+                        if plan.session is not None:
+                            # the pinned copy's state is unknowable:
+                            # the next dispatch must re-pin from the
+                            # caller-held store
+                            plan.session.invalidate()
+                        requeue.append(plan)
+                # hosts in neither dict hit the fatal path
+
+            pending = requeue
+            if not pending or fatal:
+                break
+            survivors = [h for h in live if h not in round_errors]
+            if not survivors and wave < retries:
+                # desperation probe, as in the snapshot pass: re-admit
+                # a restarted worker ahead of its probation window
+                # rather than abort with live hosts in reach
+                survivors = [
+                    h for h in usable_hosts(hosts, force_probe=True)
+                    if h not in round_errors]
+            if wave >= retries or not survivors:
+                for plan in pending:
+                    addr = tried[plan.index][-1]
+                    wire_failed[plan.index] = (
+                        list(tried[plan.index]), round_errors[addr])
+                pending = []
+                break
+            for plan in pending:
+                addr = tried[plan.index][-1]
+                retry_stats[addr] = retry_stats.get(addr, 0) + 1
+            live = survivors
+            self._backoff_sleep(wave)
+            wave += 1
+
+        if fatal or ((wire_failed or member_failed)
+                     and on_failure != "degrade"):
             # the pinned copies may have advanced without a client
             # fold: nothing is folded, and every session this pass
             # touched must re-pin from caller-held state next time
             for plan in plans:
                 if plan.session is not None:
                     plan.session.invalidate()
-            raise errors[0]
+            if fatal:
+                raise fatal[0]
+            failures: Dict[int, BaseException] = {
+                i: exc for i, (_hosts, exc) in wire_failed.items()}
+            for i, (_addr, exc) in member_failed.items():
+                failures.setdefault(i, exc)
+            raise failures[min(failures)]
 
-        outcome = ExecutionOutcome(workers=len(by_host), hosts=hosts)
+        outcome = ExecutionOutcome(workers=1, hosts=hosts)
+        outcome.bytes_out = bytes_out
+        outcome.bytes_back = bytes_back
+        outcome.retries = retry_stats
+        outcome.timeouts = timeout_stats
         per_worker: Dict[str, List[float]] = {}
-        by_index: Dict[int, Tuple[str, Any]] = {}
-        for addr, (items, sent, received) in host_results.items():
-            label = _worker_label(addr)
-            outcome.bytes_out[addr] = sent
-            outcome.bytes_back[addr] = received
-            for index, wall, result in items:
-                per_worker.setdefault(label, []).append(wall)
-                by_index[index] = (label, result)
         for plan in plans:
-            label, result = by_index[plan.index]
-            outcome.results.append(self._fold_result(plan, result))
+            if plan.index in completed:
+                addr, wall, result = completed[plan.index]
+                label = _worker_label(addr)
+                per_worker.setdefault(label, []).append(wall)
+                outcome.results.append(self._fold_result(plan, result))
+                outcome.assignments.append(label)
+                continue
+            if plan.index in member_failed:
+                addr, exc = member_failed[plan.index]
+                if plan.session is not None:
+                    # the worker ran the task far enough to raise: the
+                    # pinned copy's state is unknowable
+                    plan.session.invalidate()
+                failure = MemberFailure(
+                    index=plan.index, error_type=type(exc).__name__,
+                    message=str(exc),
+                    hosts_tried=tuple(tried[plan.index]) + (addr,),
+                    attempts=len(tried[plan.index]) + 1)
+                label = _worker_label(addr)
+            else:
+                hosts_tried, exc = wire_failed[plan.index]
+                failure = MemberFailure(
+                    index=plan.index, error_type=type(exc).__name__,
+                    message=str(exc), hosts_tried=tuple(hosts_tried),
+                    attempts=len(hosts_tried),
+                    timed_out=isinstance(exc, RpcTimeoutError))
+                label = _worker_label(hosts_tried[-1])
+            outcome.results.append(failure)
             outcome.assignments.append(label)
+            outcome.failures.append(failure)
+        outcome.workers = max(1, len(per_worker))
         outcome.worker_walls = _collect_walls(per_worker)
         return outcome
 
@@ -886,19 +1378,23 @@ class RpcExecutor(FleetExecutor):
         return payload, plan.store
 
     def _drive_host(self, addr: str, plans: List[_TaskPlan],
-                    pipeline: bool) -> Tuple[List, int, int]:
-        """All of one host's requests for a pass, with one retry when
-        the failed round provably could not have folded or double-run
-        anything (stale pooled socket before delivery, or a round of
-        pure session verbs — re-pinning from caller state is safe
-        even if the worker executed some of them)."""
+                    pipeline: bool, deadline: Optional[float] = None
+                    ) -> Tuple[List, List, int, int]:
+        """All of one host's requests for a pass, with one same-host
+        retry when the failed round provably could not have folded or
+        double-run anything (stale pooled socket before delivery, or a
+        round of pure session verbs — re-pinning from caller state is
+        safe even if the worker executed some of them).  Deadline
+        expiries never retry on the same host: a hung worker would
+        just eat a second deadline — failover handles it instead."""
         for attempt in (0, 1):
-            sock, from_pool = _borrow(addr)
+            sock, from_pool = _borrow(addr, deadline)
             try:
                 return self._host_round(addr, sock, plans, pipeline)
             except _RoundFailed as failure:
-                retriable = failure.retry_safe or \
-                    (failure.nothing_delivered and from_pool)
+                retriable = (failure.retry_safe or
+                             (failure.nothing_delivered and from_pool)) \
+                    and not isinstance(failure.error, RpcTimeoutError)
                 if attempt == 0 and retriable:
                     for plan in plans:
                         if plan.session is not None:
@@ -909,7 +1405,7 @@ class RpcExecutor(FleetExecutor):
 
     def _host_round(self, addr: str, sock: socket.socket,
                     plans: List[_TaskPlan], pipeline: bool
-                    ) -> Tuple[List, int, int]:
+                    ) -> Tuple[List, List, int, int]:
         from . import session as _session
 
         requests: List[Tuple[str, _TaskPlan, Tuple]] = []
@@ -933,7 +1429,7 @@ class RpcExecutor(FleetExecutor):
 
         counters = {"sent": 0, "received": 0, "delivered": 0}
         items: List[Tuple[int, float, Any]] = []
-        member_errors: List[BaseException] = []
+        member_errors: List[Tuple[_TaskPlan, BaseException]] = []
         nopins: List[_TaskPlan] = []
 
         def wire_failed(error: RpcConnectionError) -> "_RoundFailed":
@@ -983,7 +1479,8 @@ class RpcExecutor(FleetExecutor):
                 nopins.append(plan)
                 return
             if tag == "err":
-                member_errors.append(self._member_error(addr, response))
+                member_errors.append(
+                    (plan, self._member_error(addr, response)))
                 return
             _discard(sock)
             raise RpcProtocolError(
@@ -1042,9 +1539,8 @@ class RpcExecutor(FleetExecutor):
                     plan.stripped)))
             run_round(batch)
         _give_back(addr, sock)
-        if member_errors:
-            raise member_errors[0]
-        return items, counters["sent"], counters["received"]
+        return (items, member_errors,
+                counters["sent"], counters["received"])
 
 
 # The ``rpc`` registry entry lives in :mod:`repro.parallel.executor`
@@ -1068,16 +1564,32 @@ class LocalWorker:
     def kill(self) -> None:
         """SIGKILL the worker (fault injection: no orderly goodbye)."""
         self.process.kill()
-        self.process.wait(timeout=10)
+        try:
+            self.process.wait(timeout=10)
+        except subprocess.TimeoutExpired:  # pragma: no cover
+            # SIGKILL cannot be refused; an unreaped zombie here means
+            # the host is in deep trouble — don't hang teardown on it
+            pass
+        self._close_pipes()
 
     def stop(self) -> None:
-        """Terminate the worker and reap it (idempotent)."""
+        """Terminate the worker and reap it (idempotent).  A worker
+        that ignores SIGTERM past the grace window is escalated to
+        :meth:`kill` so a wedged daemon cannot hang test teardown."""
         if self.process.poll() is None:
             self.process.terminate()
             try:
                 self.process.wait(timeout=10)
             except subprocess.TimeoutExpired:
                 self.kill()
+        self._close_pipes()
+
+    def _close_pipes(self) -> None:
+        if self.process.stdout is not None:
+            try:
+                self.process.stdout.close()
+            except OSError:  # pragma: no cover
+                pass
 
 
 def spawn_local_worker(bind: str = "127.0.0.1:0", *,
@@ -1102,10 +1614,28 @@ def spawn_local_worker(bind: str = "127.0.0.1:0", *,
         line = process.stdout.readline()
         if line.startswith("SRPC listening on "):
             address = line.strip().rpartition(" ")[2]
-            return LocalWorker(process, address)
+            worker = LocalWorker(process, address)
+            # the announce proves the socket is bound, not that the
+            # daemon answers: confirm with a ping so a wedged child
+            # is reaped here instead of orphaned for the caller
+            try:
+                ping(address,
+                     timeout=max(1.0, deadline - time.monotonic()))
+            except RpcConnectionError as exc:
+                worker.kill()
+                raise RpcConnectionError(
+                    f"local worker at {address} announced but never "
+                    f"answered the startup ping: {exc}") from exc
+            return worker
         if process.poll() is not None:
             break
     process.kill()
+    try:
+        process.wait(timeout=10)
+    except subprocess.TimeoutExpired:  # pragma: no cover
+        pass
+    if process.stdout is not None:
+        process.stdout.close()
     raise RpcConnectionError(
         f"local worker failed to start (last output: {line!r})")
 

@@ -7,6 +7,9 @@
 * :mod:`~repro.workloads.traces` — record / serialise / replay.
 * :mod:`~repro.workloads.fleet` — multi-device batch format/audit
   scheduling with aggregate throughput reporting.
+* :mod:`~repro.workloads.soak` — trace-driven chaos soak: mixed fleet
+  pressure under scheduled worker kills/restarts, invariant-checked
+  against a serial shadow fleet.
 """
 
 from .archival import ComplianceArchive, RetentionBatch
@@ -14,6 +17,31 @@ from .fleet import DeviceReport, FleetReport, FleetScheduler
 from .database import SimpleDatabase, oltp_then_snapshot
 from .synthetic import FileOp, OpKind, SyntheticWorkload, apply_op, payload_for, run_workload
 from .traces import Trace, record_workload
+
+#: Soak-harness names, imported lazily (PEP 562): ``python -m
+#: repro.workloads.soak`` must not double-import the module.
+_SOAK_EXPORTS = (
+    "SoakConfig",
+    "SoakFault",
+    "SoakReport",
+    "build_trace",
+    "run_soak",
+)
+
+
+def __getattr__(name: str):
+    if name in _SOAK_EXPORTS:
+        from . import soak as _soak
+
+        value = getattr(_soak, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_SOAK_EXPORTS))
+
 
 __all__ = [
     "FileOp",
@@ -31,4 +59,9 @@ __all__ = [
     "DeviceReport",
     "FleetReport",
     "FleetScheduler",
+    "SoakConfig",
+    "SoakFault",
+    "SoakReport",
+    "build_trace",
+    "run_soak",
 ]

@@ -55,7 +55,8 @@ from ..errors import ConfigurationError
 from ..units import is_power_of_two
 from ..device.timing import TimingModel
 from ..medium.medium import MediumConfig
-from ..parallel import FleetExecutor, WorkerWall, resolve_fleet_executor
+from ..parallel import (FleetExecutor, MemberFailure, WorkerWall,
+                        resolve_fleet_executor)
 
 
 @dataclass
@@ -126,6 +127,15 @@ class FleetReport:
             steady-state audit figure drops from snapshot-sized to
             descriptor-sized, and this is where that win is visible.
         bytes_back: wire payload bytes received per remote host.
+        failures: members the pass could not complete, as typed
+            :class:`~repro.parallel.MemberFailure` records — non-empty
+            only under the rpc executor's ``on_failure="degrade"``
+            mode.  A failed member folded *nothing*: its store is
+            exactly as the pass found it, and :attr:`devices` simply
+            has no entry for it.
+        retries: failover re-dispatches charged per remote host (the
+            host that *failed*, not the one that recovered the work).
+        timeouts: request deadline expiries per remote host.
     """
 
     operation: str
@@ -137,6 +147,14 @@ class FleetReport:
     hosts: Tuple[str, ...] = ()
     bytes_out: Dict[str, int] = field(default_factory=dict)
     bytes_back: Dict[str, int] = field(default_factory=dict)
+    failures: List["MemberFailure"] = field(default_factory=list)
+    retries: Dict[str, int] = field(default_factory=dict)
+    timeouts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any member failed out of the pass."""
+        return bool(self.failures)
 
     @property
     def device_count(self) -> int:
@@ -375,8 +393,15 @@ class FleetScheduler:
         t0 = time.perf_counter()
         outcome = executor.run(tasks)
         report.wall_seconds = time.perf_counter() - t0
-        for i, ((device_report, state), worker) in enumerate(
+        for i, (result, worker) in enumerate(
                 zip(outcome.results, outcome.assignments)):
+            if isinstance(result, MemberFailure):
+                # degraded pass: this member folded nothing — its
+                # store is untouched and the report carries the typed
+                # failure instead of a device entry
+                report.failures.append(result)
+                continue
+            device_report, state = result
             fold_member_state(self.stores[i], state)
             device_report.worker = worker
             report.devices.append(device_report)
@@ -385,6 +410,8 @@ class FleetScheduler:
         report.hosts = outcome.hosts
         report.bytes_out = dict(outcome.bytes_out)
         report.bytes_back = dict(outcome.bytes_back)
+        report.retries = dict(outcome.retries)
+        report.timeouts = dict(outcome.timeouts)
         return report
 
     # -- passes ------------------------------------------------------------------

@@ -27,21 +27,30 @@ EXPECTED_API = sorted([
     "resolve_vectorized",
     "set_policy",
     "unregister_engine",
-    # fleet executors (PR 4; remote hosts PR 5; sessions PR 6)
+    # fleet executors (PR 4; remote hosts PR 5; sessions PR 6;
+    # fault tolerance PR 7)
     "DEFAULT_EXECUTOR",
     "EXECUTOR_ENV_VAR",
     "ExecutorSpec",
     "FLEET_HOSTS_ENV_VAR",
+    "FLEET_ON_FAILURE_ENV_VAR",
+    "FLEET_ON_FAILURE_MODES",
+    "FLEET_RETRIES_ENV_VAR",
     "FLEET_SESSIONS_ENV_VAR",
+    "FLEET_TIMEOUT_ENV_VAR",
     "FLEET_WORKERS_ENV_VAR",
     "FleetExecutor",
+    "MemberFailure",
     "available_executors",
     "get_executor_spec",
     "register_executor",
     "resolve_executor_name",
     "resolve_fleet_executor",
     "resolve_fleet_hosts",
+    "resolve_fleet_on_failure",
+    "resolve_fleet_retries",
     "resolve_fleet_sessions",
+    "resolve_fleet_timeout",
     "resolve_max_workers",
     "unregister_executor",
     # store façade

@@ -24,6 +24,9 @@ does not need them runs without.
 from __future__ import annotations
 
 import socket
+import threading
+import time
+from functools import partial
 
 import numpy as np
 import pytest
@@ -97,11 +100,22 @@ def _all_passes(fleet):
 
 def test_parse_hosts_canonicalises():
     assert parse_hosts("b:2,a:1") == ("a:1", "b:2")
-    assert parse_hosts(["b:2", "a:1", "a:1"]) == ("a:1", "b:2")
     assert parse_hosts("a:1, b:2") == ("a:1", "b:2")
     for bad in ("", "nohost", "host:", "host:notaport", "host:70000"):
         with pytest.raises(ConfigurationError):
             parse_hosts(bad)
+
+
+def test_parse_hosts_rejects_duplicates():
+    """A duplicated host:port would silently skew HashRing placement
+    weights (and double-count its health): loud error instead."""
+    with pytest.raises(ConfigurationError, match="duplicate fleet host"):
+        parse_hosts(["b:2", "a:1", "a:1"])
+    with pytest.raises(ConfigurationError, match="duplicate fleet host"):
+        parse_hosts("a:1,b:2,a:1")
+    # spelled differently but the same canonical endpoint
+    with pytest.raises(ConfigurationError, match="duplicate fleet host"):
+        parse_hosts(["a:1", " a:1 "])
 
 
 def test_frame_roundtrip_over_socketpair():
@@ -576,3 +590,205 @@ def test_migrate_unsealed_refuses_sealed_objects():
     for path in paths:  # sealed lines stay put and stay readable
         assert fleet._locate(path)[0] == homes[path]
         assert fleet.verify(path).intact
+
+
+# -- fault policy & health -----------------------------------------------------
+
+
+def test_fleet_fault_policy_resolution_layers(monkeypatch):
+    """fleet_timeout / fleet_retries / fleet_on_failure through the
+    five-layer chain, with describe_policy naming the deciding layer."""
+    for var in (api.FLEET_TIMEOUT_ENV_VAR, api.FLEET_RETRIES_ENV_VAR,
+                api.FLEET_ON_FAILURE_ENV_VAR):
+        monkeypatch.delenv(var, raising=False)
+    assert api.resolve_fleet_timeout() == (None, "default")
+    assert api.resolve_fleet_retries() == (0, "default")
+    assert api.resolve_fleet_on_failure() == ("raise", "default")
+
+    monkeypatch.setenv(api.FLEET_TIMEOUT_ENV_VAR, "2.5")
+    monkeypatch.setenv(api.FLEET_RETRIES_ENV_VAR, "3")
+    monkeypatch.setenv(api.FLEET_ON_FAILURE_ENV_VAR, "degrade")
+    assert api.resolve_fleet_timeout() == (2.5, "env")
+    assert api.resolve_fleet_retries() == (3, "env")
+    assert api.resolve_fleet_on_failure() == ("degrade", "env")
+    # 0 is an explicit env disable for the deadline
+    monkeypatch.setenv(api.FLEET_TIMEOUT_ENV_VAR, "0")
+    assert api.resolve_fleet_timeout() == (None, "env")
+    # garbage env values are ignored, like the other fleet switches
+    monkeypatch.setenv(api.FLEET_RETRIES_ENV_VAR, "-2")
+    assert api.resolve_fleet_retries() == (0, "default")
+    monkeypatch.setenv(api.FLEET_ON_FAILURE_ENV_VAR, "explode")
+    assert api.resolve_fleet_on_failure() == ("raise", "default")
+
+    api.set_policy(ExecutionPolicy(fleet_timeout=7.0, fleet_retries=1,
+                                   fleet_on_failure="degrade"))
+    assert api.resolve_fleet_timeout() == (7.0, "policy")
+    assert api.resolve_fleet_retries() == (1, "policy")
+    assert api.resolve_fleet_on_failure() == ("degrade", "policy")
+
+    with repro.engine(fleet_timeout=0.5, fleet_retries=2,
+                      fleet_on_failure="raise"):
+        assert api.resolve_fleet_timeout() == (0.5, "context")
+        assert api.resolve_fleet_retries() == (2, "context")
+        assert api.resolve_fleet_on_failure() == ("raise", "context")
+        d = api.describe_policy()
+        assert d["fleet_timeout"] == 0.5
+        assert d["fleet_timeout_source"] == "context"
+        assert d["fleet_retries"] == 2
+        assert d["fleet_retries_source"] == "context"
+        assert d["fleet_on_failure"] == "raise"
+        assert d["fleet_on_failure_source"] == "context"
+
+    assert api.resolve_fleet_timeout(1.5) == (1.5, "explicit")
+    assert api.resolve_fleet_retries(4) == (4, "explicit")
+    assert api.resolve_fleet_on_failure("degrade") == \
+        ("degrade", "explicit")
+
+    with pytest.raises(ValueError):
+        api.resolve_fleet_timeout(-1.0)
+    with pytest.raises(ValueError):
+        api.resolve_fleet_retries(-1)
+    with pytest.raises(ValueError):
+        api.resolve_fleet_on_failure("explode")
+    with pytest.raises(ValueError):
+        ExecutionPolicy(fleet_timeout=0)
+    with pytest.raises(ValueError):
+        ExecutionPolicy(fleet_retries=-1)
+    with pytest.raises(ValueError):
+        ExecutionPolicy(fleet_on_failure="abort")
+    with pytest.raises(TypeError):
+        ExecutionPolicy(fleet_retries=1.5)
+
+
+def test_request_deadline_times_out_on_hung_worker():
+    """A server that accepts and then goes silent must surface as
+    RpcTimeoutError (an RpcConnectionError subclass) within the
+    request deadline, not block forever."""
+    from repro.parallel import RpcTimeoutError
+    from repro.parallel.remote import call_worker
+
+    gate = threading.Event()
+    server = socket.create_server(("127.0.0.1", 0))
+    addr = f"127.0.0.1:{server.getsockname()[1]}"
+
+    def hang():
+        conn, _peer = server.accept()
+        gate.wait(10)  # never replies
+        conn.close()
+
+    thread = threading.Thread(target=hang, daemon=True)
+    thread.start()
+    try:
+        t0 = time.monotonic()
+        with pytest.raises(RpcTimeoutError, match="deadline"):
+            call_worker(addr, ("ping",), deadline=0.4)
+        assert time.monotonic() - t0 < 5.0
+        assert isinstance(RpcTimeoutError("x"), RpcConnectionError)
+    finally:
+        gate.set()
+        server.close()
+        close_connection_pools()
+
+
+def test_executor_timeout_surfaces_as_rpc_timeout():
+    """RpcExecutor(timeout=...) applies the per-request deadline to
+    dispatched passes: a hung 'worker' fails the pass with
+    RpcTimeoutError instead of hanging it."""
+    from repro.parallel import RpcTimeoutError
+
+    gate = threading.Event()
+    server = socket.create_server(("127.0.0.1", 0))
+    addr = f"127.0.0.1:{server.getsockname()[1]}"
+
+    def hang():
+        while not gate.is_set():
+            try:
+                server.settimeout(0.2)
+                conn, _peer = server.accept()
+            except (socket.timeout, OSError):
+                continue
+            # read and discard the request, never answer
+            threading.Thread(target=gate.wait, args=(10,),
+                             daemon=True).start()
+
+    thread = threading.Thread(target=hang, daemon=True)
+    thread.start()
+    try:
+        executor = RpcExecutor([addr], timeout=0.4)
+        with pytest.raises(RpcTimeoutError):
+            executor.run([partial(int, 1)])
+    finally:
+        gate.set()
+        server.close()
+        close_connection_pools()
+        from repro.parallel import reset_host_health
+
+        reset_host_health()
+
+
+def test_health_breaker_opens_and_reprobes(workers):
+    """Three consecutive failures open a host's breaker; usable_hosts
+    skips it during probation, then one successful probe re-admits a
+    live host immediately under force_probe."""
+    from repro.parallel import host_health_snapshot, reset_host_health
+    from repro.parallel.remote import (
+        HEALTH_FAILURE_THRESHOLD,
+        record_host_failure,
+        record_host_success,
+        usable_hosts,
+    )
+
+    live = workers[0]
+    dead = "127.0.0.1:1"  # reserved port: nothing listens
+    reset_host_health()
+    try:
+        assert usable_hosts((live, dead)) == (live, dead)
+        for _ in range(HEALTH_FAILURE_THRESHOLD):
+            record_host_failure(dead, timed_out=True)
+        # breaker open: the dead host is skipped during probation
+        assert usable_hosts((live, dead)) == (live,)
+        snap = host_health_snapshot()
+        assert snap[dead]["breaker_open"] is True
+        assert snap[dead]["total_timeouts"] == HEALTH_FAILURE_THRESHOLD
+        # desperation probe: still dead, stays out
+        assert usable_hosts((dead,), probe_timeout=0.3,
+                            force_probe=True) == ()
+        # a LIVE host with an open breaker is re-admitted by the probe
+        for _ in range(HEALTH_FAILURE_THRESHOLD):
+            record_host_failure(live)
+        assert usable_hosts((live,)) == ()
+        assert usable_hosts((live,), force_probe=True) == (live,)
+        assert host_health_snapshot()[live]["breaker_open"] is False
+        record_host_success(live)
+    finally:
+        reset_host_health()
+
+
+def test_failover_members_replace_on_surviving_hosts():
+    """Snapshot-pass failover: with retries budgeted, a host killed
+    before the pass loses its members to the survivors and the pass
+    completes byte-identical to serial — the acceptance floor."""
+    from repro.parallel import reset_host_health
+
+    worker_a, worker_b = spawn_local_worker(), spawn_local_worker()
+    reset_host_health()
+    try:
+        serial, fleet = _build_pair(
+            RpcExecutor([worker_a.address, worker_b.address],
+                        retries=2))
+        reference = _all_passes(serial)
+        assert fleet.format_fleet().fingerprints() == reference[0]
+        worker_b.kill()
+        assert fleet.seal_fleet(
+            lines_per_device=2, line_blocks=4).fingerprints() == \
+            reference[1]
+        audited = fleet.audit_fleet()
+        assert audited.fingerprints() == reference[2]
+        # the failed host was charged its failover re-dispatches
+        assert sum(audited.retries.values()) >= 0  # stats present
+        assert fleet.fsck_fleet().fingerprints() == reference[3]
+    finally:
+        worker_a.stop()
+        worker_b.stop()
+        close_connection_pools()
+        reset_host_health()
