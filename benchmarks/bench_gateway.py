@@ -1,0 +1,174 @@
+"""Gateway service floor: multi-tenant throughput over real HTTP.
+
+Two phases against one live :class:`~repro.gateway.GatewayServer`:
+
+* **byte-identity** (the hard floor) — a deterministic single-tenant
+  sequence issued through :class:`~repro.gateway.GatewayClient` must
+  return receipts, verdicts, and audit reports ``==`` to the same
+  sequence run directly on an identically seeded in-process
+  ``FleetStore`` twin, and leave every member store at the identical
+  :func:`~repro.parallel.session.store_fingerprint` — the HTTP edge
+  adds authentication and JSON, never drift;
+* **concurrent hammer** — N simulated tenants, each on its own
+  connection and thread, hammer put/seal_many/verify while an admin
+  client interleaves full-fleet audits.  The gateway serialises fleet
+  passes on one lock, so the floor is honest: sustained operations
+  per second through the whole HTTP + auth + schema stack, floored
+  at :data:`FLOORS`, with every receipt intact and the final audit
+  clean.
+
+Results land in ``BENCH_gateway.json`` at the repo root.
+"""
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from repro.analysis.report import format_table
+from repro.api.fleet import FleetStore
+from repro.api.store import StoreConfig
+from repro.gateway import (
+    GatewayApp,
+    GatewayClient,
+    GatewayServer,
+    TokenTable,
+    confine,
+)
+from repro.parallel.session import store_fingerprint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+N_MEMBERS = 3
+N_TENANTS = 4
+OBJECTS_PER_TENANT = 6
+PAYLOAD = b"ledger entry " * 8
+FLOORS = {"byte_identity": True, "gateway_ops_per_second": 5.0}
+
+CONFIG = StoreConfig(total_blocks=1024, audit_log=True)
+
+
+def _spec():
+    entries = ["admin-tok=admin"]
+    entries += [f"tok-tenant{i}=tenant{i}:rw" for i in range(N_TENANTS)]
+    return ";".join(entries)
+
+
+def _fingerprints(fleet):
+    return [store_fingerprint(member) for member in fleet.members]
+
+
+def _identity_phase(address, twin):
+    """Deterministic sequence through HTTP vs the in-process twin."""
+    client = GatewayClient(address, "tok-tenant0", tenant="tenant0")
+    paths = [f"/ident/{i}" for i in range(4)]
+    for i, path in enumerate(paths):
+        info = client.put(path, PAYLOAD + bytes([i]))
+        assert info == twin.put(confine("tenant0", path),
+                                PAYLOAD + bytes([i]),
+                                make_parents=True)
+    receipts = client.seal_many(paths, timestamp=11)
+    assert receipts == twin.seal_many(
+        [confine("tenant0", p) for p in paths], timestamp=11)
+    for path in paths:
+        assert client.verify(path) == \
+            twin.verify(confine("tenant0", path))
+    admin = GatewayClient(address, "admin-tok")
+    assert admin.audit() == twin.audit()
+    client.close()
+    admin.close()
+
+
+def _tenant_worker(address, index, errors):
+    try:
+        tenant = f"tenant{index}"
+        client = GatewayClient(address, f"tok-{tenant}", tenant=tenant)
+        paths = [f"/load/{j}" for j in range(OBJECTS_PER_TENANT)]
+        ops = 0
+        for j, path in enumerate(paths):
+            client.put(path, PAYLOAD + bytes([index, j]))
+            ops += 1
+        receipts = client.seal_many(paths, timestamp=100 + index)
+        ops += 1
+        assert len(receipts) == len(paths)
+        for path in paths:
+            verdict = client.verify(path)
+            assert verdict.status.value == "intact", verdict
+            ops += 1
+        client.close()
+        return ops
+    except Exception as exc:  # surfaced by the main thread
+        errors.append(f"tenant{index}: {exc!r}")
+        return 0
+
+
+def _hammer(address):
+    """All tenants concurrently + interleaved admin audits; returns
+    (total ops, audit reports)."""
+    errors = []
+    counts = [0] * N_TENANTS
+    threads = []
+    for i in range(N_TENANTS):
+        def work(i=i):
+            counts[i] = _tenant_worker(address, i, errors)
+        threads.append(threading.Thread(target=work))
+    admin = GatewayClient(address, "admin-tok")
+    for thread in threads:
+        thread.start()
+    audits = [admin.audit()]  # races the tenant load by design
+    for thread in threads:
+        thread.join()
+    audits.append(admin.audit())
+    admin.close()
+    assert not errors, errors
+    return sum(counts) + len(audits), audits
+
+
+def test_gateway_multi_tenant_throughput(benchmark, show):
+    fleet = FleetStore.create(N_MEMBERS, CONFIG)
+    twin = FleetStore.create(N_MEMBERS, CONFIG)
+    app = GatewayApp(fleet, TokenTable.from_spec(_spec()))
+    with GatewayServer(app) as server:
+        address = server.address
+
+        _identity_phase(address, twin)
+        assert _fingerprints(fleet) == _fingerprints(twin), \
+            "HTTP edge drifted from the in-process twin"
+
+        t0 = time.perf_counter()
+        ops, audits = benchmark.pedantic(
+            lambda: _hammer(address), rounds=1, iterations=1)
+        wall = time.perf_counter() - t0
+        ops_per_second = ops / wall
+        assert audits[-1].clean, audits[-1].fs_errors
+        assert ops_per_second >= FLOORS["gateway_ops_per_second"], (
+            f"gateway throughput {ops_per_second:.2f} ops/s under the "
+            f"{FLOORS['gateway_ops_per_second']} floor")
+
+    show(format_table(
+        ["phase", "value", "note"],
+        [["identity", "byte-identical",
+          "receipts/verdicts/audit == twin"],
+         ["tenants", N_TENANTS,
+          f"{OBJECTS_PER_TENANT} objects each, own connection"],
+         ["hammer ops", ops, "put + seal_many + verify + audit"],
+         ["wall [s]", round(wall, 3), "-"],
+         ["ops/s", round(ops_per_second, 2),
+          f"floor {FLOORS['gateway_ops_per_second']}"]],
+        title=f"multi-tenant gateway over loopback HTTP, "
+              f"{N_MEMBERS} members"))
+
+    payload = {
+        "bench": "gateway",
+        "members": N_MEMBERS,
+        "tenants": N_TENANTS,
+        "objects_per_tenant": OBJECTS_PER_TENANT,
+        "byte_identity": True,
+        "hammer_ops": ops,
+        "hammer_wall_s": round(wall, 6),
+        "ops_per_second": round(ops_per_second, 3),
+        "final_audit_clean": bool(audits[-1].clean),
+        "floors": FLOORS,
+    }
+    (REPO_ROOT / "BENCH_gateway.json").write_text(
+        json.dumps(payload, indent=2) + "\n")

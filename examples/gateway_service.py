@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Gateway walkthrough: the fleet as an authenticated HTTP service.
+
+Everything the other examples do in-process, this one does through
+the network edge: a :class:`~repro.gateway.GatewayServer` fronting a
+shared :class:`~repro.FleetStore`, bearer tokens resolving to
+per-tenant read/write grants, and typed JSON schemas whose decoded
+results compare ``==`` against the in-process calls they proxy.
+
+The walkthrough:
+
+* starts a gateway on an ephemeral loopback port with three
+  credentials (an admin, a read/write tenant, a read-only colleague);
+* stores, seals, and verifies a ledger through
+  :class:`~repro.gateway.GatewayClient`, proving the receipts are
+  byte-identical to a directly driven in-process twin;
+* shows the authorization matrix saying no: a read-only token cannot
+  seal (403), a foreign tenant's namespace does not even exist
+  (404 — indistinguishable from a missing object), a bad token gets
+  one uniform 401;
+* finishes with an admin-scoped fleet audit and the per-member
+  self-securing instruction logs, then drains the service cleanly.
+
+When ``REPRO_FLEET_HOSTS`` and ``REPRO_FLEET_EXECUTOR=rpc`` are
+exported (e.g. by the CI gateway job), every fleet pass behind the
+gateway fans out to those remote workers — the gateway needs zero
+extra wiring for that; the policy chain resolves per pass.
+
+Run:  python examples/gateway_service.py
+"""
+
+import os
+
+from repro.api.fleet import FleetStore
+from repro.api.store import StoreConfig
+from repro.gateway import (
+    GatewayApp,
+    GatewayClient,
+    GatewayHTTPError,
+    GatewayServer,
+    TokenTable,
+    confine,
+)
+
+TOKENS = ("ops-root-2008=admin;"
+          "acme-writer-1=acme:rw;"
+          "acme-reader-1=acme:r")
+
+
+def expect(status: int, call, *args, **kwargs) -> None:
+    try:
+        call(*args, **kwargs)
+    except GatewayHTTPError as error:
+        assert error.status == status, (error.status, status)
+        print(f"   denied as expected: HTTP {error.status} "
+              f"({error.code})")
+    else:
+        raise AssertionError(f"expected HTTP {status}, got success")
+
+
+def main() -> None:
+    config = StoreConfig(total_blocks=512, audit_log=True)
+    fleet = FleetStore.create(3, config)
+    twin = FleetStore.create(3, config)
+    app = GatewayApp(fleet, TokenTable.from_spec(TOKENS))
+    remote = os.environ.get("REPRO_FLEET_EXECUTOR") == "rpc"
+
+    with GatewayServer(app) as server:
+        print(f"== gateway listening on {server.address}"
+              + (" (fleet passes dispatch to remote rpc workers)"
+                 if remote else ""))
+
+        print("== tenant 'acme' stores and seals a ledger over HTTP")
+        writer = GatewayClient(server.address, "acme-writer-1",
+                               tenant="acme")
+        paths = [f"/ledger/{year}" for year in (2006, 2007, 2008)]
+        for path in paths:
+            writer.put(path, f"entries of {path}".encode() * 6)
+        receipts = writer.seal_many(paths, timestamp=20080226)
+        verdict = writer.verify(paths[0])
+        print(f"   sealed {len(receipts)} objects; verify -> "
+              f"{verdict.status.value}")
+
+        print("== the HTTP edge adds auth, never drift")
+        for path in paths:
+            twin.put(confine("acme", path),
+                     f"entries of {path}".encode() * 6,
+                     make_parents=True)
+        twin_receipts = twin.seal_many(
+            [confine("acme", p) for p in paths], timestamp=20080226)
+        assert receipts == twin_receipts
+        assert verdict == twin.verify(confine("acme", paths[0]))
+        print("   receipts and verdicts == the in-process twin")
+
+        print("== the authorization matrix says no")
+        reader = GatewayClient(server.address, "acme-reader-1",
+                               tenant="acme")
+        assert reader.get(paths[0]) == writer.get(paths[0])
+        expect(403, reader.seal, paths[0])          # no write grant
+        expect(404, reader.get, "/x", tenant="globex")  # hidden tenant
+        expect(401, GatewayClient(server.address, "stolen-token",
+                                  tenant="acme").get, paths[0])
+        expect(403, reader.audit)                   # admin-scoped
+
+        print("== admin: fleet-wide audit + instruction logs")
+        admin = GatewayClient(server.address, "ops-root-2008")
+        report = admin.audit()
+        logs = admin.history()
+        print(f"   audit clean={report.clean} over "
+              f"{len(report.reports)} sealed lines; "
+              f"{sum(len(log) for log in logs)} log records across "
+              f"{len(logs)} members")
+        # (no twin comparison here: the auth-matrix reads above
+        # advanced the live fleet's device clocks past the twin's)
+        assert report.clean
+
+    print("gateway walkthrough complete (drained and closed).")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,15 +29,20 @@ from __future__ import annotations
 
 from .policy import (
     DEFAULT_EXECUTOR,
+    DEFAULT_GATEWAY_BIND,
     ENGINE_ENV_VAR,
     EXECUTOR_ENV_VAR,
     FLEET_HOSTS_ENV_VAR,
     FLEET_ON_FAILURE_ENV_VAR,
     FLEET_ON_FAILURE_MODES,
     FLEET_RETRIES_ENV_VAR,
+    FLEET_SECRET_ENV_VAR,
     FLEET_SESSIONS_ENV_VAR,
     FLEET_TIMEOUT_ENV_VAR,
     FLEET_WORKERS_ENV_VAR,
+    GATEWAY_BIND_ENV_VAR,
+    GATEWAY_TOKEN_FILE_ENV_VAR,
+    GATEWAY_TOKENS_ENV_VAR,
     SHA256_BACKENDS,
     SHA256_ENV_VAR,
     EngineSpec,
@@ -53,8 +58,11 @@ from .policy import (
     resolve_fleet_hosts,
     resolve_fleet_on_failure,
     resolve_fleet_retries,
+    resolve_fleet_secret,
     resolve_fleet_sessions,
     resolve_fleet_timeout,
+    resolve_gateway_bind,
+    resolve_gateway_token_file,
     resolve_max_workers,
     resolve_sha256_backend,
     resolve_vectorized,
@@ -128,6 +136,7 @@ __all__ = [
     "resolve_fleet_hosts",
     "resolve_fleet_on_failure",
     "resolve_fleet_retries",
+    "resolve_fleet_secret",
     "resolve_fleet_sessions",
     "resolve_fleet_timeout",
     "resolve_max_workers",
@@ -137,10 +146,18 @@ __all__ = [
     "FLEET_ON_FAILURE_ENV_VAR",
     "FLEET_ON_FAILURE_MODES",
     "FLEET_RETRIES_ENV_VAR",
+    "FLEET_SECRET_ENV_VAR",
     "FLEET_SESSIONS_ENV_VAR",
     "FLEET_TIMEOUT_ENV_VAR",
     "FLEET_WORKERS_ENV_VAR",
     "DEFAULT_EXECUTOR",
+    # gateway config (the gateway itself lives in repro.gateway)
+    "resolve_gateway_bind",
+    "resolve_gateway_token_file",
+    "GATEWAY_BIND_ENV_VAR",
+    "GATEWAY_TOKENS_ENV_VAR",
+    "GATEWAY_TOKEN_FILE_ENV_VAR",
+    "DEFAULT_GATEWAY_BIND",
     # store façade
     *_STORE_EXPORTS,
     # fleet façade

@@ -512,11 +512,14 @@ class FleetStore:
             return self.member_for(path)
 
     def put(self, path: str, data: bytes = b"", *,
-            overwrite: bool = False) -> ObjectInfo:
+            overwrite: bool = False,
+            make_parents: bool = False) -> ObjectInfo:
         """Store one object on its owning (or, when new, routed)
-        member."""
+        member.  ``make_parents`` creates the directory chain on that
+        member first, like :meth:`TamperEvidentStore.put`."""
         return self._write_target(path).put(path, data,
-                                            overwrite=overwrite)
+                                            overwrite=overwrite,
+                                            make_parents=make_parents)
 
     def get(self, path: str) -> bytes:
         """Read one object (fallback scan after rebalances)."""

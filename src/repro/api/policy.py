@@ -91,6 +91,27 @@ FLEET_ON_FAILURE_ENV_VAR = "REPRO_FLEET_ON_FAILURE"
 #: Recognised ``fleet_on_failure`` modes.
 FLEET_ON_FAILURE_MODES = ("raise", "degrade")
 
+#: Environment variable holding the fleet's shared HMAC secret: when
+#: set, every SRPC frame (client and worker side) is signed and
+#: unsigned frames are rejected (lazy; empty disables).
+FLEET_SECRET_ENV_VAR = "REPRO_FLEET_SECRET"
+
+#: Environment variable naming the HTTP gateway's bind address
+#: (``host:port``, lazy).
+GATEWAY_BIND_ENV_VAR = "REPRO_GATEWAY_BIND"
+
+#: Environment variable holding the gateway's inline token spec
+#: (``token=grant,grant;token=...`` — see :mod:`repro.gateway.auth`).
+GATEWAY_TOKENS_ENV_VAR = "REPRO_GATEWAY_TOKENS"
+
+#: Environment variable naming the gateway's token file (one
+#: ``token=grant,...`` entry per line, ``#`` comments).
+GATEWAY_TOKEN_FILE_ENV_VAR = "REPRO_GATEWAY_TOKEN_FILE"
+
+#: Gateway bind address when no layer names one: loopback only — an
+#: operator must *choose* to expose the service on a real interface.
+DEFAULT_GATEWAY_BIND = "127.0.0.1:8473"
+
 #: Executor used when no layer pins one: the reference dispatch.
 DEFAULT_EXECUTOR = "serial"
 
@@ -212,6 +233,15 @@ class ExecutionPolicy:
             pass does with members that exhausted their retries.
             Plain values by design, like ``fleet_sessions``: resolving
             any of the three never loads the wire-protocol module.
+        fleet_secret: shared HMAC secret for the ``rpc`` executor's
+            wire frames.  When any layer resolves a secret, every
+            frame both directions is HMAC-SHA256-signed and unsigned
+            frames are rejected (see :mod:`repro.parallel.remote`).
+            A plain string by design, like ``fleet_sessions``.
+        gateway_bind: ``host:port`` the HTTP gateway binds
+            (:mod:`repro.gateway`); stored canonicalised.
+        gateway_token_file: path to the gateway's bearer-token file
+            (one ``token=grant,...`` entry per line).
     """
 
     engine: Optional[str] = None
@@ -223,6 +253,11 @@ class ExecutionPolicy:
     fleet_timeout: Optional[float] = None
     fleet_retries: Optional[int] = None
     fleet_on_failure: Optional[str] = None
+    # repr=False: the secret must never surface in reprs, logs, or
+    # describe_policy() output — only the fleet_secret_set bool does
+    fleet_secret: Optional[str] = field(default=None, repr=False)
+    gateway_bind: Optional[str] = None
+    gateway_token_file: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.engine is not None:
@@ -261,6 +296,21 @@ class ExecutionPolicy:
                 f"unknown fleet_on_failure mode "
                 f"{self.fleet_on_failure!r}; expected one of "
                 f"{FLEET_ON_FAILURE_MODES}")
+        if self.fleet_secret is not None:
+            if not isinstance(self.fleet_secret, str):
+                raise TypeError("fleet_secret must be a str or None")
+            if not self.fleet_secret:
+                raise ValueError(
+                    "fleet_secret must be non-empty (omit it to run "
+                    "unsigned)")
+        if self.gateway_token_file is not None and \
+                not str(self.gateway_token_file).strip():
+            raise ValueError("gateway_token_file must be a path")
+        if self.gateway_bind is not None:
+            from ..parallel import remote  # lazy, as above
+
+            host, port = remote.parse_host(self.gateway_bind)
+            object.__setattr__(self, "gateway_bind", f"{host}:{port}")
         if self.fleet_hosts is not None:
             from ..parallel import remote  # lazy, as above
 
@@ -307,7 +357,10 @@ def engine(name: Optional[str] = None, *,
            fleet_sessions: Optional[bool] = None,
            fleet_timeout: Optional[float] = None,
            fleet_retries: Optional[int] = None,
-           fleet_on_failure: Optional[str] = None
+           fleet_on_failure: Optional[str] = None,
+           fleet_secret: Optional[str] = None,
+           gateway_bind: Optional[str] = None,
+           gateway_token_file: Optional[str] = None
            ) -> Iterator[ExecutionPolicy]:
     """Scoped engine override: ``with repro.engine("scalar"): ...``.
 
@@ -328,7 +381,10 @@ def engine(name: Optional[str] = None, *,
                          fleet_sessions=fleet_sessions,
                          fleet_timeout=fleet_timeout,
                          fleet_retries=fleet_retries,
-                         fleet_on_failure=fleet_on_failure
+                         fleet_on_failure=fleet_on_failure,
+                         fleet_secret=fleet_secret,
+                         gateway_bind=gateway_bind,
+                         gateway_token_file=gateway_token_file
                          ).use() as pol:
         yield pol
 
@@ -619,6 +675,83 @@ def resolve_fleet_on_failure(
     return "raise", "default"
 
 
+def resolve_fleet_secret(
+        explicit: Optional[str] = None) -> Tuple[Optional[str], str]:
+    """(shared frame-signing secret or None, deciding layer) for the
+    ``rpc`` executor's wire protocol.
+
+    None means unsigned frames (the PR 5 trusted-network transport);
+    any resolved secret makes both sides sign every frame and reject
+    unsigned ones.  ``REPRO_FLEET_SECRET`` is read *now*; a
+    whitespace-only value is an explicit disable.
+    """
+    if explicit is not None:
+        if not isinstance(explicit, str) or not explicit:
+            raise ValueError(
+                "fleet secret must be a non-empty string (omit it to "
+                "run unsigned)")
+        return explicit, "explicit"
+    for frame in reversed(_OVERRIDES.get()):
+        if frame.fleet_secret is not None:
+            return frame.fleet_secret, "context"
+    if _POLICY is not None and _POLICY.fleet_secret is not None:
+        return _POLICY.fleet_secret, "policy"
+    value = os.environ.get(FLEET_SECRET_ENV_VAR)
+    if value is not None and value.strip():
+        return value.strip(), "env"
+    return None, "default"
+
+
+def resolve_gateway_bind(
+        explicit: Optional[str] = None) -> Tuple[str, str]:
+    """(canonical ``host:port`` bind address, deciding layer) for the
+    HTTP gateway (:mod:`repro.gateway`).  Defaults to loopback
+    (:data:`DEFAULT_GATEWAY_BIND`) — exposing the service on a real
+    interface is always a deliberate choice."""
+    if explicit is not None:
+        from ..parallel.remote import parse_host  # lazy: only parsing
+
+        host, port = parse_host(explicit)
+        return f"{host}:{port}", "explicit"
+    # context/policy values were canonicalised by ExecutionPolicy
+    # validation; the default is literal — so describe_policy() keeps
+    # its no-wire-protocol-import guarantee on those layers
+    for frame in reversed(_OVERRIDES.get()):
+        if frame.gateway_bind is not None:
+            return frame.gateway_bind, "context"
+    if _POLICY is not None and _POLICY.gateway_bind is not None:
+        return _POLICY.gateway_bind, "policy"
+    value = os.environ.get(GATEWAY_BIND_ENV_VAR)
+    if value is not None and value.strip():
+        from ..parallel.remote import parse_host  # lazy, as above
+
+        host, port = parse_host(value)
+        return f"{host}:{port}", "env"
+    return DEFAULT_GATEWAY_BIND, "default"
+
+
+def resolve_gateway_token_file(
+        explicit: Optional[str] = None) -> Tuple[Optional[str], str]:
+    """(token file path or None, deciding layer) for the HTTP
+    gateway's bearer tokens.  The inline spec variable
+    (:data:`GATEWAY_TOKENS_ENV_VAR`) is separate and takes precedence
+    in :meth:`repro.gateway.GatewaySettings.resolve` — secret material
+    itself never lives in a policy object, only a path to it may."""
+    if explicit is not None:
+        if not str(explicit).strip():
+            raise ValueError("gateway token file must be a path")
+        return str(explicit), "explicit"
+    for frame in reversed(_OVERRIDES.get()):
+        if frame.gateway_token_file is not None:
+            return frame.gateway_token_file, "context"
+    if _POLICY is not None and _POLICY.gateway_token_file is not None:
+        return _POLICY.gateway_token_file, "policy"
+    value = os.environ.get(GATEWAY_TOKEN_FILE_ENV_VAR)
+    if value is not None and value.strip():
+        return value.strip(), "env"
+    return None, "default"
+
+
 def describe_policy() -> Dict[str, object]:
     """Inspectable snapshot of the resolution: what would run now, and
     which layer decided it.  The answer an operator needs when a fleet
@@ -642,6 +775,9 @@ def describe_policy() -> Dict[str, object]:
     fleet_timeout, timeout_source = resolve_fleet_timeout()
     fleet_retries, retries_source = resolve_fleet_retries()
     fleet_on_failure, on_failure_source = resolve_fleet_on_failure()
+    fleet_secret, secret_source = resolve_fleet_secret()
+    gateway_bind, gateway_bind_source = resolve_gateway_bind()
+    token_file, token_file_source = resolve_gateway_token_file()
     from .. import parallel  # lazy; registers the built-in executors
 
     return {
@@ -664,6 +800,14 @@ def describe_policy() -> Dict[str, object]:
         "fleet_retries_source": retries_source,
         "fleet_on_failure": fleet_on_failure,
         "fleet_on_failure_source": on_failure_source,
+        # the secret's *presence* is operational state; its value is
+        # secret material and never appears in a diagnostics dump
+        "fleet_secret_set": fleet_secret is not None,
+        "fleet_secret_source": secret_source,
+        "gateway_bind": gateway_bind,
+        "gateway_bind_source": gateway_bind_source,
+        "gateway_token_file": token_file,
+        "gateway_token_file_source": token_file_source,
         "available_engines": available_engines(),
         "available_executors": parallel.available_executors(),
         "installed_policy": _POLICY,

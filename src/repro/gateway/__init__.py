@@ -1,0 +1,63 @@
+"""Multi-tenant HTTP gateway: the fleet's authenticated front door.
+
+Everything below the façade stays unchanged — this package puts a
+network edge in front of a shared :class:`~repro.api.fleet.FleetStore`
+so the tamper-evident fleet can be operated as a *service*:
+
+* :mod:`~repro.gateway.auth` — bearer tokens → per-tenant read/write
+  grants, plus the ``/t/<tenant>/…`` namespace confinement;
+* :mod:`~repro.gateway.schemas` — typed JSON round trips for the
+  façade's receipt/report dataclasses;
+* :mod:`~repro.gateway.settings` — environment-driven deployment
+  configuration on the established policy chain;
+* :mod:`~repro.gateway.server` — the stdlib ``ThreadingHTTPServer``
+  edge, status mapping, and graceful drain;
+* :mod:`~repro.gateway.client` — a typed stdlib client whose results
+  compare ``==`` against the in-process calls they proxy.
+
+Run one with ``python -m repro.gateway serve``.
+"""
+
+from .auth import (
+    AuthError,
+    Grant,
+    PathError,
+    Principal,
+    TENANT_ROOT,
+    TokenTable,
+    confine,
+    evidence_case,
+    parse_token_spec,
+    tenant_root,
+)
+from .client import (
+    GatewayClient,
+    GatewayConnectionError,
+    GatewayError,
+    GatewayHTTPError,
+)
+from .schemas import SchemaError
+from .server import GatewayApp, GatewayServer, serve
+from .settings import GatewaySettings
+
+__all__ = [
+    "AuthError",
+    "Grant",
+    "PathError",
+    "Principal",
+    "TENANT_ROOT",
+    "TokenTable",
+    "confine",
+    "evidence_case",
+    "parse_token_spec",
+    "tenant_root",
+    "GatewayClient",
+    "GatewayConnectionError",
+    "GatewayError",
+    "GatewayHTTPError",
+    "SchemaError",
+    "GatewayApp",
+    "GatewayServer",
+    "serve",
+    "GatewaySettings",
+]

@@ -1,0 +1,69 @@
+"""``python -m repro.gateway`` — run a gateway deployment.
+
+Subcommands:
+
+* ``serve`` — resolve :class:`~repro.gateway.settings.GatewaySettings`
+  from the environment/policy chain, provision the fleet, and serve
+  until interrupted (SIGINT/SIGTERM drain in-flight requests before
+  exit).  Prints one ``GATEWAY listening on host:port`` line once the
+  socket accepts, so launchers can parse an ephemeral port.
+* ``check-tokens`` — parse the configured token spec and report the
+  principal count without starting anything (a deploy-time lint).
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+
+from ..errors import ConfigurationError
+from .server import serve
+from .settings import GatewaySettings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.gateway",
+        description="tamper-evident fleet HTTP gateway")
+    sub = parser.add_subparsers(dest="command", required=True)
+    serve_p = sub.add_parser("serve", help="run the gateway")
+    serve_p.add_argument("--bind", default=None,
+                         help="host:port (default: REPRO_GATEWAY_BIND "
+                              "/ policy chain)")
+    serve_p.add_argument("--token-file", default=None,
+                         help="token spec file (default: "
+                              "REPRO_GATEWAY_TOKENS inline spec or "
+                              "REPRO_GATEWAY_TOKEN_FILE)")
+    serve_p.add_argument("--members", type=int, default=None,
+                         help="fleet members to provision")
+    sub.add_parser("check-tokens",
+                   help="validate the configured token spec and exit")
+    args = parser.parse_args(argv)
+
+    try:
+        settings = GatewaySettings.resolve(
+            bind=getattr(args, "bind", None),
+            token_file=getattr(args, "token_file", None),
+            members=getattr(args, "members", None))
+    except ConfigurationError as exc:
+        print(f"gateway configuration error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.command == "check-tokens":
+        print(f"token spec OK: {len(settings.tokens)} principal(s) "
+              f"(source: {settings.tokens_source})")
+        return 0
+
+    # SIGTERM → KeyboardInterrupt so serve()'s graceful-drain finally
+    # block runs under process managers, not just ^C
+    def _sigterm(*_args):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    serve(settings)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

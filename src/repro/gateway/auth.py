@@ -1,0 +1,301 @@
+"""Bearer-token authorization for the HTTP gateway.
+
+The model is the per-collection grant resolution the ROADMAP points
+at (``openaleph-search``'s authorization reference), mapped onto
+per-tenant fleet namespaces: a bearer token resolves — per request,
+through :class:`TokenTable` — to a :class:`Principal` holding a
+read/write :class:`Grant` per tenant (or the ``admin`` bit, which
+implies both everywhere).  Authorization then answers one of three
+ways, and the distinction is deliberate:
+
+* **allowed** — the token holds the needed permission on the tenant;
+* **forbidden** (HTTP 403) — the token holds *some* grant on the
+  tenant, just not this permission (a reader trying to seal), or it
+  lacks the ``admin`` bit an admin endpoint demands.  The tenant's
+  existence is already known to the caller, so naming the refusal
+  leaks nothing;
+* **hidden** (HTTP 404) — the token holds *no* grant on the tenant.
+  The gateway answers exactly as it would for a tenant that does not
+  exist, so an unauthorized caller cannot probe the tenant roster.
+
+Token specs are plain text so a deployment is an environment variable
+(``REPRO_GATEWAY_TOKENS``) or a mounted file — never code::
+
+    <token>=<element>,<element>,...;<token>=...
+
+with entries separated by ``;`` or newlines (``#`` starts a comment
+line in files) and three element forms:
+
+* ``admin`` — full read/write everywhere plus the admin endpoints;
+* ``<tenant>:<perms>`` — ``r``, ``w`` or ``rw`` on one tenant
+  (``w`` implies ``r``: sealing an object you may not read back is
+  never a meaningful grant);
+* ``expires:<unix-seconds>`` — the token stops resolving at that
+  instant (expired tokens answer 401 exactly like unknown ones).
+
+Tenant namespacing is enforced here too: :func:`confine` maps a
+tenant-relative object path onto the tenant's ``/t/<tenant>/...``
+prefix (rejecting traversal), so no request can *route* to another
+tenant's objects regardless of what authorization would say.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+#: Storage prefix every tenant namespace lives under.
+TENANT_ROOT = "/t"
+
+#: Tenant names are path segments and must never be able to escape
+#: one: one segment, no separators, no leading dot.
+_TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+#: Object path segments a tenant may use (printable, no traversal).
+_SEGMENT_RE = re.compile(r"^[A-Za-z0-9._-]{1,128}$")
+
+_PERMS = {"r": (True, False), "w": (True, True), "rw": (True, True),
+          "wr": (True, True)}
+
+
+class AuthError(Exception):
+    """The request's credential is absent, unknown, or expired — the
+    HTTP layer maps every variant to 401 with one generic body, so a
+    probing client cannot distinguish a revoked token from a
+    never-issued one."""
+
+
+class PathError(ValueError):
+    """A tenant-relative path or case name failed validation."""
+
+
+@dataclass(frozen=True)
+class Grant:
+    """One tenant's resolved permissions for one token."""
+
+    tenant: str
+    read: bool = False
+    write: bool = False
+
+    def merged(self, other: "Grant") -> "Grant":
+        """Union with a second grant on the same tenant (duplicate
+        elements widen, never narrow)."""
+        return Grant(self.tenant, self.read or other.read,
+                     self.write or other.write)
+
+
+@dataclass(frozen=True)
+class Principal:
+    """What one resolved token is allowed to do.
+
+    ``label`` is a redacted handle (never the token itself) for logs
+    and diagnostics.
+    """
+
+    label: str
+    admin: bool = False
+    grants: Mapping[str, Grant] = field(default_factory=dict)
+    expires: Optional[int] = None
+
+    def decide(self, tenant: str, *, write: bool = False) -> str:
+        """``"allowed"`` / ``"forbidden"`` / ``"hidden"`` for an
+        operation on ``tenant`` (see the module docstring for why the
+        three-way split exists)."""
+        if self.admin:
+            return "allowed"
+        grant = self.grants.get(tenant)
+        if grant is None:
+            return "hidden"
+        if write and not grant.write:
+            return "forbidden"
+        if not write and not grant.read:
+            return "forbidden"
+        return "allowed"
+
+
+def redact(token: str) -> str:
+    """A log-safe handle for a token: first 4 characters + length."""
+    return f"{token[:4]}…({len(token)})"
+
+
+def _parse_entry(entry: str, where: str) -> Tuple[str, Principal]:
+    token, sep, spec = entry.partition("=")
+    token = token.strip()
+    if not sep or not token:
+        raise ConfigurationError(
+            f"malformed gateway token entry in {where}: expected "
+            "'<token>=<element>,...'")
+    if any(c.isspace() for c in token) or len(token) < 4:
+        raise ConfigurationError(
+            f"gateway token {redact(token)} in {where} is invalid: "
+            "tokens are ≥4 characters with no whitespace")
+    admin = False
+    expires: Optional[int] = None
+    grants: Dict[str, Grant] = {}
+    for element in spec.split(","):
+        element = element.strip()
+        if not element:
+            continue
+        if element == "admin":
+            admin = True
+            continue
+        name, sep2, perms = element.rpartition(":")
+        if element.startswith("expires:"):
+            raw = element[len("expires:"):]
+            try:
+                expires = int(raw)
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad expires element {element!r} in {where}: "
+                    "expected unix seconds") from None
+            continue
+        if not sep2 or not name:
+            raise ConfigurationError(
+                f"bad grant element {element!r} in {where}: expected "
+                "'<tenant>:r|w|rw', 'admin', or 'expires:<unix>'")
+        if not _TENANT_RE.match(name):
+            raise ConfigurationError(
+                f"bad tenant name {name!r} in {where}: one path "
+                "segment of [A-Za-z0-9._-], not starting with a dot")
+        if perms not in _PERMS:
+            raise ConfigurationError(
+                f"bad permissions {perms!r} on tenant {name!r} in "
+                f"{where}: expected r, w, or rw")
+        read, write = _PERMS[perms]
+        grant = Grant(name, read, write)
+        if name in grants:
+            grant = grants[name].merged(grant)
+        grants[name] = grant
+    if not admin and not grants:
+        raise ConfigurationError(
+            f"gateway token {redact(token)} in {where} grants nothing; "
+            "give it 'admin' or at least one '<tenant>:<perms>'")
+    return token, Principal(label=redact(token), admin=admin,
+                            grants=grants, expires=expires)
+
+
+def parse_token_spec(text: str, *, where: str = "spec"
+                     ) -> Dict[str, Principal]:
+    """Parse a token spec (env-variable or file syntax) into a
+    ``token -> Principal`` map.  Duplicate tokens are a configuration
+    error: two entries for one credential cannot both be the truth."""
+    table: Dict[str, Principal] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        for entry in line.split(";"):
+            entry = entry.strip()
+            if not entry:
+                continue
+            token, principal = _parse_entry(entry, where)
+            if token in table:
+                raise ConfigurationError(
+                    f"duplicate gateway token {redact(token)} in "
+                    f"{where}: each credential may be declared once")
+            table[token] = principal
+    return table
+
+
+class TokenTable:
+    """The gateway's resolved credential set.
+
+    Immutable after construction; the server resolves every request
+    through :meth:`resolve`, so rotation is a restart (or a new
+    :class:`TokenTable` swapped into the app) — there is no partially
+    applied state to race against in-flight requests.
+    """
+
+    def __init__(self, principals: Mapping[str, Principal]) -> None:
+        if not principals:
+            raise ConfigurationError(
+                "the gateway refuses to start with an empty token "
+                "table — an unauthenticated multi-tenant store is "
+                "not a mode; declare tokens via REPRO_GATEWAY_TOKENS "
+                "or a token file")
+        self._principals = dict(principals)
+
+    @classmethod
+    def from_spec(cls, text: str, *, where: str = "spec") -> "TokenTable":
+        return cls(parse_token_spec(text, where=where))
+
+    def __len__(self) -> int:
+        return len(self._principals)
+
+    def resolve(self, token: Optional[str], *,
+                now: Optional[float] = None) -> Principal:
+        """The :class:`Principal` for a presented bearer token.
+
+        Raises :class:`AuthError` — with one indistinguishable
+        message for absent, unknown, and expired credentials — when
+        the token does not (or no longer does) resolve.
+        """
+        if not token:
+            raise AuthError("missing or invalid bearer token")
+        principal = self._principals.get(token)
+        if principal is None:
+            raise AuthError("missing or invalid bearer token")
+        if principal.expires is not None:
+            clock = time.time() if now is None else now
+            if clock >= principal.expires:
+                raise AuthError("missing or invalid bearer token")
+        return principal
+
+
+# ---------------------------------------------------------------------------
+# Tenant namespace confinement
+
+
+def validate_tenant(tenant: str) -> str:
+    if not _TENANT_RE.match(tenant or ""):
+        raise PathError(
+            f"bad tenant name {tenant!r}: one path segment of "
+            "[A-Za-z0-9._-], not starting with a dot")
+    return tenant
+
+
+def tenant_root(tenant: str) -> str:
+    """The storage prefix all of ``tenant``'s objects live under."""
+    return f"{TENANT_ROOT}/{validate_tenant(tenant)}"
+
+
+def confine(tenant: str, path: str) -> str:
+    """Map a tenant-relative object path onto the tenant's namespace.
+
+    ``confine("acme", "/ledger/2026")`` → ``"/t/acme/ledger/2026"``.
+    Every segment is validated — ``..``, empty segments, separators
+    smuggled through encoding, and over-long names are all rejected —
+    so the returned storage path *cannot* leave the tenant prefix.
+    """
+    if not isinstance(path, str) or not path.startswith("/"):
+        raise PathError(
+            f"object paths are absolute within the tenant namespace; "
+            f"got {path!r}")
+    segments = path.strip("/").split("/") if path.strip("/") else []
+    if not segments:
+        raise PathError("the tenant root itself is not an object")
+    for segment in segments:
+        if not _SEGMENT_RE.match(segment) or segment in (".", ".."):
+            raise PathError(
+                f"bad path segment {segment!r} in {path!r}: "
+                "[A-Za-z0-9._-] segments only, no traversal")
+    return f"{tenant_root(tenant)}/{'/'.join(segments)}"
+
+
+def evidence_case(tenant: str, case: str) -> str:
+    """The fleet-wide case name for a tenant's evidence export.
+
+    Case names shard exhibits by ``case/name`` across members, so the
+    tenant prefix is folded in as ``<tenant>--<case>`` (flat — a
+    ``/`` in a case name would change the evidence bag's directory
+    layout) to keep two tenants' same-named cases apart.
+    """
+    validate_tenant(tenant)
+    if not _SEGMENT_RE.match(case or "") or case in (".", ".."):
+        raise PathError(
+            f"bad case name {case!r}: [A-Za-z0-9._-] only")
+    return f"{tenant}--{case}"

@@ -24,9 +24,17 @@ Three pieces:
   below); responses carry the task's result or a portable description
   of the exception it raised.  Pickle is the member transport the
   in-host ``process`` executor already rides on, so the *same* compact
-  snapshots cross the network — but pickle also means the protocol
-  authenticates nobody: run workers only on trusted hosts/loopback
-  (documented in API.md).
+  snapshots cross the network.  When a ``fleet_secret`` is configured
+  (``RpcExecutor(secret=...)`` > ``repro.engine(fleet_secret=...)`` >
+  installed policy > ``REPRO_FLEET_SECRET``) every frame is
+  HMAC-SHA256 signed — magic ``SRPH``, a 32-byte digest after the
+  buffer segments covering the header, body and every segment — and
+  verified with a constant-time compare *before* the body is
+  unpickled; unsigned frames are rejected outright, so a peer that
+  does not hold the shared secret can neither issue requests nor
+  forge replies.  Without a secret the protocol still authenticates
+  nobody (bare ``SRPC`` frames): reserve unsigned mode for loopback
+  development (documented in API.md).
 
 * **sessions** — the ``pin``/``unpin``/``run_pinned`` verbs.  A pin
   ships a member snapshot once and caches it on the worker under a
@@ -93,6 +101,8 @@ Failure semantics (the fault-injection contract):
 from __future__ import annotations
 
 import argparse
+import hashlib
+import hmac
 import os
 import pickle
 import random
@@ -122,9 +132,15 @@ from .ring import HashRing
 #: comma-separated), read lazily at each dispatch.
 HOSTS_ENV_VAR = "REPRO_FLEET_HOSTS"
 
-#: Frame header: magic + 8-byte big-endian payload length.
+#: Frame header: magic + 8-byte big-endian payload length.  ``SRPC``
+#: frames are unsigned; ``SRPH`` frames carry a trailing HMAC-SHA256
+#: digest over everything before it.
 _MAGIC = b"SRPC"
+_MAGIC_SIGNED = b"SRPH"
 _HEADER = struct.Struct(">4sQ")
+
+#: Trailing signature size of an ``SRPH`` frame (HMAC-SHA256).
+_DIGEST_BYTES = 32
 
 #: Refuse absurd frames (a desynchronised peer must fail fast, not
 #: allocate gigabytes).  Generous: a bench member snapshot is ~1.3 MB.
@@ -202,7 +218,40 @@ class RemoteTaskError(RpcError):
 # Wire protocol
 
 
-def send_frame(sock: socket.socket, message: Any) -> int:
+class _Ambient:
+    """Sentinel: resolve the frame secret through the policy chain at
+    call time (context > installed policy > ``REPRO_FLEET_SECRET``).
+    Distinct from ``None``, which means *explicitly unsigned*."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return "<ambient fleet secret>"
+
+
+#: Default for every ``secret=`` parameter in this module.  The worker
+#: daemon always runs with the ambient default, so exporting
+#: ``REPRO_FLEET_SECRET`` to the worker process is the whole
+#: deployment story; the client executor resolves the chain *once* per
+#: pass and threads the value explicitly, because context-variable
+#: overrides do not propagate into its dispatch threads.
+_AMBIENT = _Ambient()
+
+
+def _resolve_secret(secret: Any) -> Optional[str]:
+    if isinstance(secret, _Ambient):
+        from ..api import policy as _policy  # lazy: avoids a cycle
+
+        return _policy.resolve_fleet_secret(None)[0]
+    return secret
+
+
+def _frame_mac(secret: str) -> "hmac.HMAC":
+    return hmac.new(secret.encode("utf-8"), digestmod=hashlib.sha256)
+
+
+def send_frame(sock: socket.socket, message: Any, *,
+               secret: Any = _AMBIENT) -> int:
     """Pickle ``message`` and send it as one length-prefixed frame.
 
     Pickles at protocol 5 with a buffer callback: large
@@ -213,7 +262,14 @@ def send_frame(sock: socket.socket, message: Any) -> int:
     ``sendall``.  Returns the payload size in bytes — body plus
     segments, excluding framing overhead (the transport-accounting
     hook the benchmarks and the per-pass byte counters use).
+
+    With a ``secret`` (explicit string, or the ambient policy chain
+    when one is configured) the frame goes out under the ``SRPH``
+    magic with a trailing HMAC-SHA256 digest over the header, body,
+    buffer count and every length-prefixed segment.  ``secret=None``
+    forces an unsigned ``SRPC`` frame.
     """
+    resolved = _resolve_secret(secret)
     segments: List[memoryview] = []
 
     def _collect(buffer: pickle.PickleBuffer):
@@ -227,13 +283,19 @@ def send_frame(sock: socket.socket, message: Any) -> int:
         return False
 
     body = pickle.dumps(message, protocol=5, buffer_callback=_collect)
-    parts: List[Any] = [_HEADER.pack(_MAGIC, len(body)), body,
+    magic = _MAGIC if resolved is None else _MAGIC_SIGNED
+    parts: List[Any] = [_HEADER.pack(magic, len(body)), body,
                         _BUF_COUNT.pack(len(segments))]
     payload = len(body)
     for raw in segments:
         parts.append(_BUF_LEN.pack(raw.nbytes))
         parts.append(raw)
         payload += raw.nbytes
+    if resolved is not None:
+        mac = _frame_mac(resolved)
+        for part in parts:
+            mac.update(part)
+        parts.append(mac.digest())
     sock.sendall(b"".join(parts))
     return payload
 
@@ -285,13 +347,23 @@ def _recv_exact_into(sock: socket.socket, view: memoryview,
         got += read
 
 
-def _recv_frame_counted(sock: socket.socket) -> Tuple[Any, int]:
+def _recv_frame_counted(sock: socket.socket, *,
+                        secret: Any = _AMBIENT) -> Tuple[Any, int]:
     """(message, payload bytes received) for one frame.
 
     The out-of-band segments are received into writable buffers the
     unpickled arrays map directly — the body never contains, and the
     receiver never re-copies, the bulk payload.
+
+    With a ``secret`` in force, only ``SRPH`` frames are accepted and
+    the trailing digest is checked with :func:`hmac.compare_digest`
+    *before* ``pickle.loads`` runs — an unauthenticated peer never
+    reaches the deserialiser.  An unsigned ``SRPC`` frame is rejected
+    when a secret is set, and a signed frame is rejected when no
+    secret is configured (this peer cannot verify it): both sides must
+    agree on the secret, which is the point.
     """
+    resolved = _resolve_secret(secret)
     try:
         first = sock.recv(1)
     except TimeoutError as exc:
@@ -302,44 +374,72 @@ def _recv_frame_counted(sock: socket.socket) -> Tuple[Any, int]:
         raise EOFError("peer closed between frames")
     header = first + _recv_exact(sock, _HEADER.size - 1, "frame header")
     magic, length = _HEADER.unpack(header)
-    if magic != _MAGIC:
+    if magic not in (_MAGIC, _MAGIC_SIGNED):
         raise RpcProtocolError(
             f"bad frame magic {magic!r} (not an SRPC peer, or the "
             "stream desynchronised)")
+    if resolved is not None and magic != _MAGIC_SIGNED:
+        raise RpcProtocolError(
+            "unsigned SRPC frame rejected: this peer requires "
+            "HMAC-signed frames (a fleet secret is configured; the "
+            "sender has none, or a stale one-sided deployment)")
+    if resolved is None and magic == _MAGIC_SIGNED:
+        raise RpcProtocolError(
+            "HMAC-signed SRPH frame received but this peer has no "
+            "fleet secret to verify it; configure the shared "
+            "REPRO_FLEET_SECRET on both sides")
     if length > MAX_FRAME_BYTES:
         raise RpcProtocolError(f"frame of {length} bytes exceeds the "
                                f"{MAX_FRAME_BYTES}-byte cap")
+    mac = _frame_mac(resolved) if resolved is not None else None
+    if mac is not None:
+        mac.update(header)
     body = _recv_exact(sock, int(length), "frame body")
-    count = _BUF_COUNT.unpack(
-        _recv_exact(sock, _BUF_COUNT.size, "buffer count"))[0]
+    raw_count = _recv_exact(sock, _BUF_COUNT.size, "buffer count")
+    count = _BUF_COUNT.unpack(raw_count)[0]
+    if mac is not None:
+        mac.update(body)
+        mac.update(raw_count)
     if count > MAX_FRAME_BUFFERS:
         raise RpcProtocolError(f"frame with {count} out-of-band buffers "
                                f"exceeds the {MAX_FRAME_BUFFERS} cap")
     payload = int(length)
     buffers: List[bytearray] = []
     for _ in range(count):
-        nbytes = _BUF_LEN.unpack(
-            _recv_exact(sock, _BUF_LEN.size, "buffer header"))[0]
+        raw_len = _recv_exact(sock, _BUF_LEN.size, "buffer header")
+        nbytes = _BUF_LEN.unpack(raw_len)[0]
         if nbytes > MAX_FRAME_BYTES:
             raise RpcProtocolError(
                 f"out-of-band buffer of {nbytes} bytes exceeds the "
                 f"{MAX_FRAME_BYTES}-byte cap")
         segment = bytearray(int(nbytes))
         _recv_exact_into(sock, memoryview(segment), "buffer segment")
+        if mac is not None:
+            mac.update(raw_len)
+            mac.update(segment)
         buffers.append(segment)
         payload += int(nbytes)
+    if mac is not None:
+        digest = _recv_exact(sock, _DIGEST_BYTES, "frame signature")
+        if not hmac.compare_digest(mac.digest(), digest):
+            raise RpcProtocolError(
+                "frame signature mismatch: the peer signed with a "
+                "different fleet secret, or the frame was tampered "
+                "with in transit")
     return pickle.loads(body, buffers=buffers), payload
 
 
-def recv_frame(sock: socket.socket) -> Any:
+def recv_frame(sock: socket.socket, *, secret: Any = _AMBIENT) -> Any:
     """Receive one frame and unpickle it.
 
     Raises :class:`RpcConnectionError` on a truncated frame and
-    :class:`RpcProtocolError` on bad framing.  Returns the sentinel
-    ``None`` is a valid message; end-of-stream *between* frames raises
+    :class:`RpcProtocolError` on bad framing — including a missing,
+    unverifiable, or wrong HMAC signature when a secret is in force
+    (see :func:`_recv_frame_counted`).  Returns the sentinel ``None``
+    is a valid message; end-of-stream *between* frames raises
     ``EOFError`` (the orderly-shutdown signal the server loop uses).
     """
-    return _recv_frame_counted(sock)[0]
+    return _recv_frame_counted(sock, secret=secret)[0]
 
 
 # ---------------------------------------------------------------------------
@@ -610,14 +710,15 @@ def _discard(sock: socket.socket) -> None:
         pass
 
 
-def _recv_reply(addr: str, sock: socket.socket) -> Tuple[Any, int]:
+def _recv_reply(addr: str, sock: socket.socket, *,
+                secret: Any = _AMBIENT) -> Tuple[Any, int]:
     """(reply, bytes received) after a delivered request; any failure
     discards the socket and raises :class:`RpcConnectionError` (the
     task may have run, so the caller must never silently retry a
     non-session request).  An expired socket deadline keeps its
     :class:`RpcTimeoutError` type for the per-host timeout stats."""
     try:
-        return _recv_frame_counted(sock)
+        return _recv_frame_counted(sock, secret=secret)
     except EOFError as exc:
         _discard(sock)
         raise RpcConnectionError(
@@ -642,12 +743,13 @@ def _recv_reply(addr: str, sock: socket.socket) -> Tuple[Any, int]:
 
 
 def _call_worker_counted(addr: str, request: Any,
-                         deadline: Optional[float] = None
+                         deadline: Optional[float] = None,
+                         secret: Any = _AMBIENT
                          ) -> Tuple[Any, int, int]:
     """(reply, bytes out, bytes back) for one pooled round trip."""
     sock, from_pool = _borrow(addr, deadline)
     try:
-        sent = send_frame(sock, request)
+        sent = send_frame(sock, request, secret=secret)
     except TimeoutError as exc:
         _discard(sock)
         raise RpcTimeoutError(
@@ -663,19 +765,20 @@ def _call_worker_counted(addr: str, request: Any,
         sock = _dial(addr, timeout=deadline if deadline else None)
         sock.settimeout(deadline)
         try:
-            sent = send_frame(sock, request)
+            sent = send_frame(sock, request, secret=secret)
         except (ConnectionError, OSError) as exc2:
             _discard(sock)
             raise RpcConnectionError(
                 f"fleet worker at {addr} rejected the request after "
                 f"reconnect: {exc2}") from exc2
-    response, received = _recv_reply(addr, sock)
+    response, received = _recv_reply(addr, sock, secret=secret)
     _give_back(addr, sock)
     return response, sent, received
 
 
 def call_worker(addr: str, request: Any, *,
-                deadline: Optional[float] = None) -> Any:
+                deadline: Optional[float] = None,
+                secret: Any = _AMBIENT) -> Any:
     """One request/response round trip with ``addr``, via the pool.
 
     A *stale* pooled connection (the worker restarted since the last
@@ -687,19 +790,24 @@ def call_worker(addr: str, request: Any, *,
     ``deadline`` bounds every blocking socket operation of the round
     trip; expiry raises :class:`RpcTimeoutError`.
     """
-    return _call_worker_counted(addr, request, deadline)[0]
+    return _call_worker_counted(addr, request, deadline, secret)[0]
 
 
-def ping(addr: str, *, timeout: float = 5.0) -> int:
+def ping(addr: str, *, timeout: float = 5.0,
+         secret: Any = _AMBIENT) -> int:
     """Round-trip a ping; returns the worker's PID.  Waits up to
     ``timeout`` seconds for the worker to start listening; each round
     trip also carries ``timeout`` as its socket deadline, so a worker
     that *accepts* but never answers (hung event loop) fails the ping
-    instead of blocking it forever."""
+    instead of blocking it forever.  The probe frame is signed like
+    any other when a secret is in force — a secret-bearing worker
+    would reject an unsigned ping, and an unverifiable probe must
+    read as *down*, not healthy."""
     deadline = time.monotonic() + timeout
     while True:
         try:
-            response = call_worker(addr, ("ping",), deadline=timeout)
+            response = call_worker(addr, ("ping",), deadline=timeout,
+                                   secret=secret)
         except RpcConnectionError:
             if time.monotonic() >= deadline:
                 raise
@@ -791,7 +899,8 @@ def host_health_snapshot() -> Dict[str, Dict[str, float]]:
 
 def usable_hosts(hosts: Sequence[str], *,
                  probe_timeout: float = 1.0,
-                 force_probe: bool = False) -> Tuple[str, ...]:
+                 force_probe: bool = False,
+                 secret: Any = _AMBIENT) -> Tuple[str, ...]:
     """The subset of ``hosts`` dispatch may route members to.
 
     Hosts with a closed breaker pass straight through (the common,
@@ -820,7 +929,7 @@ def usable_hosts(hosts: Sequence[str], *,
         if not (on_probation or force_probe):
             continue
         try:
-            ping(addr, timeout=probe_timeout)
+            ping(addr, timeout=probe_timeout, secret=secret)
         except (RpcError, OSError):
             record_host_failure(addr)  # re-opens the probation window
             continue
@@ -911,6 +1020,14 @@ class RpcExecutor(FleetExecutor):
             folds.  Resolves through the chain
             (``repro.engine(fleet_on_failure=...)`` >
             ``REPRO_FLEET_ON_FAILURE``).
+        secret: shared HMAC secret for signed SRPC frames.  None
+            resolves through the chain
+            (``repro.engine(fleet_secret=...)`` > installed policy >
+            ``REPRO_FLEET_SECRET``; default: unsigned).  Resolved
+            *once* per pass and threaded explicitly through every
+            dispatch thread and health probe — a context-scoped
+            secret must hold even though context variables do not
+            cross into the executor's thread pool.
 
     Member *i* goes to the host that owns ``"member-i"`` on a
     consistent-hash ring over the host set — a pure function of the
@@ -932,7 +1049,8 @@ class RpcExecutor(FleetExecutor):
                  pipeline: Optional[bool] = None,
                  timeout: Optional[float] = None,
                  retries: Optional[int] = None,
-                 on_failure: Optional[str] = None) -> None:
+                 on_failure: Optional[str] = None,
+                 secret: Optional[str] = None) -> None:
         self.hosts = parse_hosts(hosts) if hosts is not None else None
         self.max_workers = max_workers
         self.sessions = sessions
@@ -940,6 +1058,7 @@ class RpcExecutor(FleetExecutor):
         self.timeout = timeout
         self.retries = retries
         self.on_failure = on_failure
+        self.secret = secret
 
     def _resolve_hosts(self) -> Tuple[str, ...]:
         if self.hosts is not None:
@@ -977,15 +1096,19 @@ class RpcExecutor(FleetExecutor):
         return cause
 
     def _resolve_fault_policy(
-            self) -> Tuple[Optional[float], int, str]:
-        """(timeout, retries, on_failure) through the policy chain."""
+            self) -> Tuple[Optional[float], int, str, Optional[str]]:
+        """(timeout, retries, on_failure, secret) through the policy
+        chain — the secret resolved here, on the caller's thread, so a
+        ``repro.engine(fleet_secret=...)`` scope reaches the dispatch
+        threads it would otherwise never propagate into."""
         from ..api import policy as _policy
 
         deadline, _src = _policy.resolve_fleet_timeout(self.timeout)
         retries, _src = _policy.resolve_fleet_retries(self.retries)
         on_failure, _src = _policy.resolve_fleet_on_failure(
             self.on_failure)
-        return deadline, retries, on_failure
+        secret, _src = _policy.resolve_fleet_secret(self.secret)
+        return deadline, retries, on_failure, secret
 
     @staticmethod
     def _backoff_sleep(wave: int) -> None:
@@ -1000,10 +1123,11 @@ class RpcExecutor(FleetExecutor):
 
     @staticmethod
     def _run_one(addr: str, task: MemberTask,
-                 deadline: Optional[float] = None
+                 deadline: Optional[float] = None,
+                 secret: Any = _AMBIENT
                  ) -> Tuple[str, float, Any, int, int]:
         response, sent, received = _call_worker_counted(
-            addr, ("run", task), deadline)
+            addr, ("run", task), deadline, secret)
         if not isinstance(response, tuple) or not response:
             raise RpcProtocolError(
                 f"malformed reply from fleet worker at {addr}: "
@@ -1025,12 +1149,14 @@ class RpcExecutor(FleetExecutor):
 
         use_sessions, _source = _policy.resolve_fleet_sessions(
             self.sessions)
-        deadline, retries, on_failure = self._resolve_fault_policy()
-        live = list(usable_hosts(hosts))
+        deadline, retries, on_failure, secret = \
+            self._resolve_fault_policy()
+        live = list(usable_hosts(hosts, secret=secret))
         if not live:
             # every breaker is open: probe them all right now rather
             # than failing a pass that a restarted worker could serve
-            live = list(usable_hosts(hosts, force_probe=True))
+            live = list(usable_hosts(hosts, force_probe=True,
+                                     secret=secret))
         if not live:
             raise RpcConnectionError(
                 "no usable fleet worker hosts: every host's circuit "
@@ -1038,14 +1164,17 @@ class RpcExecutor(FleetExecutor):
                 "answered a probe; restart the workers")
         if use_sessions:
             return self._run_session_pass(
-                tasks, hosts, live, deadline, retries, on_failure)
+                tasks, hosts, live, deadline, retries, on_failure,
+                secret)
         return self._run_snapshot_pass(
-            tasks, hosts, live, deadline, retries, on_failure)
+            tasks, hosts, live, deadline, retries, on_failure, secret)
 
     def _run_snapshot_pass(self, tasks: Sequence[MemberTask],
                            hosts: Tuple[str, ...], live: List[str],
                            deadline: Optional[float], retries: int,
-                           on_failure: str) -> ExecutionOutcome:
+                           on_failure: str,
+                           secret: Optional[str] = None
+                           ) -> ExecutionOutcome:
         """Snapshot dispatch with bounded failover waves.
 
         Wave *k* places every still-pending member on a
@@ -1078,7 +1207,7 @@ class RpcExecutor(FleetExecutor):
                              for i in pending}
                 futures = {
                     i: pool.submit(self._run_one, placement[i],
-                                   tasks[i], deadline)
+                                   tasks[i], deadline, secret)
                     for i in pending}
                 failed: List[int] = []
                 failed_hosts: set = set()
@@ -1134,7 +1263,8 @@ class RpcExecutor(FleetExecutor):
                     # its probation window beats aborting the pass
                     survivors = [
                         h for h in usable_hosts(hosts,
-                                                force_probe=True)
+                                                force_probe=True,
+                                                secret=secret)
                         if h not in failed_hosts]
                 if wave >= retries or not survivors:
                     break
@@ -1168,7 +1298,9 @@ class RpcExecutor(FleetExecutor):
     def _run_session_pass(self, tasks: Sequence[MemberTask],
                           hosts: Tuple[str, ...], live: List[str],
                           deadline: Optional[float], retries: int,
-                          on_failure: str) -> ExecutionOutcome:
+                          on_failure: str,
+                          secret: Optional[str] = None
+                          ) -> ExecutionOutcome:
         """One pass in pinned-session mode: a dedicated (pipelined)
         socket per host, member state folded only after *every* host
         round settled, every touched session invalidated on any
@@ -1221,7 +1353,7 @@ class RpcExecutor(FleetExecutor):
             def drive(addr: str, host_plans: List[_TaskPlan]) -> None:
                 try:
                     result = self._drive_host(
-                        addr, host_plans, pipeline, deadline)
+                        addr, host_plans, pipeline, deadline, secret)
                 except RpcConnectionError as exc:
                     with gate:
                         round_errors[addr] = exc
@@ -1279,7 +1411,8 @@ class RpcExecutor(FleetExecutor):
                 # a restarted worker ahead of its probation window
                 # rather than abort with live hosts in reach
                 survivors = [
-                    h for h in usable_hosts(hosts, force_probe=True)
+                    h for h in usable_hosts(hosts, force_probe=True,
+                                            secret=secret)
                     if h not in round_errors]
             if wave >= retries or not survivors:
                 for plan in pending:
@@ -1378,7 +1511,8 @@ class RpcExecutor(FleetExecutor):
         return payload, plan.store
 
     def _drive_host(self, addr: str, plans: List[_TaskPlan],
-                    pipeline: bool, deadline: Optional[float] = None
+                    pipeline: bool, deadline: Optional[float] = None,
+                    secret: Any = _AMBIENT
                     ) -> Tuple[List, List, int, int]:
         """All of one host's requests for a pass, with one same-host
         retry when the failed round provably could not have folded or
@@ -1390,7 +1524,8 @@ class RpcExecutor(FleetExecutor):
         for attempt in (0, 1):
             sock, from_pool = _borrow(addr, deadline)
             try:
-                return self._host_round(addr, sock, plans, pipeline)
+                return self._host_round(addr, sock, plans, pipeline,
+                                        secret)
             except _RoundFailed as failure:
                 retriable = (failure.retry_safe or
                              (failure.nothing_delivered and from_pool)) \
@@ -1404,7 +1539,8 @@ class RpcExecutor(FleetExecutor):
         raise AssertionError("unreachable")  # pragma: no cover
 
     def _host_round(self, addr: str, sock: socket.socket,
-                    plans: List[_TaskPlan], pipeline: bool
+                    plans: List[_TaskPlan], pipeline: bool,
+                    secret: Any = _AMBIENT
                     ) -> Tuple[List, List, int, int]:
         from . import session as _session
 
@@ -1439,7 +1575,8 @@ class RpcExecutor(FleetExecutor):
 
         def send_one(rid: int, payload: Tuple) -> None:
             try:
-                nbytes = send_frame(sock, (rid, payload))
+                nbytes = send_frame(sock, (rid, payload),
+                                    secret=secret)
             except (ConnectionError, OSError) as exc:
                 _discard(sock)
                 raise wire_failed(RpcConnectionError(
@@ -1450,7 +1587,7 @@ class RpcExecutor(FleetExecutor):
 
         def recv_one(rid: int, kind: str, plan: _TaskPlan) -> None:
             try:
-                reply, nbytes = _recv_reply(addr, sock)
+                reply, nbytes = _recv_reply(addr, sock, secret=secret)
             except RpcConnectionError as exc:
                 raise wire_failed(exc) from exc
             counters["received"] += nbytes
@@ -1593,16 +1730,26 @@ class LocalWorker:
 
 
 def spawn_local_worker(bind: str = "127.0.0.1:0", *,
-                       timeout: float = 30.0) -> LocalWorker:
+                       timeout: float = 30.0,
+                       secret: Optional[str] = None) -> LocalWorker:
     """Start ``python -m repro.parallel.remote serve`` as a subprocess
     and wait for its announce line; returns the :class:`LocalWorker`
     with the actual ``host:port`` (port 0 picks a free one).
+
+    ``secret`` exports ``REPRO_FLEET_SECRET`` into the worker's
+    environment (the daemon reads it per frame through the policy
+    chain) and signs the startup ping with it; None inherits whatever
+    this process's environment already carries.
     """
     package_root = os.path.dirname(os.path.dirname(os.path.dirname(
         os.path.abspath(__file__))))
     env = dict(os.environ)
     env["PYTHONPATH"] = package_root + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    if secret is not None:
+        from ..api.policy import FLEET_SECRET_ENV_VAR
+
+        env[FLEET_SECRET_ENV_VAR] = secret
     process = subprocess.Popen(
         [sys.executable, "-m", "repro.parallel.remote", "serve",
          "--bind", bind],
@@ -1620,7 +1767,8 @@ def spawn_local_worker(bind: str = "127.0.0.1:0", *,
             # is reaped here instead of orphaned for the caller
             try:
                 ping(address,
-                     timeout=max(1.0, deadline - time.monotonic()))
+                     timeout=max(1.0, deadline - time.monotonic()),
+                     secret=secret if secret is not None else _AMBIENT)
             except RpcConnectionError as exc:
                 worker.kill()
                 raise RpcConnectionError(

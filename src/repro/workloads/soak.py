@@ -27,6 +27,15 @@ byte-identical to the shadow's.  Results land in ``BENCH_soak.json``:
     python -m repro.workloads.soak --ops 48 --workers 2
 
 Exit status 1 when any invariant was violated.
+
+``BENCH_soak.json`` is a **trajectory**, not a snapshot: every run
+*appends* its result (and its ops/s-under-faults datapoint) instead
+of overwriting the file, so regressions in fault-tolerant throughput
+show up as a bend in the series rather than silently replacing the
+only datapoint.  The ``trajectory`` list keeps every datapoint ever
+recorded; full run payloads are bounded to the most recent
+:data:`MAX_KEPT_RUNS`.  A pre-trajectory single-run file is migrated
+in place as the first datapoint.
 """
 
 from __future__ import annotations
@@ -45,6 +54,10 @@ from ..parallel.session import store_fingerprint
 
 #: Fault actions a :class:`SoakFault` can schedule.
 FAULT_ACTIONS = ("kill", "restart", "drop_connections")
+
+#: Full run payloads kept in the trajectory file (the per-run series
+#: itself is never truncated — one small dict per run).
+MAX_KEPT_RUNS = 20
 
 
 @dataclass(frozen=True)
@@ -124,9 +137,18 @@ class SoakReport:
         """True when the soak saw zero invariant violations."""
         return not self.violations
 
+    @property
+    def ops_per_second(self) -> float:
+        """Sustained trace throughput *under faults* — the number the
+        trajectory series tracks across runs."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.ops_completed / self.wall_seconds
+
     def to_json(self) -> Dict[str, object]:
         return {
             "bench": "soak",
+            "ops_per_second": round(self.ops_per_second, 3),
             "ops_completed": self.ops_completed,
             "op_counts": dict(self.op_counts),
             "kills": self.kills,
@@ -345,6 +367,61 @@ def run_soak(config: SoakConfig = SoakConfig()) -> SoakReport:
     return report
 
 
+def _trajectory_point(payload: Dict[str, object]) -> Dict[str, object]:
+    """The compact per-run datapoint the unbounded series keeps."""
+    ops_per_second = payload.get("ops_per_second")
+    if ops_per_second is None:  # pre-trajectory payloads: derive it
+        wall = payload.get("wall_seconds") or 0.0
+        ops_per_second = round(
+            payload.get("ops_completed", 0) / wall, 3) if wall else 0.0
+    return {
+        "ops_per_second": ops_per_second,
+        "ops_completed": payload.get("ops_completed", 0),
+        "wall_seconds": payload.get("wall_seconds", 0.0),
+        "kills": payload.get("kills", 0),
+        "restarts": payload.get("restarts", 0),
+        "connection_drops": payload.get("connection_drops", 0),
+        "failover_retries": sum(
+            payload.get("failover_retries", {}).values()),
+        "clean": payload.get("clean", False),
+    }
+
+
+def append_trajectory(path: str, payload: Dict[str, object]) -> Dict[str, object]:
+    """Append one run to the ``BENCH_soak.json`` trajectory file.
+
+    The file holds ``{"bench": "soak", "trajectory": [...], "runs":
+    [...]}`` — the series keeps every run's ops/s-under-faults
+    datapoint, ``runs`` the last :data:`MAX_KEPT_RUNS` full payloads.
+    A legacy single-run file (one payload at top level) is migrated in
+    place as the first datapoint; an unreadable file is restarted
+    rather than crashing the soak that just passed.
+    """
+    document: Dict[str, object] = {"bench": "soak",
+                                   "trajectory": [], "runs": []}
+    try:
+        with open(path, "r") as handle:
+            existing = json.load(handle)
+        if isinstance(existing, dict) and \
+                isinstance(existing.get("trajectory"), list):
+            document["trajectory"] = existing["trajectory"]
+            runs = existing.get("runs")
+            document["runs"] = runs if isinstance(runs, list) else []
+        elif isinstance(existing, dict) and "ops_completed" in existing:
+            # pre-trajectory format: one run payload at top level
+            document["trajectory"] = [_trajectory_point(existing)]
+            document["runs"] = [existing]
+    except (OSError, ValueError):
+        pass
+    document["trajectory"].append(_trajectory_point(payload))
+    document["runs"] = (document["runs"] + [payload])[-MAX_KEPT_RUNS:]
+    document["latest"] = payload
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    return document
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.workloads.soak",
@@ -376,10 +453,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "retries": config.retries, "timeout": config.timeout,
         "sessions": bool(config.sessions),
     }
+    runs_recorded = 1
     if args.json != "-":
-        with open(args.json, "w") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
+        document = append_trajectory(args.json, payload)
+        runs_recorded = len(document["trajectory"])
     status = "CLEAN" if report.clean else "VIOLATIONS"
     print(f"soak {status}: {report.ops_completed} ops, "
           f"{report.kills} kills, {report.restarts} restarts, "
@@ -388,7 +465,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"({report.audits_clean} clean audits), "
           f"failover retries {sum(report.retries.values())}, "
           f"partial-fold probe: {report.partial_fold_probe}, "
-          f"{report.wall_seconds:.1f}s")
+          f"{report.ops_per_second:.2f} ops/s under faults, "
+          f"{report.wall_seconds:.1f}s "
+          f"(trajectory: {runs_recorded} run(s))")
     for violation in report.violations:
         print(f"  VIOLATION: {violation}")
     return 0 if report.clean else 1

@@ -297,3 +297,73 @@ def test_fresh_fs_shim_warns_and_matches_store():
 def test_top_level_engine_export():
     with repro.engine("scalar"):
         assert repro.api.resolve_vectorized() is False
+
+
+# -- gateway / fleet-secret knobs (ISSUE 8) ---------------------------------
+
+
+def test_fleet_secret_resolution_layers(monkeypatch):
+    monkeypatch.delenv(pol.FLEET_SECRET_ENV_VAR, raising=False)
+    assert pol.resolve_fleet_secret() == (None, "default")
+
+    monkeypatch.setenv(pol.FLEET_SECRET_ENV_VAR, "env-key")
+    assert pol.resolve_fleet_secret() == ("env-key", "env")
+
+    set_policy(ExecutionPolicy(fleet_secret="policy-key"))
+    assert pol.resolve_fleet_secret() == ("policy-key", "policy")
+
+    with engine(fleet_secret="context-key"):
+        assert pol.resolve_fleet_secret() == ("context-key", "context")
+
+    assert pol.resolve_fleet_secret("arg-key") == ("arg-key", "explicit")
+
+
+def test_fleet_secret_validated_and_masked_in_describe(monkeypatch):
+    with pytest.raises(ValueError):
+        ExecutionPolicy(fleet_secret="")
+    with pytest.raises(TypeError):
+        ExecutionPolicy(fleet_secret=123)
+    set_policy(ExecutionPolicy(fleet_secret="s3cret-material"))
+    described = describe_policy()
+    assert described["fleet_secret_set"] is True
+    assert described["fleet_secret_source"] == "policy"
+    assert "s3cret-material" not in repr(described)
+    set_policy(None)
+    assert describe_policy()["fleet_secret_set"] is False
+
+
+def test_gateway_bind_resolution_layers(monkeypatch):
+    monkeypatch.delenv(pol.GATEWAY_BIND_ENV_VAR, raising=False)
+    assert pol.resolve_gateway_bind() == \
+        (pol.DEFAULT_GATEWAY_BIND, "default")
+
+    monkeypatch.setenv(pol.GATEWAY_BIND_ENV_VAR, "0.0.0.0:9100")
+    assert pol.resolve_gateway_bind() == ("0.0.0.0:9100", "env")
+
+    set_policy(ExecutionPolicy(gateway_bind="127.0.0.1:9200"))
+    assert pol.resolve_gateway_bind() == ("127.0.0.1:9200", "policy")
+
+    with engine(gateway_bind="127.0.0.1:9300"):
+        assert pol.resolve_gateway_bind() == \
+            ("127.0.0.1:9300", "context")
+
+    assert pol.resolve_gateway_bind("h:9400") == ("h:9400", "explicit")
+    with pytest.raises(Exception):
+        ExecutionPolicy(gateway_bind="nonsense")
+
+
+def test_gateway_token_file_resolution_layers(monkeypatch):
+    monkeypatch.delenv(pol.GATEWAY_TOKEN_FILE_ENV_VAR, raising=False)
+    assert pol.resolve_gateway_token_file() == (None, "default")
+
+    monkeypatch.setenv(pol.GATEWAY_TOKEN_FILE_ENV_VAR, "/etc/tk")
+    assert pol.resolve_gateway_token_file() == ("/etc/tk", "env")
+
+    set_policy(ExecutionPolicy(gateway_token_file="/srv/tk"))
+    assert pol.resolve_gateway_token_file() == ("/srv/tk", "policy")
+
+    with engine(gateway_token_file="/ctx/tk"):
+        assert pol.resolve_gateway_token_file() == ("/ctx/tk", "context")
+
+    assert pol.resolve_gateway_token_file("/x/tk") == \
+        ("/x/tk", "explicit")

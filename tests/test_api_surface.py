@@ -28,7 +28,7 @@ EXPECTED_API = sorted([
     "set_policy",
     "unregister_engine",
     # fleet executors (PR 4; remote hosts PR 5; sessions PR 6;
-    # fault tolerance PR 7)
+    # fault tolerance PR 7; signed frames PR 8)
     "DEFAULT_EXECUTOR",
     "EXECUTOR_ENV_VAR",
     "ExecutorSpec",
@@ -36,6 +36,7 @@ EXPECTED_API = sorted([
     "FLEET_ON_FAILURE_ENV_VAR",
     "FLEET_ON_FAILURE_MODES",
     "FLEET_RETRIES_ENV_VAR",
+    "FLEET_SECRET_ENV_VAR",
     "FLEET_SESSIONS_ENV_VAR",
     "FLEET_TIMEOUT_ENV_VAR",
     "FLEET_WORKERS_ENV_VAR",
@@ -49,10 +50,18 @@ EXPECTED_API = sorted([
     "resolve_fleet_hosts",
     "resolve_fleet_on_failure",
     "resolve_fleet_retries",
+    "resolve_fleet_secret",
     "resolve_fleet_sessions",
     "resolve_fleet_timeout",
     "resolve_max_workers",
     "unregister_executor",
+    # gateway config (PR 8; the service itself is repro.gateway)
+    "DEFAULT_GATEWAY_BIND",
+    "GATEWAY_BIND_ENV_VAR",
+    "GATEWAY_TOKENS_ENV_VAR",
+    "GATEWAY_TOKEN_FILE_ENV_VAR",
+    "resolve_gateway_bind",
+    "resolve_gateway_token_file",
     # store façade
     "ArchiveReceipt",
     "AuditReport",

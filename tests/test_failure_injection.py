@@ -627,7 +627,7 @@ def test_spawn_local_worker_kills_child_on_startup_ping_failure(
 
     real_ping = remote_mod.ping
 
-    def never_answers(addr, *, timeout=5.0):
+    def never_answers(addr, *, timeout=5.0, secret=None):
         raise RpcConnectionError(f"injected: no pong from {addr}")
 
     monkeypatch.setattr(remote_mod, "ping", never_answers)
@@ -695,3 +695,42 @@ def test_soak_tiny_run_is_clean():
     assert report.partial_fold_probe == "verified"
     payload = report.to_json()
     assert payload["clean"] is True
+    assert payload["ops_per_second"] > 0
+
+
+def test_soak_trajectory_appends_and_migrates(tmp_path):
+    """BENCH_soak.json is a trajectory: runs append an ops/s series
+    instead of overwriting, and a legacy single-run file becomes the
+    first datapoint in place."""
+    import json as _json
+
+    from repro.workloads.soak import MAX_KEPT_RUNS, append_trajectory
+
+    target = str(tmp_path / "BENCH_soak.json")
+    legacy = {"bench": "soak", "ops_completed": 24,
+              "wall_seconds": 8.0, "ops_per_second": 3.0,
+              "kills": 2, "clean": True,
+              "failover_retries": {"h:1": 5}}
+    with open(target, "w") as handle:
+        _json.dump(legacy, handle)
+
+    run = {"bench": "soak", "ops_completed": 48, "wall_seconds": 10.0,
+           "ops_per_second": 4.8, "kills": 2, "restarts": 1,
+           "connection_drops": 1, "clean": True,
+           "failover_retries": {"h:1": 2, "h:2": 1}}
+    document = append_trajectory(target, run)
+    assert [p["ops_per_second"] for p in document["trajectory"]] == \
+        [3.0, 4.8]
+    assert document["trajectory"][0]["failover_retries"] == 5
+    assert document["latest"] == run
+
+    # subsequent runs keep appending; full payloads stay bounded
+    for i in range(MAX_KEPT_RUNS + 5):
+        document = append_trajectory(
+            target, dict(run, ops_per_second=5.0 + i))
+    with open(target) as handle:
+        on_disk = _json.load(handle)
+    assert len(on_disk["trajectory"]) == 2 + MAX_KEPT_RUNS + 5
+    assert len(on_disk["runs"]) == MAX_KEPT_RUNS
+    assert on_disk["runs"][-1]["ops_per_second"] == \
+        5.0 + MAX_KEPT_RUNS + 4

@@ -62,6 +62,7 @@ def _clean_policy_env(monkeypatch):
     # see the documented defaults
     monkeypatch.delenv(api.EXECUTOR_ENV_VAR, raising=False)
     monkeypatch.delenv(api.FLEET_HOSTS_ENV_VAR, raising=False)
+    monkeypatch.delenv(api.FLEET_SECRET_ENV_VAR, raising=False)
     yield
     api.set_policy(None)
 
@@ -791,4 +792,140 @@ def test_failover_members_replace_on_surviving_hosts():
         worker_a.stop()
         worker_b.stop()
         close_connection_pools()
+        reset_host_health()
+
+
+# -- HMAC-signed frames (ISSUE 8) ----------------------------------------------
+
+
+def test_signed_frame_roundtrip_and_wrong_secret_rejected():
+    from repro.parallel import RpcProtocolError
+
+    a, b = socket.socketpair()
+    try:
+        message = {"snapshot": np.arange(5), "n": 7}
+        send_frame(a, message, secret="hunter2")
+        out = recv_frame(b, secret="hunter2")
+        assert out["n"] == 7
+        assert np.array_equal(out["snapshot"], np.arange(5))
+        # a peer holding a different secret must reject the frame
+        # *before* unpickling anything
+        send_frame(a, message, secret="hunter2")
+        with pytest.raises(RpcProtocolError, match="signature"):
+            recv_frame(b, secret="not-hunter2")
+    finally:
+        a.close()
+        b.close()
+
+
+def test_signing_expectation_mismatches_rejected():
+    from repro.parallel import RpcProtocolError
+
+    # unsigned frame at a secret-holding peer
+    a, b = socket.socketpair()
+    try:
+        send_frame(a, {"n": 1}, secret=None)
+        with pytest.raises(RpcProtocolError, match="unsigned"):
+            recv_frame(b, secret="hunter2")
+    finally:
+        a.close()
+        b.close()
+    # signed frame at a secretless peer
+    a, b = socket.socketpair()
+    try:
+        send_frame(a, {"n": 1}, secret="hunter2")
+        with pytest.raises(RpcProtocolError, match="no fleet secret"):
+            recv_frame(b, secret=None)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_worker_with_secret_rejects_unsigned_and_wrong_secret():
+    from repro.parallel import reset_host_health
+
+    worker = spawn_local_worker(secret="hunter2")
+    reset_host_health()
+    try:
+        # the right secret answers normally
+        assert ping(worker.address, secret="hunter2") > 0
+        # unsigned and wrong-secret callers see only a dropped
+        # connection — the worker never answers an unauthenticated
+        # frame, not even with an error
+        with pytest.raises(RpcConnectionError):
+            ping(worker.address, timeout=2.0, secret=None)
+        with pytest.raises(RpcConnectionError):
+            ping(worker.address, timeout=2.0, secret="wrong")
+        # and the worker survives the rejected frames
+        assert ping(worker.address, secret="hunter2") > 0
+    finally:
+        worker.stop()
+        close_connection_pools()
+        reset_host_health()
+
+
+@pytest.mark.parametrize("sessions", [False, True])
+def test_fleet_passes_byte_identical_over_signed_frames(sessions):
+    from repro.parallel import reset_host_health
+
+    spawned = [spawn_local_worker(secret="fleet-hmac-key")
+               for _ in range(2)]
+    reset_host_health()
+    try:
+        hosts = [w.address for w in spawned]
+        serial, fleet = _build_pair(
+            RpcExecutor(hosts, sessions=sessions,
+                        secret="fleet-hmac-key"))
+        assert _all_passes(fleet) == _all_passes(serial)
+    finally:
+        for worker in spawned:
+            worker.stop()
+        close_connection_pools()
+        reset_host_health()
+
+
+def test_fleet_secret_env_layer_reaches_both_ends(monkeypatch):
+    """Deployment story: export REPRO_FLEET_SECRET and both the
+    spawned worker (env inheritance) and the ambient client (policy
+    chain, read lazily per call) sign without any explicit wiring."""
+    from repro.parallel import reset_host_health
+
+    worker = spawn_local_worker(secret="ambient-key")
+    reset_host_health()
+    try:
+        monkeypatch.setenv(api.FLEET_SECRET_ENV_VAR, "ambient-key")
+        assert ping(worker.address) > 0  # ambient → resolves via env
+        monkeypatch.setenv(api.FLEET_SECRET_ENV_VAR, "rotated-away")
+        with pytest.raises(RpcConnectionError):
+            ping(worker.address, timeout=2.0)
+    finally:
+        worker.stop()
+        close_connection_pools()
+        reset_host_health()
+
+
+def test_explicit_secret_beats_context_and_policy(workers):
+    """Chain order for fleet_secret: RpcExecutor(secret=) > context >
+    policy > env.  The module workers are unsigned, so the *wrong*
+    layer winning shows up as a dropped connection."""
+    from repro.parallel import reset_host_health
+
+    reset_host_health()
+    addr = workers[0]
+    try:
+        # context says signed, explicit arg says unsigned: explicit
+        # wins and the unsigned worker answers
+        with repro.engine(fleet_secret="context-key"):
+            executor = RpcExecutor([addr])
+            assert executor._resolve_fault_policy()[3] == "context-key"
+            assert RpcExecutor([addr], secret="k")\
+                ._resolve_fault_policy()[3] == "k"
+        api.set_policy(api.ExecutionPolicy(fleet_secret="policy-key"))
+        assert RpcExecutor([addr])._resolve_fault_policy()[3] == \
+            "policy-key"
+        with repro.engine(fleet_secret="context-key"):
+            assert RpcExecutor([addr])._resolve_fault_policy()[3] == \
+                "context-key"
+    finally:
+        api.set_policy(None)
         reset_host_health()

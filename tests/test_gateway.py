@@ -1,0 +1,375 @@
+"""The HTTP gateway end to end: real sockets, typed round trips.
+
+Four layers:
+
+* **byte-identity** — every object/fleet operation issued through
+  :class:`GatewayClient` must return results ``==`` to the same
+  sequence run on a direct in-process ``FleetStore`` twin, and leave
+  every member store at the identical
+  :func:`~repro.parallel.session.store_fingerprint`;
+* **degrade over HTTP** — a fleet pass that loses members
+  (``fleet_on_failure="degrade"`` with an unreachable host) surfaces
+  as **207 Multi-Status** with typed
+  :class:`~repro.parallel.MemberFailure` slots, and an unreachable
+  fleet (``on_failure="raise"``) as a retryable **503**;
+* **settings** — ``GatewaySettings`` resolution: inline token spec
+  beats token file, missing credentials refuse to start, fleet-shape
+  env knobs;
+* **lifecycle** — graceful drain answers 503 to new requests and the
+  closed server refuses connections.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+import repro.api as api
+from repro.api.fleet import FleetStore
+from repro.api.policy import ExecutionPolicy
+from repro.api.store import StoreConfig
+from repro.errors import ConfigurationError
+from repro.gateway import (
+    GatewayApp,
+    GatewayClient,
+    GatewayConnectionError,
+    GatewayHTTPError,
+    GatewayServer,
+    GatewaySettings,
+    TokenTable,
+    confine,
+    evidence_case,
+)
+from repro.parallel import MemberFailure, close_connection_pools
+from repro.parallel.session import store_fingerprint
+
+SPEC = "root-token=admin;acme-rw=acme:rw;globex-rw=globex:rw"
+CONFIG = StoreConfig(total_blocks=256, audit_log=True)
+
+
+def _fingerprints(fleet):
+    return [store_fingerprint(member) for member in fleet.members]
+
+
+@pytest.fixture()
+def stack():
+    """A serving gateway plus its identically seeded in-process twin."""
+    fleet = FleetStore.create(3, CONFIG)
+    twin = FleetStore.create(3, CONFIG)
+    app = GatewayApp(fleet, TokenTable.from_spec(SPEC))
+    with GatewayServer(app) as server:
+        yield server, fleet, twin
+
+
+# -- byte-identity against the in-process twin ---------------------------------
+
+
+def test_object_ops_byte_identical_to_twin(stack):
+    server, fleet, twin = stack
+    client = GatewayClient(server.address, "acme-rw", tenant="acme")
+
+    info = client.put("/ledger/2026/q1", b"entry " * 20)
+    receipt = client.seal("/ledger/2026/q1", timestamp=44)
+    verdict = client.verify("/ledger/2026/q1")
+    data = client.get("/ledger/2026/q1")
+
+    path = confine("acme", "/ledger/2026/q1")
+    assert info == twin.put(path, b"entry " * 20, make_parents=True)
+    assert receipt == twin.seal(path, timestamp=44)
+    assert verdict == twin.verify(path)
+    assert data == twin.get(path)
+    assert receipt.path == path  # receipts carry real storage paths
+    assert _fingerprints(fleet) == _fingerprints(twin)
+
+
+def test_seal_many_and_audit_byte_identical_to_twin(stack):
+    server, fleet, twin = stack
+    client = GatewayClient(server.address, "acme-rw", tenant="acme")
+    admin = GatewayClient(server.address, "root-token")
+    paths = [f"/batch/{i}" for i in range(6)]
+
+    for i, path in enumerate(paths):
+        client.put(path, bytes([i]) * 30)
+        twin.put(confine("acme", path), bytes([i]) * 30,
+                 make_parents=True)
+    receipts = client.seal_many(paths, timestamp=7)
+    twin_receipts = twin.seal_many([confine("acme", p) for p in paths],
+                                   timestamp=7)
+    assert receipts == twin_receipts
+    assert not client.last_degraded
+
+    report = admin.audit()
+    assert report == twin.audit()
+    assert report.clean
+    assert _fingerprints(fleet) == _fingerprints(twin)
+
+
+def test_export_evidence_byte_identical_to_twin(stack):
+    server, fleet, twin = stack
+    client = GatewayClient(server.address, "acme-rw", tenant="acme")
+    exhibits = {"mail.txt": b"A" * 50, "disk.img": b"B" * 80}
+
+    export = client.export_evidence("case-9", exhibits, timestamp=3)
+    reference = twin.export_evidence(evidence_case("acme", "case-9"),
+                                     exhibits, timestamp=3)
+    assert export == reference
+    assert export.intact
+    assert _fingerprints(fleet) == _fingerprints(twin)
+
+
+def test_history_matches_member_logs(stack):
+    server, fleet, _twin = stack
+    client = GatewayClient(server.address, "acme-rw", tenant="acme")
+    admin = GatewayClient(server.address, "root-token")
+    client.put("/doc", b"x")
+    client.seal("/doc")
+
+    history = admin.history()
+    assert history == [member.history() for member in fleet.members]
+    flat = b"\n".join(rec for log in history for _t, rec in log)
+    assert confine("acme", "/doc").encode() in flat
+
+
+def test_describe_names_fleet_and_policy(stack):
+    server, _fleet, _twin = stack
+    admin = GatewayClient(server.address, "root-token")
+    described = admin.describe()
+    assert described["fleet"]["members"] == 3
+    # tenant tokens may not introspect the deployment
+    tenant = GatewayClient(server.address, "acme-rw", tenant="acme")
+    with pytest.raises(GatewayHTTPError) as err:
+        tenant.describe()
+    assert err.value.status == 403
+
+
+# -- degraded and unreachable fleets over HTTP ---------------------------------
+
+
+def _dead_host_splitting(live_addr, member_keys):
+    """An address nothing listens on, placed by the ring so the member
+    keys split across the live and dead hosts."""
+    from repro.parallel import HashRing, parse_hosts
+
+    for _ in range(64):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead = f"127.0.0.1:{probe.getsockname()[1]}"
+        probe.close()
+        hosts = parse_hosts([live_addr, dead])
+        if {HashRing(hosts).lookup(k)
+                for k in member_keys} == set(hosts):
+            return dead, hosts
+    raise AssertionError("no splitting dead host found in 64 draws")
+
+
+def test_degraded_pass_surfaces_as_207_with_typed_failures():
+    """Kill a fleet host out from under the gateway: seal_many and
+    audit answer 207, surviving slots byte-identical to the serial
+    twin, failed slots decoding to MemberFailure records."""
+    from repro.parallel import HashRing, reset_host_health, \
+        spawn_local_worker
+
+    n = 4
+    worker = spawn_local_worker()
+    dead, hosts = _dead_host_splitting(
+        worker.address, [f"member-{i}" for i in range(n)])
+    lost = {i for i in range(n)
+            if HashRing(hosts).lookup(f"member-{i}") == dead}
+    reset_host_health()
+    fleet = FleetStore.create(n, CONFIG)
+    twin = FleetStore.create(n, CONFIG)
+    app = GatewayApp(fleet, TokenTable.from_spec(SPEC))
+    try:
+        with GatewayServer(app) as server:
+            client = GatewayClient(server.address, "acme-rw",
+                                   tenant="acme")
+            admin = GatewayClient(server.address, "root-token")
+            paths = [f"/obj/{i}" for i in range(8)]
+            for path in paths:  # puts are member-local: still serial
+                client.put(path, b"q" * 25)
+                twin.put(confine("acme", path), b"q" * 25,
+                         make_parents=True)
+            # the path batch must touch both lost and surviving
+            # members for the partial report to be interesting
+            routed = {fleet.route(confine("acme", p)) for p in paths}
+            assert routed & lost and routed - lost
+
+            # fleet dispatch switches to the degraded rpc fleet via
+            # the installed policy — visible to the server's handler
+            # threads, unlike a context manager on this test thread
+            api.set_policy(ExecutionPolicy(
+                executor="rpc", fleet_hosts=hosts, fleet_retries=0,
+                fleet_timeout=10.0, fleet_on_failure="degrade"))
+
+            receipts = client.seal_many(paths, timestamp=2)
+            assert client.last_degraded
+            failed = [r for r in receipts
+                      if isinstance(r, MemberFailure)]
+            sealed = {r.path: r for r in receipts
+                      if not isinstance(r, MemberFailure)}
+            assert failed and sealed
+            assert {f.index for f in failed} <= lost
+            assert all(f.error_type == "RpcConnectionError"
+                       for f in failed)
+
+            # the failed pass opened the health breaker on the dead
+            # host; clear it so the audit places members there again
+            # instead of failing over cleanly to the survivor
+            reset_host_health()
+            report, failures = admin.audit_failures()
+            assert admin.last_degraded
+            assert not report.clean
+            assert {f.index for f in failures} == lost
+            assert any("member audit failed" in e
+                       for e in report.fs_errors)
+
+            # surviving members sealed byte-identical to the twin
+            api.set_policy(None)
+            twin_receipts = twin.seal_many(
+                [confine("acme", p) for p in paths], timestamp=2)
+            by_path = {r.path: r for r in twin_receipts}
+            for path, receipt in sealed.items():
+                assert receipt == by_path[path]
+    finally:
+        api.set_policy(None)
+        worker.stop()
+        close_connection_pools()
+        reset_host_health()
+
+
+def test_unreachable_fleet_is_a_retryable_503():
+    from repro.parallel import reset_host_health
+
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    dead = f"127.0.0.1:{probe.getsockname()[1]}"
+    probe.close()
+    reset_host_health()
+    fleet = FleetStore.create(2, CONFIG)
+    app = GatewayApp(fleet, TokenTable.from_spec(SPEC))
+    try:
+        with GatewayServer(app) as server:
+            admin = GatewayClient(server.address, "root-token")
+            api.set_policy(ExecutionPolicy(
+                executor="rpc", fleet_hosts=(dead,), fleet_retries=0,
+                fleet_timeout=2.0, fleet_on_failure="raise"))
+            with pytest.raises(GatewayHTTPError) as err:
+                admin.audit()
+            assert err.value.status == 503
+            assert err.value.retryable
+    finally:
+        api.set_policy(None)
+        close_connection_pools()
+        reset_host_health()
+
+
+# -- settings ------------------------------------------------------------------
+
+
+def test_inline_token_env_beats_token_file(monkeypatch, tmp_path):
+    spec_file = tmp_path / "tokens.txt"
+    spec_file.write_text("file-tok=acme:r\n")
+    monkeypatch.setenv(api.GATEWAY_TOKENS_ENV_VAR, "env-tok=acme:rw")
+    monkeypatch.setenv(api.GATEWAY_TOKEN_FILE_ENV_VAR, str(spec_file))
+    settings = GatewaySettings.resolve()
+    assert settings.tokens_source == "env"
+    assert settings.tokens.resolve("env-tok").grants["acme"].write
+    with pytest.raises(Exception):
+        settings.tokens.resolve("file-tok")
+
+
+def test_token_file_used_when_no_inline_spec(monkeypatch, tmp_path):
+    spec_file = tmp_path / "tokens.txt"
+    spec_file.write_text("# fleet ops\nfile-tok=acme:r\n")
+    monkeypatch.delenv(api.GATEWAY_TOKENS_ENV_VAR, raising=False)
+    monkeypatch.setenv(api.GATEWAY_TOKEN_FILE_ENV_VAR, str(spec_file))
+    settings = GatewaySettings.resolve()
+    assert settings.tokens_source.startswith("token_file")
+    assert settings.tokens.resolve("file-tok").grants["acme"].read
+
+
+def test_no_credentials_refuse_to_start(monkeypatch):
+    monkeypatch.delenv(api.GATEWAY_TOKENS_ENV_VAR, raising=False)
+    monkeypatch.delenv(api.GATEWAY_TOKEN_FILE_ENV_VAR, raising=False)
+    with pytest.raises(ConfigurationError, match="no gateway"):
+        GatewaySettings.resolve()
+    with pytest.raises(ConfigurationError, match="cannot read"):
+        GatewaySettings.resolve(token_file="/definitely/not/a/file")
+
+
+def test_bind_and_fleet_shape_resolution(monkeypatch):
+    from repro.gateway.settings import GATEWAY_MEMBERS_ENV_VAR
+
+    monkeypatch.setenv(api.GATEWAY_BIND_ENV_VAR, "0.0.0.0:9000")
+    monkeypatch.setenv(GATEWAY_MEMBERS_ENV_VAR, "2")
+    settings = GatewaySettings.resolve(tokens="tok1=acme:rw")
+    assert (settings.host, settings.port) == ("0.0.0.0", 9000)
+    assert settings.bind_source == "env"
+    assert settings.members == 2
+    fleet = settings.build_fleet()
+    assert len(fleet.members) == 2
+    assert fleet.members[0].audit_log is not None
+    monkeypatch.setenv(GATEWAY_MEMBERS_ENV_VAR, "zero")
+    with pytest.raises(ConfigurationError, match="integer"):
+        GatewaySettings.resolve(tokens="tok1=acme:rw")
+
+
+def test_check_tokens_subcommand(monkeypatch, capsys):
+    from repro.gateway.__main__ import main
+
+    monkeypatch.setenv(api.GATEWAY_TOKENS_ENV_VAR,
+                       "tok1=acme:rw;tok2=admin")
+    assert main(["check-tokens"]) == 0
+    assert "2 principal(s)" in capsys.readouterr().out
+    monkeypatch.setenv(api.GATEWAY_TOKENS_ENV_VAR, "broken")
+    assert main(["check-tokens"]) == 2
+
+
+# -- lifecycle -----------------------------------------------------------------
+
+
+def test_draining_gateway_answers_retryable_503():
+    fleet = FleetStore.create(2, CONFIG)
+    app = GatewayApp(fleet, TokenTable.from_spec(SPEC))
+    with GatewayServer(app) as server:
+        client = GatewayClient(server.address, "acme-rw",
+                               tenant="acme")
+        client.put("/pre-drain", b"x")
+        assert app.drain(timeout=5.0)  # empties immediately: idle
+        with pytest.raises(GatewayHTTPError) as err:
+            client.put("/post-drain", b"x")
+        assert err.value.status == 503
+        assert err.value.code == "draining"
+        assert err.value.retryable
+
+
+def test_closed_server_refuses_connections():
+    fleet = FleetStore.create(2, CONFIG)
+    app = GatewayApp(fleet, TokenTable.from_spec(SPEC))
+    server = GatewayServer(app).start()
+    address = server.address
+    client = GatewayClient(address, "acme-rw", tenant="acme")
+    client.put("/alive", b"x")
+    server.close()
+    client.close()
+    with pytest.raises(GatewayConnectionError):
+        GatewayClient(address, "acme-rw", tenant="acme",
+                      timeout=2.0).healthz()
+    server.close()  # idempotent
+
+
+def test_error_body_shape_is_stable(stack):
+    server, _fleet, _twin = stack
+    import http.client
+
+    conn = http.client.HTTPConnection(*server.address.split(":"))
+    conn.request("GET", "/v1/t/acme/get?path=/x",
+                 headers={"Authorization": "Bearer acme-rw"})
+    response = conn.getresponse()
+    body = json.loads(response.read())
+    assert response.status == 404
+    assert set(body) == {"error"}
+    assert set(body["error"]) == {"code", "message", "retryable"}
+    conn.close()
