@@ -28,6 +28,16 @@ Routing properties worth knowing:
   remapped objects to their ring-correct members and, when no sealed
   object is stranded, switches exact O(1) routing back on.
 
+Concurrency: every operation declares its *member footprint* and runs
+under shard-grained locks (:class:`~repro.parallel.MemberLockSet`) —
+object-grain calls lock the holding member, batch calls lock their
+per-member groups in ascending index order, and whole-fleet passes
+(``audit``/``format_devices``/``add_member``/``migrate_unsealed``)
+take an exclusive mode that excludes everything.  Calls on disjoint
+members therefore overlap on real cores while per-member results stay
+byte-identical to a serialized run; ``lock_mode="single"`` forces the
+old one-big-lock behaviour for baseline measurements.
+
 The per-member fan-out functions live at module level so the
 ``process`` executor can pickle them.
 """
@@ -35,11 +45,22 @@ The per-member fan-out functions live at module level so the
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..device.sero import SERODevice
 from ..errors import ConfigurationError, FileExistsError_, FileNotFoundError_
@@ -49,6 +70,7 @@ from ..parallel import (
     FleetExecutor,
     HashRing,
     MemberFailure,
+    MemberLockSet,
     WorkerWall,
     resolve_fleet_executor,
     shard_key,
@@ -236,15 +258,32 @@ class FleetStore:
         max_workers: worker bound for pool executors (None resolves
             through the chain / one per core).
         replicas: virtual nodes per member on the hash ring.
+        lock_mode: ``"shard"`` (default) locks each operation's member
+            footprint only, so concurrent calls on disjoint members
+            overlap; ``"single"`` serialises every call on the
+            whole-fleet exclusive mode — the pre-shard behaviour, kept
+            selectable as the concurrency bench's baseline.
     """
+
+    #: Operations' member footprints, for the docs and the curious:
+    #: object-grain calls lock the holding member; ``seal_many`` /
+    #: ``export_evidence`` lock their per-member groups in ascending
+    #: index order; ``audit`` / ``format_devices`` / ``add_member`` /
+    #: ``migrate_unsealed`` / ``capacity`` take the exclusive mode.
+    LOCK_MODES = ("shard", "single")
 
     def __init__(self, members: Sequence[Union[TamperEvidentStore,
                                                SERODevice]], *,
                  executor: Union[None, str, FleetExecutor] = None,
                  max_workers: Optional[int] = None,
-                 replicas: int = 64) -> None:
+                 replicas: int = 64,
+                 lock_mode: str = "shard") -> None:
         if not members:
             raise ConfigurationError("a FleetStore needs at least one member")
+        if lock_mode not in self.LOCK_MODES:
+            raise ConfigurationError(
+                f"lock_mode must be one of {self.LOCK_MODES}, "
+                f"got {lock_mode!r}")
         self.members: List[TamperEvidentStore] = []
         for member in members:  # plain loop: the deprecation warning
             # must attribute to the caller on every Python version
@@ -254,9 +293,39 @@ class FleetStore:
         self._ring = HashRing([self._node_name(i)
                                for i in range(len(self.members))],
                               replicas=replicas)
+        # ring topology is read on every route and mutated by
+        # add_member; successors() is lazy, so walks materialise under
+        # this mutex (never held together with member locks)
+        self._ring_lock = threading.Lock()
+        self.lock_mode = lock_mode
+        self._locks = MemberLockSet(len(self.members),
+                                    serialize=lock_mode == "single")
         self._archive_homes: Dict[str, int] = {}
         self._grown = False
-        self.last_op = FleetOpStats()
+        # dispatch stats are per handler thread: two concurrent passes
+        # must each read their *own* degraded flag, not the other's
+        self._last_op_local = threading.local()
+        self._last_op_fallback = FleetOpStats()
+
+    @property
+    def last_op(self) -> FleetOpStats:
+        """Dispatch stats of the calling thread's most recent fleet
+        pass (falling back to the newest pass fleet-wide for threads
+        that never dispatched one)."""
+        return getattr(self._last_op_local, "value",
+                       self._last_op_fallback)
+
+    @last_op.setter
+    def last_op(self, stats: FleetOpStats) -> None:
+        self._last_op_local.value = stats
+        self._last_op_fallback = stats
+
+    def exclusive(self):
+        """Context manager: hold the whole fleet exclusively (what
+        ``audit``/``format_devices`` take internally) — for callers
+        composing multi-call invariants, e.g. the gateway's
+        ``history`` endpoint reading every member's log coherently."""
+        return self._locks.exclusive()
 
     @staticmethod
     def _node_name(index: int) -> str:
@@ -271,6 +340,7 @@ class FleetStore:
                executor: Union[None, str, FleetExecutor] = None,
                max_workers: Optional[int] = None,
                replicas: int = 64,
+               lock_mode: str = "shard",
                **overrides) -> "FleetStore":
         """Provision ``n_members`` fresh full stores.
 
@@ -291,7 +361,7 @@ class FleetStore:
             members.append(TamperEvidentStore.create(
                 dataclasses.replace(base, medium_config=medium_config)))
         return cls(members, executor=executor, max_workers=max_workers,
-                   replicas=replicas)
+                   replicas=replicas, lock_mode=lock_mode)
 
     # -- routing -----------------------------------------------------------------
 
@@ -307,7 +377,9 @@ class FleetStore:
         members still routes every path somewhere that can hold it —
         deterministically and rebalance-stably, like the primary arc.
         """
-        for name in self._ring.successors(path):
+        with self._ring_lock:
+            names = list(self._ring.successors(path))
+        for name in names:
             index = int(name[1:])
             if self.members[index].fs is not None:
                 return index
@@ -327,11 +399,19 @@ class FleetStore:
         arc transfer); everything else keeps routing where it already
         lives.  Objects stored under a remapped path remain readable
         through the lookup fallback.
+
+        Growth is a whole-fleet exclusive operation: no shard-grained
+        call observes a half-grown fleet (new member appended, lock
+        and ring arc not yet).
         """
-        index = len(self.members)
-        self.members.append(coerce_member(member, owner="FleetStore"))
-        self._ring.add_node(self._node_name(index))
-        self._grown = True  # lookups must fall back from now on
+        coerced = coerce_member(member, owner="FleetStore")
+        with self._locks.exclusive():
+            index = len(self.members)
+            self.members.append(coerced)
+            self._locks.grow()
+            with self._ring_lock:
+                self._ring.add_node(self._node_name(index))
+            self._grown = True  # lookups must fall back from now on
         return index
 
     @staticmethod
@@ -405,8 +485,13 @@ class FleetStore:
         is in).  One stranded sealed object keeps the fallback on.
 
         Idempotent; run it after each growth step (or batch several
-        ``add_member`` calls and run it once).
+        ``add_member`` calls and run it once).  Whole-fleet exclusive:
+        objects must not move while shard-grained calls are probing.
         """
+        with self._locks.exclusive():
+            return self._migrate_unsealed_locked()
+
+    def _migrate_unsealed_locked(self) -> MigrationReport:
         examined = moved = sealed_kept = 0
         # snapshot the walks first: an object moved to a later member
         # must not be examined a second time on arrival
@@ -439,7 +524,8 @@ class FleetStore:
         — only once the fleet has grown — the fallback scan (an object
         written before a rebalance may live off its current route; a
         never-grown fleet routes exactly, so no other member is ever
-        read)."""
+        read).  Caller must hold the member locks (or the exclusive
+        mode); concurrent paths go through :meth:`_held_holder`."""
         primary = self.route(path)
         order = [primary]
         if self._grown:
@@ -454,6 +540,69 @@ class FleetStore:
             except FileNotFoundError_:
                 continue
         raise FileNotFoundError_(f"no fleet member holds {path!r}")
+
+    # -- footprint locking -------------------------------------------------------
+
+    def _acquire_holder(self, path: str) -> Tuple[int, TamperEvidentStore]:
+        """The lock-step ``_locate`` walk: probe members in
+        ``_locate``'s exact order, holding at most one member lock at
+        any moment (deadlock-free regardless of probe order), and
+        return with the found member's lock *held*.  Caller holds the
+        shared gate and releases the member lock."""
+        primary = self.route(path)
+        order = [primary]
+        if self._grown:
+            order += [i for i in range(len(self.members)) if i != primary]
+        for index in order:
+            store = self.members[index]
+            if store.fs is None:
+                continue
+            self._locks.acquire_member(index)
+            try:
+                store.info(path)
+                return index, store
+            except FileNotFoundError_:
+                self._locks.release_member(index)
+            except BaseException:
+                self._locks.release_member(index)
+                raise
+        raise FileNotFoundError_(f"no fleet member holds {path!r}")
+
+    @contextmanager
+    def _held_holder(self, path: str
+                     ) -> Iterator[Tuple[int, TamperEvidentStore]]:
+        """Shared gate + the holding member's lock, for one read-grain
+        operation on ``path``."""
+        with self._locks.shared():
+            index, store = self._acquire_holder(path)
+            try:
+                yield index, store
+            finally:
+                self._locks.release_member(index)
+
+    @contextmanager
+    def _held_write_target(self, path: str
+                           ) -> Iterator[TamperEvidentStore]:
+        """Shared gate + the lock of the member a write to ``path``
+        must land on: wherever the object already lives (so a
+        post-growth write never forks a second divergent copy off its
+        pre-rebalance home), else the routed member.  On a never-grown
+        fleet this is the routed member directly — no fallback
+        probes."""
+        with self._locks.shared():
+            index: Optional[int] = None
+            if self._grown:
+                try:
+                    index, _store = self._acquire_holder(path)
+                except FileNotFoundError_:
+                    index = None
+            if index is None:
+                index = self.route(path)
+                self._locks.acquire_member(index)
+            try:
+                yield self.members[index]
+            finally:
+                self._locks.release_member(index)
 
     # -- dispatch ----------------------------------------------------------------
 
@@ -498,53 +647,44 @@ class FleetStore:
 
     # -- object grain ------------------------------------------------------------
 
-    def _write_target(self, path: str) -> TamperEvidentStore:
-        """Member a write to ``path`` must land on: wherever the
-        object already lives (so a post-growth write never forks a
-        second divergent copy off its pre-rebalance home), else the
-        routed member.  On a never-grown fleet this is the routed
-        member directly — no fallback reads."""
-        if not self._grown:
-            return self.member_for(path)
-        try:
-            return self._locate(path)[1]
-        except FileNotFoundError_:
-            return self.member_for(path)
-
     def put(self, path: str, data: bytes = b"", *,
             overwrite: bool = False,
             make_parents: bool = False) -> ObjectInfo:
         """Store one object on its owning (or, when new, routed)
         member.  ``make_parents`` creates the directory chain on that
         member first, like :meth:`TamperEvidentStore.put`."""
-        return self._write_target(path).put(path, data,
-                                            overwrite=overwrite,
-                                            make_parents=make_parents)
+        with self._held_write_target(path) as store:
+            return store.put(path, data, overwrite=overwrite,
+                             make_parents=make_parents)
 
     def get(self, path: str) -> bytes:
         """Read one object (fallback scan after rebalances)."""
-        return self._locate(path)[1].get(path)
+        with self._held_holder(path) as (_index, store):
+            return store.get(path)
 
     def delete(self, path: str) -> None:
         """Remove an unsealed object wherever it lives."""
-        self._locate(path)[1].delete(path)
+        with self._held_holder(path) as (_index, store):
+            store.delete(path)
 
     def info(self, path: str) -> ObjectInfo:
         """Metadata of one object."""
-        return self._locate(path)[1].info(path)
+        with self._held_holder(path) as (_index, store):
+            return store.info(path)
 
     # -- the write-once operation -------------------------------------------------
 
     def seal(self, path: str, *,
              timestamp: Optional[int] = None) -> SealReceipt:
         """Seal one object on the member that holds it."""
-        return self._locate(path)[1].seal(path, timestamp=timestamp)
+        with self._held_holder(path) as (_index, store):
+            return store.seal(path, timestamp=timestamp)
 
     def put_sealed(self, path: str, data: bytes, *,
                    timestamp: Optional[int] = None) -> SealReceipt:
         """Store and immediately seal on the owning/routed member."""
-        return self._write_target(path).put_sealed(path, data,
-                                                   timestamp=timestamp)
+        with self._held_write_target(path) as store:
+            return store.put_sealed(path, data, timestamp=timestamp)
 
     def seal_many(self, paths: Sequence[str], *,
                   timestamp: Optional[int] = None) -> List[SealReceipt]:
@@ -556,19 +696,33 @@ class FleetStore:
         member's paths carry its :class:`~repro.parallel.MemberFailure`
         record in place of a receipt — those objects are *not* sealed
         and can be resubmitted verbatim.
+
+        Footprint: the per-member groups' locks, acquired in ascending
+        member-index order once the grouping probes (lock-step, one
+        member lock at a time) settle — two batches with reversed
+        footprints sort identically and cannot deadlock.
         """
-        groups: Dict[int, List[str]] = {}
-        for path in paths:
-            # exact routing while the fleet has never grown — the
-            # charged _locate stat is only needed after a rebalance
-            index = self.route(path) if not self._grown \
-                else self._locate(path)[0]
-            groups.setdefault(index, []).append(path)
-        member_indices = sorted(groups)
-        payloads = self._fan_out("seal_many", member_indices, lambda _p: [
-            partial(_seal_many_member, self.members[i],
-                    tuple(groups[i]), timestamp)
-            for i in member_indices])
+        with self._locks.shared():
+            groups: Dict[int, List[str]] = {}
+            for path in paths:
+                # exact routing while the fleet has never grown — the
+                # charged probe is only needed after a rebalance
+                if not self._grown:
+                    index = self.route(path)
+                else:
+                    index, _store = self._acquire_holder(path)
+                    self._locks.release_member(index)
+                groups.setdefault(index, []).append(path)
+            member_indices = sorted(groups)
+            order = self._locks.acquire_ascending(member_indices)
+            try:
+                payloads = self._fan_out(
+                    "seal_many", member_indices, lambda _p: [
+                        partial(_seal_many_member, self.members[i],
+                                tuple(groups[i]), timestamp)
+                        for i in member_indices])
+            finally:
+                self._locks.release_descending(order)
         by_path: Dict[str, SealReceipt] = {}
         for index, receipts in zip(member_indices, payloads):
             if isinstance(receipts, MemberFailure):
@@ -583,7 +737,8 @@ class FleetStore:
 
     def verify(self, path: str) -> VerifyReport:
         """Verify one sealed object on the member that holds it."""
-        return self._locate(path)[1].verify(path)
+        with self._held_holder(path) as (_index, store):
+            return store.verify(path)
 
     def audit(self, *, deep: bool = False) -> AuditReport:
         """Audit every member, fleet-wide, merged into one report.
@@ -594,11 +749,17 @@ class FleetStore:
         member that failed out of a degraded rpc pass contributes an
         ``fs_errors`` entry instead of line verdicts — an audit that
         could not cover the whole fleet is *not* clean.
+
+        Whole-fleet exclusive: the sweep must observe every member
+        quiescent (and its verification draws advance member RNG
+        streams, which must not interleave with shard-grained ops).
         """
-        member_indices = list(range(len(self.members)))
-        payloads = self._fan_out("audit", member_indices, lambda patch: [
-            partial(_audit_member, self.members[i], deep, patch)
-            for i in member_indices])
+        with self._locks.exclusive():
+            member_indices = list(range(len(self.members)))
+            payloads = self._fan_out(
+                "audit", member_indices, lambda patch: [
+                    partial(_audit_member, self.members[i], deep, patch)
+                    for i in member_indices])
         merged = AuditReport(deep=deep)
         for index, report in zip(member_indices, payloads):
             tag = self._node_name(index)
@@ -630,17 +791,20 @@ class FleetStore:
         member, which seals its share as an ordinary
         :meth:`TamperEvidentStore.export_evidence` bag; the fleet
         export aggregates the sub-bags.
+
+        Footprint: the receiving members' locks, ascending.
         """
         groups: Dict[int, Dict[str, bytes]] = {}
         for name, data in exhibits.items():
             index = self.route(f"{case}/{name}")
             groups.setdefault(index, {})[name] = data
         member_indices = sorted(groups)
-        payloads = self._fan_out(
-            "export_evidence", member_indices, lambda _p: [
-                partial(_export_member, self.members[i], case,
-                        groups[i], timestamp)
-                for i in member_indices])
+        with self._locks.members(member_indices):
+            payloads = self._fan_out(
+                "export_evidence", member_indices, lambda _p: [
+                    partial(_export_member, self.members[i], case,
+                            groups[i], timestamp)
+                    for i in member_indices])
         # a degraded pass yields MemberFailure payloads: their
         # exhibits were never bagged, so the fleet export is not
         # intact (the sub-bags that did seal remain individually
@@ -673,21 +837,35 @@ class FleetStore:
         Re-archiving an existing ``name`` stays on its current home
         (the name must resolve to one snapshot rack-wide; the member's
         content-addressed arena keeps both versions' blocks).
+
+        Footprint: the home (or chosen) member's lock.
         """
-        existing = self._archive_home(name)
-        if existing is not None:
-            return self.members[existing].archive(name, data,
-                                                  timestamp=timestamp)
-        for node in self._ring.successors(shard_key(data)):
-            index = int(node[1:])
-            if self.members[index].venti is not None:
-                receipt = self.members[index].archive(
-                    name, data, timestamp=timestamp)
-                self._archive_homes[name] = index
-                return receipt
-        raise ConfigurationError(
-            "no archive-capable member: create members with "
-            "StoreConfig(archive_blocks=...)")
+        with self._locks.shared():
+            existing = self._archive_home(name)
+            if existing is not None:
+                self._locks.acquire_member(existing)
+                try:
+                    return self.members[existing].archive(
+                        name, data, timestamp=timestamp)
+                finally:
+                    self._locks.release_member(existing)
+            with self._ring_lock:
+                nodes = list(self._ring.successors(shard_key(data)))
+            for node in nodes:
+                index = int(node[1:])
+                if self.members[index].venti is None:
+                    continue
+                self._locks.acquire_member(index)
+                try:
+                    receipt = self.members[index].archive(
+                        name, data, timestamp=timestamp)
+                    self._archive_homes[name] = index
+                    return receipt
+                finally:
+                    self._locks.release_member(index)
+            raise ConfigurationError(
+                "no archive-capable member: create members with "
+                "StoreConfig(archive_blocks=...)")
 
     def retrieve(self, name: str) -> bytes:
         """Read an archived snapshot back from its home member.
@@ -696,27 +874,39 @@ class FleetStore:
         instance did not issue the snapshot itself (a fresh
         ``FleetStore`` over the same rack can still retrieve).
         """
-        index = self._archive_home(name)
-        if index is None:
-            raise ConfigurationError(f"no fleet archive named {name!r}")
-        return self.members[index].retrieve(name)
+        with self._locks.shared():
+            index = self._archive_home(name)
+            if index is None:
+                raise ConfigurationError(
+                    f"no fleet archive named {name!r}")
+            self._locks.acquire_member(index)
+            try:
+                return self.members[index].retrieve(name)
+            finally:
+                self._locks.release_member(index)
 
     # -- device grain --------------------------------------------------------------
 
     def format_devices(self) -> List[FormatReport]:
-        """Run the format-time surface scan on every member."""
-        member_indices = list(range(len(self.members)))
-        return self._fan_out("format_devices", member_indices, lambda _p: [
-            partial(_format_member, self.members[i])
-            for i in member_indices])
+        """Run the format-time surface scan on every member
+        (whole-fleet exclusive)."""
+        with self._locks.exclusive():
+            member_indices = list(range(len(self.members)))
+            return self._fan_out(
+                "format_devices", member_indices, lambda _p: [
+                    partial(_format_member, self.members[i])
+                    for i in member_indices])
 
     def capacity(self) -> Dict[str, int]:
-        """Summed capacity accounting across the whole fleet."""
-        totals: Dict[str, int] = {}
-        for store in self.members:
-            for key, value in store.capacity().items():
-                totals[key] = totals.get(key, 0) + value
-        return totals
+        """Summed capacity accounting across the whole fleet (taken
+        under the exclusive mode so the totals are one coherent
+        snapshot)."""
+        with self._locks.exclusive():
+            totals: Dict[str, int] = {}
+            for store in self.members:
+                for key, value in store.capacity().items():
+                    totals[key] = totals.get(key, 0) + value
+            return totals
 
     def describe(self) -> Dict[str, object]:
         """Inspectable summary: members, routing, last dispatch."""
@@ -724,6 +914,7 @@ class FleetStore:
             "members": len(self.members),
             "ring_nodes": self._ring.nodes,
             "replicas": self._ring.replicas,
+            "lock_mode": self.lock_mode,
             "executor_pin": (self._executor.name
                              if isinstance(self._executor, FleetExecutor)
                              else self._executor),

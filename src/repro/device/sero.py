@@ -659,6 +659,87 @@ class SERODevice:
         self._register(record)
         return record
 
+    def heat_lines(self, specs: Sequence[Tuple[int, int, int]]
+                   ) -> List[LineRecord]:
+        """Batched :meth:`heat_line` over ``(start, n_blocks,
+        timestamp)`` specs (the seal-many device half).
+
+        Digests identical to the serial loop — same blocks, same
+        addresses, same per-line SHA-256 — but computed through
+        :func:`line_hash_many`, so equal-length lines share
+        compression rounds on the pure backend.  The electrical
+        phase (ews + ers read-back, the only RNG-drawing steps of a
+        heat) runs per line in input order, keeping the noise stream
+        identical to a ``heat_line`` loop.  Validation is hoisted:
+        every line's shape/bad-block/overlap checks (including
+        overlaps *within* the batch) run before any magnetic read,
+        so a doomed batch fails before the device is touched; an ers
+        verify failure at line k still raises :class:`HeatError`
+        with lines 0..k-1 heated and registered, exactly like the
+        loop.
+        """
+        specs = [(int(s), int(n), int(t)) for s, n, t in specs]
+        if len(specs) <= 1:
+            return [self.heat_line(s, n, t) for s, n, t in specs]
+        claimed: Dict[int, Tuple[int, int]] = {}
+        for start, n_blocks, _ts in specs:
+            self._check_line_shape(start, n_blocks)
+            if start in self.fragile_blocks:
+                raise BadBlockError(
+                    f"block {start} has defective dots in its "
+                    "electrical region and cannot serve as a line's "
+                    "hash block")
+            for pba in range(start, start + n_blocks):
+                if pba in self.bad_blocks:
+                    raise BadBlockError(
+                        f"line [{start}, {start + n_blocks}) contains "
+                        f"bad block {pba}")
+            for pba in range(start, start + n_blocks):
+                existing = self.line_of_block(pba)
+                if existing is not None and (
+                        existing.start != start
+                        or existing.n_blocks != n_blocks):
+                    raise AlignmentError(
+                        f"line [{start}, {start + n_blocks}) overlaps "
+                        f"heated line at {existing.start} "
+                        f"(+{existing.n_blocks})")
+                batched = claimed.get(pba)
+                if batched is not None and batched != (start, n_blocks):
+                    raise AlignmentError(
+                        f"line [{start}, {start + n_blocks}) overlaps "
+                        f"heated line at {batched[0]} (+{batched[1]})")
+            for pba in range(start, start + n_blocks):
+                claimed[pba] = (start, n_blocks)
+        lines: List[Tuple[List[int], List[bytes]]] = []
+        for start, n_blocks, _ts in specs:
+            addresses = self._line_data_addresses(start, n_blocks)
+            lines.append((addresses,
+                          self._read_line_blocks(addresses)))
+        digests = line_hash_many(
+            lines,
+            include_addresses=self.config.include_addresses_in_hash)
+        records: List[LineRecord] = []
+        for (start, n_blocks, timestamp), digest in zip(specs, digests):
+            payload = ElectricalPayload(
+                line_start=start,
+                n_blocks_log2=n_blocks.bit_length() - 1,
+                line_hash=digest,
+                timestamp=timestamp,
+            ).pack()
+            self.ews_block(start, payload)
+            read_back, tampered, virgin = self._ers_payload(start)
+            if tampered or virgin or read_back != payload:
+                raise HeatError(
+                    f"heat verify failed for line at {start}: "
+                    f"{len(tampered)} tampered cells"
+                    + (" (was the line already heated with different "
+                       "data?)" if tampered else ""))
+            record = LineRecord(start=start, n_blocks=n_blocks,
+                                line_hash=digest, timestamp=timestamp)
+            self._register(record)
+            records.append(record)
+        return records
+
     def _register(self, record: LineRecord) -> None:
         self._lines[record.start] = record
         for pba in range(record.start, record.start + record.n_blocks):

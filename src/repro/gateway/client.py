@@ -16,6 +16,17 @@ Failure model mirrors the server's status mapping:
 * socket-level trouble → :class:`GatewayConnectionError` (always
   retryable; one transparent reconnect covers keep-alive races).
 
+Transient failures are opt-in retryable: construct with
+``retries=N`` and the client re-issues a request that failed with a
+*retryable* error (503 ``fleet_unavailable`` / ``draining``, or a
+connection drop) up to N extra times, honouring the server's
+``Retry-After`` header when present and backing off exponentially
+(``backoff * 2**attempt``, capped at ``max_backoff``) otherwise.
+Non-retryable statuses (401/403/404/409/...) are never retried, and
+``put`` — the one non-idempotent verb — is never retried unless
+``retry_put=True`` (safe when every put carries ``overwrite`` or the
+409 on replay is acceptable).
+
 One client wraps one persistent HTTP/1.1 connection and is **not**
 thread-safe — give each worker thread its own (they are cheap), the
 way ``bench_gateway.py`` does.
@@ -26,6 +37,7 @@ from __future__ import annotations
 import http.client
 import json
 import socket
+import time
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 from urllib.parse import quote
 
@@ -57,14 +69,18 @@ class GatewayHTTPError(GatewayError):
         code: machine-readable error code from the body.
         retryable: server's verdict on whether a verbatim retry can
             succeed (True for 503 fleet_unavailable / draining).
+        retry_after: seconds the server asked us to wait before the
+            retry (the ``Retry-After`` header), or None.
     """
 
     def __init__(self, status: int, code: str, message: str, *,
-                 retryable: bool = False) -> None:
+                 retryable: bool = False,
+                 retry_after: Optional[float] = None) -> None:
         super().__init__(f"gateway answered {status} {code}: {message}")
         self.status = status
         self.code = code
         self.retryable = retryable
+        self.retry_after = retry_after
 
 
 class GatewayClient:
@@ -76,20 +92,36 @@ class GatewayClient:
         tenant: default tenant for the object-grain calls (admins may
             pass ``tenant=`` per call instead).
         timeout: socket timeout per request, seconds.
+        retries: extra attempts after a *retryable* failure (0 — the
+            default — keeps the historic fail-fast behaviour).
+        retry_put: also retry ``put``, the one non-idempotent verb.
+        backoff: base sleep before retry k is ``backoff * 2**k``
+            seconds, used when the server sent no ``Retry-After``.
+        max_backoff: cap on any single retry sleep, seconds.
     """
 
     def __init__(self, address: str, token: str, *,
                  tenant: Optional[str] = None,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0,
+                 retries: int = 0,
+                 retry_put: bool = False,
+                 backoff: float = 0.1,
+                 max_backoff: float = 2.0) -> None:
         host, _sep, port = address.rpartition(":")
         if not host or not port.isdigit():
             raise GatewayError(f"bad gateway address {address!r}: "
                                "expected host:port")
+        if retries < 0:
+            raise GatewayError("retries must be >= 0")
         self._host = host
         self._port = int(port)
         self._token = token
         self._tenant = tenant
         self._timeout = timeout
+        self._retries = retries
+        self._retry_put = retry_put
+        self._backoff = backoff
+        self._max_backoff = max_backoff
         self._conn: Optional[http.client.HTTPConnection] = None
         #: Whether the most recent fleet-wide call came back 207
         #: (degraded pass: some members folded nothing).
@@ -115,8 +147,32 @@ class GatewayClient:
         self.close()
 
     def _request(self, method: str, path: str,
-                 payload: Optional[Dict[str, Any]] = None
+                 payload: Optional[Dict[str, Any]] = None, *,
+                 idempotent: bool = True
                  ) -> Tuple[int, Dict[str, Any]]:
+        """One logical request: ``_request_once`` plus the opt-in
+        retry loop (see class docstring)."""
+        attempts = 1 + (self._retries
+                        if idempotent or self._retry_put else 0)
+        for attempt in range(attempts):
+            try:
+                return self._request_once(method, path, payload)
+            except GatewayConnectionError:
+                if attempt + 1 >= attempts:
+                    raise
+                delay = None
+            except GatewayHTTPError as exc:
+                if not exc.retryable or attempt + 1 >= attempts:
+                    raise
+                delay = exc.retry_after
+            if delay is None:
+                delay = self._backoff * (2 ** attempt)
+            time.sleep(min(self._max_backoff, delay))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_once(self, method: str, path: str,
+                      payload: Optional[Dict[str, Any]] = None
+                      ) -> Tuple[int, Dict[str, Any]]:
         body = json.dumps(payload).encode("utf-8") \
             if payload is not None else None
         headers = {"Authorization": f"Bearer {self._token}"}
@@ -147,11 +203,19 @@ class GatewayClient:
         if status >= 400:
             error = parsed.get("error", {}) \
                 if isinstance(parsed, dict) else {}
+            retry_after: Optional[float] = None
+            raw_after = response.getheader("Retry-After")
+            if raw_after is not None:
+                try:
+                    retry_after = float(raw_after)
+                except ValueError:
+                    retry_after = None  # HTTP-date form: ignore
             raise GatewayHTTPError(
                 status, error.get("code", "unknown"),
                 error.get("message", raw.decode("utf-8",
                                                 "replace")[:200]),
-                retryable=bool(error.get("retryable", False)))
+                retryable=bool(error.get("retryable", False)),
+                retry_after=retry_after)
         return status, parsed
 
     def _tenant_path(self, op: str, tenant: Optional[str]) -> str:
@@ -173,7 +237,7 @@ class GatewayClient:
         _status, wire = self._request(
             "POST", self._tenant_path("put", tenant),
             {"path": path, "data": _schemas.b64encode(data),
-             "overwrite": overwrite})
+             "overwrite": overwrite}, idempotent=False)
         return _schemas.object_info_from_wire(wire)
 
     def get(self, path: str, *, tenant: Optional[str] = None) -> bytes:

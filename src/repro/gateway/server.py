@@ -2,13 +2,17 @@
 
 Stdlib only — :class:`http.server.ThreadingHTTPServer` fronting a
 :class:`GatewayApp` that owns the shared
-:class:`~repro.api.fleet.FleetStore`, the
-:class:`~repro.gateway.auth.TokenTable`, and one re-entrant lock.
-Request handling threads parse HTTP concurrently; fleet operations
-serialise on the lock (the store façade is not thread-safe and the
-self-securing log discipline demands a total instruction order
-anyway) — the service scales on the fleet's own executors underneath,
-not on racing façade calls.
+:class:`~repro.api.fleet.FleetStore` and the
+:class:`~repro.gateway.auth.TokenTable`.  Request handling threads
+parse HTTP concurrently and dispatch straight into the fleet, whose
+shard-grained footprint locks
+(:class:`~repro.parallel.MemberLockSet`) let requests touching
+disjoint members overlap on real cores — the self-securing log
+discipline demands a total instruction order *per member*, not per
+fleet.  Admin passes (audit/format/history) take the fleet's
+whole-fleet exclusive mode; ``lock_mode="single"``
+(``REPRO_GATEWAY_LOCK_MODE=single``) restores the original
+serialise-everything gateway as the concurrency baseline.
 
 Endpoints (all under ``/v1``; bodies are JSON, bulk bytes base64):
 
@@ -58,9 +62,11 @@ executors and pooled rpc connections.
 from __future__ import annotations
 
 import json
+import os
 import socket
 import threading
 import time
+from contextlib import nullcontext
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
@@ -79,7 +85,11 @@ from ..parallel import MemberFailure
 from . import auth as _auth
 from . import schemas as _schemas
 from .auth import AuthError, PathError, Principal, TokenTable
-from .settings import GatewaySettings
+from .settings import (
+    DEFAULT_GATEWAY_LOCK_MODE,
+    GATEWAY_LOCK_MODE_ENV_VAR,
+    GatewaySettings,
+)
 
 #: Refuse request bodies beyond this (a desynchronised or abusive
 #: client must fail fast, like MAX_FRAME_BYTES on the rpc wire).
@@ -130,14 +140,38 @@ class GatewayApp:
     """
 
     def __init__(self, fleet: FleetStore, tokens: TokenTable, *,
-                 settings: Optional[GatewaySettings] = None) -> None:
+                 settings: Optional[GatewaySettings] = None,
+                 lock_mode: Optional[str] = None) -> None:
         self.fleet = fleet
         self.tokens = tokens
         self.settings = settings
+        if lock_mode is None:
+            if settings is not None:
+                lock_mode = settings.lock_mode
+            else:
+                lock_mode = os.environ.get(
+                    GATEWAY_LOCK_MODE_ENV_VAR,
+                    DEFAULT_GATEWAY_LOCK_MODE).strip().lower() \
+                    or DEFAULT_GATEWAY_LOCK_MODE
+        if lock_mode not in FleetStore.LOCK_MODES:
+            raise ConfigurationError(
+                f"gateway lock_mode must be one of "
+                f"{FleetStore.LOCK_MODES}, got {lock_mode!r}")
+        #: ``shard``: handlers dispatch under the fleet's footprint
+        #: locks only; ``single``: every fleet call additionally
+        #: serialises on one app-level lock (the measured baseline).
+        self.lock_mode = lock_mode
         self._lock = threading.RLock()
         self._state = threading.Condition()
         self._inflight = 0
         self._draining = False
+
+    def _fleet_guard(self):
+        """What a handler wraps its fleet call in: the app-wide lock
+        in ``single`` mode, nothing in ``shard`` mode (the fleet's own
+        footprint locks are the concurrency contract)."""
+        return self._lock if self.lock_mode == "single" \
+            else nullcontext()
 
     # -- request lifecycle (draining) ---------------------------------------
 
@@ -310,28 +344,28 @@ class GatewayApp:
         path = self._confine(tenant, payload)
         data = _schemas.b64decode(payload.get("data", ""), what="data")
         overwrite = bool(payload.get("overwrite", False))
-        with self._lock:
+        with self._fleet_guard():
             info = self.fleet.put(path, data, overwrite=overwrite,
                                   make_parents=True)
         return 200, {}, _schemas.object_info_to_wire(info)
 
     def _op_get(self, tenant: str, payload: Dict[str, Any]):
         path = self._confine(tenant, payload)
-        with self._lock:
+        with self._fleet_guard():
             data = self.fleet.get(path)
         return 200, {}, {"path": payload["path"],
                          "data": _schemas.b64encode(data)}
 
     def _op_info(self, tenant: str, payload: Dict[str, Any]):
         path = self._confine(tenant, payload)
-        with self._lock:
+        with self._fleet_guard():
             info = self.fleet.info(path)
         return 200, {}, _schemas.object_info_to_wire(info)
 
     def _op_seal(self, tenant: str, payload: Dict[str, Any]):
         path = self._confine(tenant, payload)
         timestamp = self._timestamp(payload)
-        with self._lock:
+        with self._fleet_guard():
             receipt = self.fleet.seal(path, timestamp=timestamp)
         return 200, {}, _schemas.seal_receipt_to_wire(receipt)
 
@@ -343,7 +377,9 @@ class GatewayApp:
                  else self._confine(tenant, {"path": p})
                  for p in raw_paths]
         timestamp = self._timestamp(payload)
-        with self._lock:
+        # fleet.last_op is thread-local: reading it after the call is
+        # race-free even with other handlers mid-pass.
+        with self._fleet_guard():
             receipts = self.fleet.seal_many(paths, timestamp=timestamp)
             degraded = self.fleet.last_op.degraded
         slots = [_schemas.result_slot_to_wire(r) for r in receipts]
@@ -354,7 +390,7 @@ class GatewayApp:
 
     def _op_verify(self, tenant: str, payload: Dict[str, Any]):
         path = self._confine(tenant, payload)
-        with self._lock:
+        with self._fleet_guard():
             report = self.fleet.verify(path)
         return 200, {}, _schemas.verify_report_to_wire(report)
 
@@ -373,7 +409,7 @@ class GatewayApp:
                 data, what=f"exhibit {name!r}")
         fleet_case = _auth.evidence_case(tenant, case)
         timestamp = self._timestamp(payload)
-        with self._lock:
+        with self._fleet_guard():
             export = self.fleet.export_evidence(
                 fleet_case, exhibits, timestamp=timestamp)
             degraded = self.fleet.last_op.degraded
@@ -421,7 +457,9 @@ class GatewayApp:
 
     def _op_audit(self, query: Dict[str, str]):
         deep = query.get("deep", "") not in ("", "0", "false", "no")
-        with self._lock:
+        # fleet.audit takes the fleet's exclusive mode internally: it
+        # waits for in-flight shard requests, then runs alone.
+        with self._fleet_guard():
             report = self.fleet.audit(deep=deep)
             degraded = self.fleet.last_op.degraded
             failures = [_schemas.member_failure_to_wire(f)
@@ -432,13 +470,15 @@ class GatewayApp:
         return (207 if degraded else 200), {}, wire
 
     def _op_history(self, _query: Dict[str, str]):
-        with self._lock:
+        # no single fleet op wraps this member walk, so take the
+        # fleet's exclusive mode here to freeze every per-member log
+        with self._fleet_guard(), self.fleet.exclusive():
             members = [_schemas.history_to_wire(member.history())
                        for member in self.fleet.members]
         return 200, {}, {"members": members}
 
     def _op_describe(self, _query: Dict[str, str]):
-        with self._lock:
+        with self._fleet_guard(), self.fleet.exclusive():
             fleet_desc = {
                 key: (list(value) if isinstance(value, tuple) else value)
                 for key, value in self.fleet.describe().items()}
@@ -449,7 +489,7 @@ class GatewayApp:
         return 200, {}, body
 
     def _op_format(self, _query: Dict[str, str]):
-        with self._lock:
+        with self._fleet_guard():
             reports = self.fleet.format_devices()
             degraded = self.fleet.last_op.degraded
         slots: List[Dict[str, Any]] = []

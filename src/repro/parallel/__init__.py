@@ -36,6 +36,7 @@ from .executor import (
     resolve_fleet_executor,
     unregister_executor,
 )
+from .locks import MemberLockSet
 from .ring import HashRing, shard_key
 
 #: Remote-executor names, imported lazily (PEP 562): the wire-protocol
@@ -91,6 +92,7 @@ __all__ = [
     "FleetExecutor",
     "HashRing",
     "MemberFailure",
+    "MemberLockSet",
     "MemberTask",
     "ProcessExecutor",
     "SerialExecutor",

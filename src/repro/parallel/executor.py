@@ -270,24 +270,28 @@ class ProcessExecutor(FleetExecutor):
         self.max_workers = max_workers
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_workers = 0
+        self._pool_lock = threading.Lock()
 
     def _ensure_pool(self, workers: int) -> ProcessPoolExecutor:
         """The persistent pool (spawning workers per *pass* would make
-        pool startup, not the fleet, the measured quantity)."""
-        if self._pool is not None and self._pool_workers < workers:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=workers)
-            self._pool_workers = workers
-        return self._pool
+        pool startup, not the fleet, the measured quantity).  Guarded:
+        cached instances are shared across gateway handler threads, and
+        two unlocked creators would leak a pool."""
+        with self._pool_lock:
+            if self._pool is not None and self._pool_workers < workers:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=workers)
+                self._pool_workers = workers
+            return self._pool
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-            self._pool_workers = 0
+        with self._pool_lock:
+            pool, self._pool, self._pool_workers = self._pool, None, 0
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def run(self, tasks: Sequence[MemberTask]) -> ExecutionOutcome:
         n = len(tasks)
@@ -340,12 +344,19 @@ _BUILTIN_EXECUTORS = ("serial", "thread", "process", "rpc")
 #: Instances handed out by :func:`make_executor`, keyed by
 #: ``(name, max_workers)``.  Name-resolved executors are shared so a
 #: process executor's worker pool stays warm across fleet passes.
+#: Concurrent gateway handler threads resolve executors per pass, so
+#: the cache is guarded: an unlocked check-then-set would let two
+#: threads build two process pools and leak one.
 _INSTANCES: Dict[Tuple[str, Optional[int]], FleetExecutor] = {}
+
+_INSTANCES_LOCK = threading.Lock()
 
 
 def _drop_instances(name: str) -> None:
-    for key in [k for k in _INSTANCES if k[0] == name]:
-        instance = _INSTANCES.pop(key)
+    with _INSTANCES_LOCK:
+        dropped = [_INSTANCES.pop(k)
+                   for k in [k for k in _INSTANCES if k[0] == name]]
+    for instance in dropped:
         close = getattr(instance, "close", None)
         if close is not None:
             close()
@@ -367,7 +378,9 @@ def close_executors() -> None:
     closed here too — including when every rpc dispatch went through
     explicit (never-cached) executor instances.
     """
-    for name in {key[0] for key in _INSTANCES}:
+    with _INSTANCES_LOCK:
+        names = {key[0] for key in _INSTANCES}
+    for name in names:
         _drop_instances(name)
     import sys
 
@@ -429,10 +442,11 @@ def make_executor(name: str,
     """
     spec = get_executor_spec(name)
     key = (name, max_workers)
-    instance = _INSTANCES.get(key)
-    if instance is None:
-        instance = spec.factory(max_workers=max_workers)
-        _INSTANCES[key] = instance
+    with _INSTANCES_LOCK:
+        instance = _INSTANCES.get(key)
+        if instance is None:
+            instance = spec.factory(max_workers=max_workers)
+            _INSTANCES[key] = instance
     return instance
 
 

@@ -1,0 +1,158 @@
+"""Batched seal path: ``heat_files`` / ``heat_lines`` equivalence.
+
+The pure-backend ``seal_many`` routes every line hash of a batch
+through :func:`~repro.crypto.hashutil.line_hash_many` lanes.  The
+fidelity bar is *bit-identity with the serial path*: receipts,
+digests, line placement, RNG continuation, fossil catalogue, and
+audit verdicts must all match a ``seal`` loop run on an identically
+provisioned store — only the simulated device seconds may differ
+(the batched seek schedule is different, the work is not).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.store import StoreConfig, TamperEvidentStore
+from repro.crypto import sha256 as _sha
+from repro.device.sero import VerifyStatus
+from repro.errors import ImmutableFileError, NoSpaceError
+
+CONFIG = StoreConfig(total_blocks=256, audit_log=True,
+                     fossil_blocks=64, archive_blocks=64)
+
+
+@pytest.fixture()
+def pure_backend():
+    saved = _sha.get_pinned_backend()
+    _sha.set_backend("pure")
+    try:
+        yield
+    finally:
+        _sha.set_backend(saved)
+
+
+def _store() -> TamperEvidentStore:
+    return TamperEvidentStore.create(CONFIG)
+
+
+def _fill(store: TamperEvidentStore, n: int = 5):
+    paths = []
+    for i in range(n):
+        path = f"/f{i}"
+        # mixed sizes: some lines share a length (one hash lane),
+        # some do not (their own lane)
+        store.put(path, bytes([i + 1]) * (60 + 200 * (i % 3)))
+        paths.append(path)
+    return paths
+
+
+def test_pure_batched_receipts_equal_hashlib_serial(pure_backend):
+    serial = _store()
+    serial_paths = _fill(serial)
+    saved = _sha.get_pinned_backend()
+    _sha.set_backend("hashlib")
+    try:
+        serial_receipts = [serial.seal(p) for p in serial_paths]
+    finally:
+        _sha.set_backend(saved)
+
+    batched = _store()
+    batched_paths = _fill(batched)
+    batched_receipts = batched.seal_many(batched_paths)
+
+    assert batched_receipts == serial_receipts
+    assert batched.receipts == serial.receipts
+
+
+def test_pure_batched_state_equal_pure_serial(pure_backend):
+    serial = _store()
+    paths = _fill(serial)
+    serial_receipts = [serial.seal(p) for p in paths]
+
+    batched = _store()
+    _fill(batched)
+    batched_receipts = batched.seal_many(paths)
+
+    assert batched_receipts == serial_receipts
+    # everything but the simulated clock is bit-identical
+    for a, b in ((serial.device, batched.device),):
+        assert a.medium._rng.bit_generator.state == \
+            b.medium._rng.bit_generator.state
+        assert sorted(a.medium.counters.items()) == \
+            sorted(b.medium.counters.items())
+        assert a.medium._mut_epoch == b.medium._mut_epoch
+        assert sorted(a._lines) == sorted(b._lines)
+    # the fossil catalogue saw the same inserts
+    assert serial.fossil is not None and batched.fossil is not None
+    assert serial.fossil.node_count == batched.fossil.node_count
+    assert serial.fossil.sealed_nodes == batched.fossil.sealed_nodes
+    for receipt in serial_receipts:
+        assert batched.fossil.contains(receipt.line_hash)
+
+
+def test_batched_audit_and_verify_clean(pure_backend):
+    store = _store()
+    paths = _fill(store, n=6)
+    store.seal_many(paths)
+    for path in paths:
+        assert store.verify(path).status is VerifyStatus.INTACT
+    report = store.audit(deep=True)
+    assert not report.fs_errors
+    assert all(r.status is VerifyStatus.INTACT for r in report.reports)
+
+
+def test_duplicate_path_seals_prefix_then_raises(pure_backend):
+    store = _store()
+    paths = _fill(store, n=3)
+    with pytest.raises(ImmutableFileError):
+        store.seal_many([paths[0], paths[1], paths[0], paths[2]])
+    # serial semantics: the prefix before the failure is sealed and
+    # fully recorded; the suffix is untouched
+    assert paths[0] in store.receipts and paths[1] in store.receipts
+    assert paths[2] not in store.receipts
+    assert store.verify(paths[0]).status is VerifyStatus.INTACT
+    assert store.fs._staged_blocks == set()
+    # the suffix path is still sealable afterwards
+    store.seal(paths[2])
+
+
+def test_no_space_mid_batch_commits_prefix(pure_backend):
+    store = TamperEvidentStore.create(
+        StoreConfig(total_blocks=128, audit_log=True))
+    small = "/small"
+    store.put(small, b"s" * 40)
+    big = "/big"
+    store.put(big, b"B" * (40 * 512))  # cannot fit a line this large
+    with pytest.raises(NoSpaceError):
+        store.seal_many([small, big])
+    assert small in store.receipts
+    assert store.verify(small).status is VerifyStatus.INTACT
+    assert store.fs._staged_blocks == set()
+
+
+def test_hashlib_seal_many_unchanged():
+    # default backend: seal_many must stay the plain serial loop,
+    # byte-for-byte (the batched gate is pure-backend only)
+    a, b = _store(), _store()
+    paths = _fill(a)
+    _fill(b)
+    assert a.seal_many(paths) == [b.seal(p) for p in paths]
+    assert a.device.medium._rng.bit_generator.state == \
+        b.device.medium._rng.bit_generator.state
+    assert a.device.account.elapsed == b.device.account.elapsed
+
+
+def test_staged_blocks_invisible_to_allocator(pure_backend):
+    # while lines are staged, the allocator and extent finder must
+    # not hand their blocks out — a batch of same-length lines lands
+    # on distinct extents exactly like the serial loop
+    store = _store()
+    paths = []
+    for i in range(4):
+        path = f"/same{i}"
+        store.put(path, b"x" * 100)
+        paths.append(path)
+    receipts = store.seal_many(paths)
+    starts = [r.line_start for r in receipts]
+    assert len(set(starts)) == len(starts)
