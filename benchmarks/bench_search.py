@@ -1,0 +1,152 @@
+"""Evidence-index floors: indexed queries must beat the full scan by
+an order of magnitude, and the incrementally maintained index must be
+byte-identical to a cold journal rebuild.
+
+One synthetic evidence corpus driven straight through
+:class:`~repro.search.EvidenceIndex` (real
+:class:`~repro.api.SealReceipt` / :class:`~repro.api.VerifyReport`
+dataclasses, no fleet in the loop so the numbers isolate the index):
+
+* **ingest** — ~3k journaled events (puts, seals, deletes, audit
+  passes with per-member verdict records) across four tenants and
+  four members, timed as sustained events/s;
+* **query floor** — a selective tenant+field query and a free-term
+  query answered via the inverted index vs :func:`scan_search`, the
+  naive oracle over the same documents.  Both paths share
+  ``assemble_result``, so the results must be ``==`` and the indexed
+  path must run ≥ :data:`FLOORS` ``indexed_speedup`` × faster
+  (best-of-:data:`REPEATS` each);
+* **rebuild identity** — ``rebuild()`` replays the hash-chained
+  journal into a byte-identical index, and the chain verifies.
+
+Results land in ``BENCH_search.json`` at the repo root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis.report import format_table
+from repro.api import AuditReport, MemberVerdictRecord, SealReceipt
+from repro.api.store import VerifyReport
+from repro.device.sero import VerifyStatus
+from repro.search import EvidenceIndex, scan_search
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+N_OBJECTS = 1536
+N_TENANTS = 4
+N_MEMBERS = 4
+SEAL_EVERY = 10   # 9 of 10 objects sealed, the rest stay mutable
+DELETE_EVERY = 20  # every 20th unsealed object leaves again
+N_AUDITS = 2
+REPEATS = 5
+
+QUERIES = (
+    ("path:/t/t1/ledger/entry-0013", ()),
+    ("tenant:t1 sealed:true", ("member", "verdict")),
+    ("verdict:intact tenant:t2", ("member",)),
+    ("ledger", ("tenant",)),
+)
+
+FLOORS = {"indexed_speedup": 10.0, "rebuild_identity": True,
+          "oracle_equality": True}
+
+
+def _build_corpus():
+    """~3k journaled events; returns (index, sealed receipts)."""
+    index = EvidenceIndex()
+    index.register_alert("tamper", "tampered:true")
+    sealed = []
+    for i in range(N_OBJECTS):
+        tenant = f"t{i % N_TENANTS}"
+        member = i % N_MEMBERS
+        path = f"/t/{tenant}/ledger/entry-{i:04d}"
+        index.note_put(path, size=64 + i % 512, member=member)
+        if i % SEAL_EVERY == 0:
+            if i % DELETE_EVERY == 0:
+                index.note_delete(path)
+            continue
+        receipt = SealReceipt(path=path, line_start=i, n_blocks=1,
+                              line_hash=bytes([i % 256]) * 32,
+                              timestamp=i)
+        index.note_seal(receipt, member=member)
+        sealed.append((member, receipt))
+    for _ in range(N_AUDITS):
+        records = [
+            MemberVerdictRecord(member=member, report=VerifyReport(
+                status=VerifyStatus.INTACT,
+                line_start=receipt.line_start,
+                tamper_evident=False, label=receipt.path))
+            for member, receipt in sealed
+        ]
+        index.note_audit(AuditReport(member_records=records))
+    return index, sealed
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+def test_indexed_search_beats_full_scan(show):
+    t0 = time.perf_counter()
+    index, sealed = _build_corpus()
+    ingest_wall = time.perf_counter() - t0
+    events = len(index.journal)
+    assert events > 1500, events
+
+    rows = []
+    speedups = []
+    for q, facets in QUERIES:
+        indexed, t_indexed = _best_of(
+            lambda q=q, facets=facets: index.search(q, facets=facets))
+        scanned, t_scan = _best_of(
+            lambda q=q, facets=facets: scan_search(
+                index.documents, q, facets=facets))
+        assert indexed == scanned, q  # shared assemble_result: ==
+        assert indexed.total > 0, q   # a floor over an empty query
+        speedup = t_scan / t_indexed
+        speedups.append(speedup)
+        rows.append([q, indexed.total, round(t_indexed * 1e6, 1),
+                     round(t_scan * 1e6, 1), round(speedup, 1)])
+
+    # the floor holds for the selective queries the gateway serves
+    assert max(speedups) >= FLOORS["indexed_speedup"], speedups
+
+    index.verify_journal()
+    rebuilt, rebuild_wall = _best_of(index.rebuild, repeats=1)
+    assert rebuilt.canonical_bytes() == index.canonical_bytes()
+    assert index.alerts == []  # intact corpus: no standing query fired
+
+    show(format_table(
+        ["query", "hits", "indexed us", "scan us", "speedup"],
+        rows,
+        title=f"evidence index vs full scan, {len(index.documents)} "
+              f"docs, {events} journaled events"))
+
+    payload = {
+        "bench": "search",
+        "documents": len(index.documents),
+        "journal_events": events,
+        "sealed_objects": len(sealed),
+        "ingest_wall_s": round(ingest_wall, 6),
+        "ingest_events_per_second": round(events / ingest_wall, 1),
+        "queries": [
+            {"q": q, "hits": hits, "indexed_us": indexed_us,
+             "scan_us": scan_us, "speedup": speedup}
+            for q, hits, indexed_us, scan_us, speedup in rows
+        ],
+        "best_speedup": round(max(speedups), 2),
+        "rebuild_wall_s": round(rebuild_wall, 6),
+        "rebuild_identity": True,
+        "oracle_equality": True,
+        "floors": FLOORS,
+    }
+    (REPO_ROOT / "BENCH_search.json").write_text(
+        json.dumps(payload, indent=2) + "\n")

@@ -43,6 +43,9 @@ from .policy import (
     GATEWAY_BIND_ENV_VAR,
     GATEWAY_TOKEN_FILE_ENV_VAR,
     GATEWAY_TOKENS_ENV_VAR,
+    SEARCH_FRAGMENT_COUNT_ENV_VAR,
+    SEARCH_FRAGMENT_SIZE_ENV_VAR,
+    SEARCH_MAX_HITS_ENV_VAR,
     SHA256_BACKENDS,
     SHA256_ENV_VAR,
     EngineSpec,
@@ -64,6 +67,9 @@ from .policy import (
     resolve_gateway_bind,
     resolve_gateway_token_file,
     resolve_max_workers,
+    resolve_search_fragment_count,
+    resolve_search_fragment_size,
+    resolve_search_max_hits,
     resolve_sha256_backend,
     resolve_vectorized,
     set_policy,
@@ -91,6 +97,7 @@ _STORE_EXPORTS = (
     "SealReceipt",
     "VerifyReport",
     "AuditReport",
+    "MemberVerdictRecord",
     "ArchiveReceipt",
     "EvidenceExport",
     "FormatReport",
@@ -158,6 +165,13 @@ __all__ = [
     "GATEWAY_TOKENS_ENV_VAR",
     "GATEWAY_TOKEN_FILE_ENV_VAR",
     "DEFAULT_GATEWAY_BIND",
+    # evidence search config (the index itself lives in repro.search)
+    "resolve_search_fragment_size",
+    "resolve_search_fragment_count",
+    "resolve_search_max_hits",
+    "SEARCH_FRAGMENT_SIZE_ENV_VAR",
+    "SEARCH_FRAGMENT_COUNT_ENV_VAR",
+    "SEARCH_MAX_HITS_ENV_VAR",
     # store façade
     *_STORE_EXPORTS,
     # fleet façade

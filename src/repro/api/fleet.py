@@ -79,6 +79,7 @@ from .store import (
     AuditReport,
     EvidenceExport,
     FormatReport,
+    MemberVerdictRecord,
     ObjectInfo,
     SealReceipt,
     StoreConfig,
@@ -306,6 +307,11 @@ class FleetStore:
         # must each read their *own* degraded flag, not the other's
         self._last_op_local = threading.local()
         self._last_op_fallback = FleetOpStats()
+        # optional evidence indexer (repro.search.EvidenceIndex shape,
+        # duck-typed so the api layer never imports repro.search):
+        # notified with payloads each op already computed — index
+        # maintenance costs no extra fleet traffic
+        self._indexer = None
 
     @property
     def last_op(self) -> FleetOpStats:
@@ -326,6 +332,14 @@ class FleetStore:
         composing multi-call invariants, e.g. the gateway's
         ``history`` endpoint reading every member's log coherently."""
         return self._locks.exclusive()
+
+    def attach_indexer(self, indexer) -> None:
+        """Attach an evidence indexer (``repro.search.EvidenceIndex``
+        or anything with its ``note_*`` hooks).  Every subsequent
+        put/seal/delete/export/audit feeds the indexer the typed
+        payloads the operation already produced; pass ``None`` to
+        detach."""
+        self._indexer = indexer
 
     @staticmethod
     def _node_name(index: int) -> str:
@@ -582,7 +596,7 @@ class FleetStore:
 
     @contextmanager
     def _held_write_target(self, path: str
-                           ) -> Iterator[TamperEvidentStore]:
+                           ) -> Iterator[Tuple[int, TamperEvidentStore]]:
         """Shared gate + the lock of the member a write to ``path``
         must land on: wherever the object already lives (so a
         post-growth write never forks a second divergent copy off its
@@ -600,7 +614,7 @@ class FleetStore:
                 index = self.route(path)
                 self._locks.acquire_member(index)
             try:
-                yield self.members[index]
+                yield index, self.members[index]
             finally:
                 self._locks.release_member(index)
 
@@ -653,9 +667,12 @@ class FleetStore:
         """Store one object on its owning (or, when new, routed)
         member.  ``make_parents`` creates the directory chain on that
         member first, like :meth:`TamperEvidentStore.put`."""
-        with self._held_write_target(path) as store:
-            return store.put(path, data, overwrite=overwrite,
+        with self._held_write_target(path) as (index, store):
+            info = store.put(path, data, overwrite=overwrite,
                              make_parents=make_parents)
+        if self._indexer is not None:
+            self._indexer.note_put(path, size=info.size, member=index)
+        return info
 
     def get(self, path: str) -> bytes:
         """Read one object (fallback scan after rebalances)."""
@@ -666,6 +683,8 @@ class FleetStore:
         """Remove an unsealed object wherever it lives."""
         with self._held_holder(path) as (_index, store):
             store.delete(path)
+        if self._indexer is not None:
+            self._indexer.note_delete(path)
 
     def info(self, path: str) -> ObjectInfo:
         """Metadata of one object."""
@@ -677,14 +696,21 @@ class FleetStore:
     def seal(self, path: str, *,
              timestamp: Optional[int] = None) -> SealReceipt:
         """Seal one object on the member that holds it."""
-        with self._held_holder(path) as (_index, store):
-            return store.seal(path, timestamp=timestamp)
+        with self._held_holder(path) as (index, store):
+            receipt = store.seal(path, timestamp=timestamp)
+        if self._indexer is not None:
+            self._indexer.note_seal(receipt, member=index)
+        return receipt
 
     def put_sealed(self, path: str, data: bytes, *,
                    timestamp: Optional[int] = None) -> SealReceipt:
         """Store and immediately seal on the owning/routed member."""
-        with self._held_write_target(path) as store:
-            return store.put_sealed(path, data, timestamp=timestamp)
+        with self._held_write_target(path) as (index, store):
+            receipt = store.put_sealed(path, data, timestamp=timestamp)
+        if self._indexer is not None:
+            self._indexer.note_put(path, size=len(data), member=index)
+            self._indexer.note_seal(receipt, member=index)
+        return receipt
 
     def seal_many(self, paths: Sequence[str], *,
                   timestamp: Optional[int] = None) -> List[SealReceipt]:
@@ -731,6 +757,8 @@ class FleetStore:
                 continue
             for path, receipt in zip(groups[index], receipts):
                 by_path[path] = receipt
+                if self._indexer is not None:
+                    self._indexer.note_seal(receipt, member=index)
         return [by_path[path] for path in paths]
 
     # -- verification -------------------------------------------------------------
@@ -769,6 +797,12 @@ class FleetStore:
                     f"{report.attempts} attempt(s): "
                     f"{report.error_type}: {report.message}")
                 continue
+            # typed per-member verdicts keep the *member-local* report
+            # (unprefixed label) so consumers never re-parse the
+            # merged strings
+            merged.member_records.extend(
+                MemberVerdictRecord(member=index, report=r)
+                for r in report.reports)
             merged.reports.extend(
                 dataclasses.replace(
                     r, label=f"{tag}:{r.label}" if r.label is not None
@@ -778,6 +812,9 @@ class FleetStore:
             merged.fs_warnings.extend(f"{tag}: {w}"
                                       for w in report.fs_warnings)
             merged.device_seconds += report.device_seconds
+        if self._indexer is not None:
+            self._indexer.note_audit(merged,
+                                     failures=self.last_op.failures)
         return merged
 
     # -- forensics ----------------------------------------------------------------
@@ -809,6 +846,12 @@ class FleetStore:
         # exhibits were never bagged, so the fleet export is not
         # intact (the sub-bags that did seal remain individually
         # valid and are kept)
+        if self._indexer is not None:
+            for index, payload in zip(member_indices, payloads):
+                if isinstance(payload, MemberFailure):
+                    continue
+                self._indexer.note_export(payload, member=index,
+                                          exhibits=groups[index])
         exports = tuple(p for p in payloads
                         if not isinstance(p, MemberFailure))
         return FleetEvidenceExport(

@@ -112,6 +112,27 @@ GATEWAY_TOKEN_FILE_ENV_VAR = "REPRO_GATEWAY_TOKEN_FILE"
 #: operator must *choose* to expose the service on a real interface.
 DEFAULT_GATEWAY_BIND = "127.0.0.1:8473"
 
+#: Environment variable setting the evidence-search highlighter's
+#: fragment size in characters (lazy; see :mod:`repro.search`).
+SEARCH_FRAGMENT_SIZE_ENV_VAR = "REPRO_SEARCH_FRAGMENT_SIZE"
+
+#: Environment variable setting how many highlighted fragments a
+#: search hit carries (lazy; ``0`` means the whole text, highlighted).
+SEARCH_FRAGMENT_COUNT_ENV_VAR = "REPRO_SEARCH_FRAGMENT_COUNT"
+
+#: Environment variable bounding how many hits one search returns
+#: (lazy; facet counts always cover the full match set).
+SEARCH_MAX_HITS_ENV_VAR = "REPRO_SEARCH_MAX_HITS"
+
+#: Highlighter fragment size when no layer sets one.
+DEFAULT_SEARCH_FRAGMENT_SIZE = 80
+
+#: Highlighted fragments per hit when no layer sets a count.
+DEFAULT_SEARCH_FRAGMENT_COUNT = 3
+
+#: Hits per search when no layer sets a bound.
+DEFAULT_SEARCH_MAX_HITS = 50
+
 #: Executor used when no layer pins one: the reference dispatch.
 DEFAULT_EXECUTOR = "serial"
 
@@ -242,6 +263,12 @@ class ExecutionPolicy:
             (:mod:`repro.gateway`); stored canonicalised.
         gateway_token_file: path to the gateway's bearer-token file
             (one ``token=grant,...`` entry per line).
+        search_fragment_size: evidence-search highlighter fragment
+            size in characters (:mod:`repro.search`).
+        search_fragment_count: highlighted fragments per search hit
+            (``0`` = the whole text, highlighted).
+        search_max_hits: hits one search returns (facet counts always
+            cover the full match set).
     """
 
     engine: Optional[str] = None
@@ -258,6 +285,9 @@ class ExecutionPolicy:
     fleet_secret: Optional[str] = field(default=None, repr=False)
     gateway_bind: Optional[str] = None
     gateway_token_file: Optional[str] = None
+    search_fragment_size: Optional[int] = None
+    search_fragment_count: Optional[int] = None
+    search_max_hits: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.engine is not None:
@@ -306,6 +336,16 @@ class ExecutionPolicy:
         if self.gateway_token_file is not None and \
                 not str(self.gateway_token_file).strip():
             raise ValueError("gateway_token_file must be a path")
+        for name, minimum in (("search_fragment_size", 1),
+                              ("search_fragment_count", 0),
+                              ("search_max_hits", 1)):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise TypeError(f"{name} must be an int or None")
+            if value < minimum:
+                raise ValueError(f"{name} must be >= {minimum}")
         if self.gateway_bind is not None:
             from ..parallel import remote  # lazy, as above
 
@@ -360,7 +400,10 @@ def engine(name: Optional[str] = None, *,
            fleet_on_failure: Optional[str] = None,
            fleet_secret: Optional[str] = None,
            gateway_bind: Optional[str] = None,
-           gateway_token_file: Optional[str] = None
+           gateway_token_file: Optional[str] = None,
+           search_fragment_size: Optional[int] = None,
+           search_fragment_count: Optional[int] = None,
+           search_max_hits: Optional[int] = None
            ) -> Iterator[ExecutionPolicy]:
     """Scoped engine override: ``with repro.engine("scalar"): ...``.
 
@@ -384,7 +427,10 @@ def engine(name: Optional[str] = None, *,
                          fleet_on_failure=fleet_on_failure,
                          fleet_secret=fleet_secret,
                          gateway_bind=gateway_bind,
-                         gateway_token_file=gateway_token_file
+                         gateway_token_file=gateway_token_file,
+                         search_fragment_size=search_fragment_size,
+                         search_fragment_count=search_fragment_count,
+                         search_max_hits=search_max_hits
                          ).use() as pol:
         yield pol
 
@@ -752,6 +798,65 @@ def resolve_gateway_token_file(
     return None, "default"
 
 
+def _resolve_search_int(explicit: Optional[int], *, attr: str,
+                        env_var: str, default: int,
+                        minimum: int) -> Tuple[int, str]:
+    """Shared five-layer walk for the search layer's integer knobs
+    (fragment size / fragment count / max hits).  A below-minimum or
+    unparsable env value is ignored, like the other fleet knobs."""
+    if explicit is not None:
+        if isinstance(explicit, bool) or not isinstance(explicit, int):
+            raise TypeError(f"{attr} must be an int or None")
+        if explicit < minimum:
+            raise ValueError(f"{attr} must be >= {minimum}")
+        return explicit, "explicit"
+    for frame in reversed(_OVERRIDES.get()):
+        value = getattr(frame, attr)
+        if value is not None:
+            return value, "context"
+    if _POLICY is not None and getattr(_POLICY, attr) is not None:
+        return getattr(_POLICY, attr), "policy"
+    raw = os.environ.get(env_var)
+    if raw is not None and raw.strip():
+        try:
+            value = int(raw.strip())
+        except ValueError:
+            value = minimum - 1
+        if value >= minimum:
+            return value, "env"
+    return default, "default"
+
+
+def resolve_search_fragment_size(
+        explicit: Optional[int] = None) -> Tuple[int, str]:
+    """(highlighter fragment size in characters, deciding layer) for
+    the evidence-search layer (:mod:`repro.search`)."""
+    return _resolve_search_int(
+        explicit, attr="search_fragment_size",
+        env_var=SEARCH_FRAGMENT_SIZE_ENV_VAR,
+        default=DEFAULT_SEARCH_FRAGMENT_SIZE, minimum=1)
+
+
+def resolve_search_fragment_count(
+        explicit: Optional[int] = None) -> Tuple[int, str]:
+    """(highlighted fragments per hit, deciding layer); ``0`` means
+    the whole text, highlighted (the openaleph convention)."""
+    return _resolve_search_int(
+        explicit, attr="search_fragment_count",
+        env_var=SEARCH_FRAGMENT_COUNT_ENV_VAR,
+        default=DEFAULT_SEARCH_FRAGMENT_COUNT, minimum=0)
+
+
+def resolve_search_max_hits(
+        explicit: Optional[int] = None) -> Tuple[int, str]:
+    """(hits one search returns, deciding layer).  Facet aggregations
+    always cover the full match set regardless of this bound."""
+    return _resolve_search_int(
+        explicit, attr="search_max_hits",
+        env_var=SEARCH_MAX_HITS_ENV_VAR,
+        default=DEFAULT_SEARCH_MAX_HITS, minimum=1)
+
+
 def describe_policy() -> Dict[str, object]:
     """Inspectable snapshot of the resolution: what would run now, and
     which layer decided it.  The answer an operator needs when a fleet
@@ -778,6 +883,10 @@ def describe_policy() -> Dict[str, object]:
     fleet_secret, secret_source = resolve_fleet_secret()
     gateway_bind, gateway_bind_source = resolve_gateway_bind()
     token_file, token_file_source = resolve_gateway_token_file()
+    fragment_size, fragment_size_source = resolve_search_fragment_size()
+    fragment_count, fragment_count_source = \
+        resolve_search_fragment_count()
+    max_hits, max_hits_source = resolve_search_max_hits()
     from .. import parallel  # lazy; registers the built-in executors
 
     return {
@@ -808,6 +917,12 @@ def describe_policy() -> Dict[str, object]:
         "gateway_bind_source": gateway_bind_source,
         "gateway_token_file": token_file,
         "gateway_token_file_source": token_file_source,
+        "search_fragment_size": fragment_size,
+        "search_fragment_size_source": fragment_size_source,
+        "search_fragment_count": fragment_count,
+        "search_fragment_count_source": fragment_count_source,
+        "search_max_hits": max_hits,
+        "search_max_hits_source": max_hits_source,
         "available_engines": available_engines(),
         "available_executors": parallel.available_executors(),
         "installed_policy": _POLICY,

@@ -179,6 +179,22 @@ class VerifyReport:
         return self.status is VerifyStatus.INTACT
 
 
+@dataclass(frozen=True)
+class MemberVerdictRecord:
+    """One fleet member's verdict on one sealed line, typed.
+
+    A fleet audit merges every member's reports into one
+    :class:`AuditReport` with ``m<i>:``-prefixed labels; these records
+    keep the member index and the *member-local* report (unprefixed
+    label, member-local line numbering) so consumers — the evidence
+    index in particular — get typed verdicts instead of re-parsing
+    report strings.
+    """
+
+    member: int
+    report: VerifyReport
+
+
 @dataclass
 class AuditReport:
     """Outcome of a whole-store audit sweep.
@@ -186,7 +202,9 @@ class AuditReport:
     ``reports`` covers every sealed line of the primary device (and of
     the archive device when one exists), produced by the batched
     ``verify_lines`` engine; ``fs_errors``/``fs_warnings`` are filled
-    by a ``deep`` audit's file-system consistency pass.
+    by a ``deep`` audit's file-system consistency pass.  Fleet audits
+    additionally fill ``member_records`` with each member's typed
+    per-line verdicts (single-store audits leave it empty).
     """
 
     reports: List[VerifyReport] = field(default_factory=list)
@@ -194,6 +212,8 @@ class AuditReport:
     fs_warnings: List[str] = field(default_factory=list)
     device_seconds: float = 0.0
     deep: bool = False
+    member_records: List[MemberVerdictRecord] = field(
+        default_factory=list)
 
     def __iter__(self) -> Iterator[VerifyReport]:
         return iter(self.reports)

@@ -39,7 +39,7 @@ import json
 import socket
 import time
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
-from urllib.parse import quote
+from urllib.parse import quote, urlencode
 
 from ..api.fleet import FleetEvidenceExport
 from ..api.store import (
@@ -50,6 +50,7 @@ from ..api.store import (
 )
 from ..errors import ReproError
 from ..parallel import MemberFailure
+from ..search import SearchResult, StandingQuery, TamperAlert
 from . import schemas as _schemas
 
 
@@ -301,7 +302,59 @@ class GatewayClient:
                           for e in wire.get("exports", [])),
             intact=bool(wire["intact"]))
 
+    def search(self, q: str = "", *,
+               facets: Tuple[str, ...] = (),
+               limit: Optional[int] = None,
+               highlight: bool = False,
+               fragment_size: Optional[int] = None,
+               fragment_count: Optional[int] = None,
+               tenant: Optional[str] = None) -> "SearchResult":
+        """Tenant-confined evidence search (typed
+        :class:`~repro.search.SearchResult`, same as the in-process
+        index's — the server forces the tenant filter)."""
+        params = [("q", q)]
+        if facets:
+            params.append(("facets", ",".join(facets)))
+        if limit is not None:
+            params.append(("limit", str(limit)))
+        if highlight:
+            params.append(("highlight", "1"))
+        if fragment_size is not None:
+            params.append(("fragment_size", str(fragment_size)))
+        if fragment_count is not None:
+            params.append(("fragment_count", str(fragment_count)))
+        _status, wire = self._request(
+            "GET", self._tenant_path("search", tenant) + "?"
+            + urlencode(params))
+        return _schemas.search_result_from_wire(wire)
+
     # -- admin grain --------------------------------------------------------
+
+    def alerts(self) -> Tuple[List["StandingQuery"],
+                              List["TamperAlert"]]:
+        """Standing queries plus every fired tamper alert (admin)."""
+        _status, wire = self._request("GET", "/v1/admin/alerts")
+        return ([_schemas.standing_query_from_wire(sq)
+                 for sq in wire.get("standing", [])],
+                [_schemas.tamper_alert_from_wire(a)
+                 for a in wire.get("alerts", [])])
+
+    def register_alert(self, name: str, query: str, *,
+                       tenant: Optional[str] = None
+                       ) -> "StandingQuery":
+        """Register (or replace) one standing tamper query (admin)."""
+        payload: Dict[str, Any] = {"name": name, "query": query}
+        if tenant is not None:
+            payload["tenant"] = tenant
+        _status, wire = self._request("POST", "/v1/admin/alerts",
+                                      payload)
+        return _schemas.standing_query_from_wire(wire)
+
+    def unregister_alert(self, name: str) -> bool:
+        """Drop one standing query; True when it existed (admin)."""
+        _status, wire = self._request("POST", "/v1/admin/alerts",
+                                      {"unregister": name})
+        return bool(wire.get("unregistered", False))
 
     def audit(self, *, deep: bool = False) -> AuditReport:
         _status, wire = self._request(

@@ -36,8 +36,10 @@ from ..api.store import (
     VerifyReport,
     VerifyStatus,
 )
+from ..api.store import MemberVerdictRecord
 from ..integrity.evidence import EvidenceItem
 from ..parallel import MemberFailure
+from ..search import SearchHit, SearchResult, StandingQuery, TamperAlert
 
 
 class SchemaError(ValueError):
@@ -199,6 +201,10 @@ def audit_report_to_wire(report: AuditReport) -> Dict[str, Any]:
             "fs_warnings": list(report.fs_warnings),
             "device_seconds": report.device_seconds,
             "deep": report.deep,
+            "member_records": [
+                {"member": record.member,
+                 "report": verify_report_to_wire(record.report)}
+                for record in report.member_records],
             # derived, for humans reading the raw JSON; the decoder
             # recomputes them from the reports
             "clean": report.clean,
@@ -209,12 +215,19 @@ def audit_report_to_wire(report: AuditReport) -> Dict[str, Any]:
 def audit_report_from_wire(wire: Dict[str, Any]) -> AuditReport:
     _require(wire, "reports", "fs_errors", "fs_warnings",
              "device_seconds", "deep")
+    member_records = []
+    for entry in wire.get("member_records", ()):
+        _require(entry, "member", "report")
+        member_records.append(MemberVerdictRecord(
+            member=int(entry["member"]),
+            report=verify_report_from_wire(entry["report"])))
     return AuditReport(
         reports=[verify_report_from_wire(r) for r in wire["reports"]],
         fs_errors=list(wire["fs_errors"]),
         fs_warnings=list(wire["fs_warnings"]),
         device_seconds=float(wire["device_seconds"]),
-        deep=bool(wire["deep"]))
+        deep=bool(wire["deep"]),
+        member_records=member_records)
 
 
 # -- Evidence export ----------------------------------------------------------
@@ -271,3 +284,68 @@ def history_from_wire(wire: List) -> List:
         out.append((int(entry["tick"]),
                     b64decode(entry["record"], what="record")))
     return out
+
+
+# -- Evidence search ----------------------------------------------------------
+
+
+def search_hit_to_wire(hit: SearchHit) -> Dict[str, Any]:
+    return {"doc_id": hit.doc_id, "score": hit.score,
+            "fields": dict(hit.fields),
+            "highlights": list(hit.highlights)}
+
+
+def search_hit_from_wire(wire: Dict[str, Any]) -> SearchHit:
+    _require(wire, "doc_id", "score", "fields")
+    if not isinstance(wire["fields"], dict):
+        raise SchemaError("fields must be an object")
+    return SearchHit(doc_id=wire["doc_id"], score=int(wire["score"]),
+                     fields=dict(wire["fields"]),
+                     highlights=tuple(wire.get("highlights", ())))
+
+
+def search_result_to_wire(result: SearchResult) -> Dict[str, Any]:
+    return {"query": result.query, "total": result.total,
+            "hits": [search_hit_to_wire(h) for h in result.hits],
+            "facets": {facet: [[value, count]
+                               for value, count in pairs]
+                       for facet, pairs in result.facets.items()}}
+
+
+def search_result_from_wire(wire: Dict[str, Any]) -> SearchResult:
+    _require(wire, "query", "total", "hits", "facets")
+    if not isinstance(wire["facets"], dict):
+        raise SchemaError("facets must be an object")
+    facets = {}
+    for facet, pairs in wire["facets"].items():
+        facets[facet] = tuple((str(value), int(count))
+                              for value, count in pairs)
+    return SearchResult(
+        query=wire["query"], total=int(wire["total"]),
+        hits=tuple(search_hit_from_wire(h) for h in wire["hits"]),
+        facets=facets)
+
+
+def tamper_alert_to_wire(alert: TamperAlert) -> Dict[str, Any]:
+    return alert.to_json()
+
+
+def tamper_alert_from_wire(wire: Dict[str, Any]) -> TamperAlert:
+    _require(wire, "name", "query", "doc_id", "epoch", "tick")
+    try:
+        return TamperAlert.from_json(wire)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SchemaError(f"bad tamper alert: {exc}") from exc
+
+
+def standing_query_to_wire(standing: StandingQuery) -> Dict[str, Any]:
+    return {"name": standing.name, "query": standing.query,
+            "tenant": standing.tenant}
+
+
+def standing_query_from_wire(wire: Dict[str, Any]) -> StandingQuery:
+    _require(wire, "name", "query")
+    tenant = wire.get("tenant")
+    return StandingQuery(name=str(wire["name"]),
+                         query=str(wire["query"]),
+                         tenant=None if tenant is None else str(tenant))

@@ -27,10 +27,13 @@ POST   /t/<tenant>/seal                 w     SealReceipt
 POST   /t/<tenant>/seal_many            w     receipts (207 degraded)
 GET    /t/<tenant>/verify?path=         r     VerifyReport
 POST   /t/<tenant>/export_evidence      w     evidence bags (207 deg.)
+GET    /t/<tenant>/search?q=            r     SearchResult (confined)
 GET    /admin/audit?deep=               admin AuditReport (207 deg.)
 GET    /admin/history                   admin per-member op log
 GET    /admin/describe                  admin deployment diagnostics
 POST   /admin/format                    admin per-member FormatReport
+GET    /admin/alerts                    admin standing queries+alerts
+POST   /admin/alerts                    admin register/unregister
 ====== ================================ ===== =======================
 
 Failure semantics:
@@ -82,6 +85,7 @@ from ..errors import (
     ReproError,
 )
 from ..parallel import MemberFailure
+from ..search import EvidenceIndex, Query, as_query
 from . import auth as _auth
 from . import schemas as _schemas
 from .auth import AuthError, PathError, Principal, TokenTable
@@ -141,10 +145,16 @@ class GatewayApp:
 
     def __init__(self, fleet: FleetStore, tokens: TokenTable, *,
                  settings: Optional[GatewaySettings] = None,
-                 lock_mode: Optional[str] = None) -> None:
+                 lock_mode: Optional[str] = None,
+                 index: Optional[EvidenceIndex] = None) -> None:
         self.fleet = fleet
         self.tokens = tokens
         self.settings = settings
+        #: The evidence index, fed by the fleet's own op results (no
+        #: extra fleet traffic).  Pass one in to share it with other
+        #: consumers; by default the app owns a fresh one.
+        self.index = index if index is not None else EvidenceIndex()
+        fleet.attach_indexer(self.index)
         if lock_mode is None:
             if settings is not None:
                 lock_mode = settings.lock_mode
@@ -324,6 +334,7 @@ class GatewayApp:
             ("POST", "seal_many"): self._op_seal_many,
             ("GET", "verify"): self._op_verify,
             ("POST", "export_evidence"): self._op_export,
+            ("GET", "search"): self._op_search,
         }
         handler = handlers.get((method, op))
         if handler is None:
@@ -423,6 +434,47 @@ class GatewayApp:
             "exports": [_schemas.evidence_export_to_wire(e)
                         for e in export.exports]}
 
+    def _op_search(self, tenant: str, payload: Dict[str, Any]):
+        """Tenant-confined evidence search.
+
+        Whatever the query says, a ``tenant:<this tenant>`` filter is
+        forced on (user-supplied ``tenant:`` filters are stripped
+        first), so cross-tenant documents are invisible — not merely
+        unreturned.
+        """
+        parsed = as_query(payload.get("q", ""))
+        parsed = Query(
+            terms=parsed.terms,
+            filters=tuple((name, value)
+                          for name, value in parsed.filters
+                          if name != "tenant") + (("tenant", tenant),))
+        facets = tuple(f for f in payload.get("facets", "").split(",")
+                       if f)
+        highlight = payload.get("highlight", "") \
+            not in ("", "0", "false", "no")
+        result = self.index.search(
+            parsed, facets=facets, highlight=highlight,
+            limit=self._int_param(payload, "limit", minimum=1),
+            fragment_size=self._int_param(payload, "fragment_size",
+                                          minimum=1),
+            fragment_count=self._int_param(payload, "fragment_count",
+                                           minimum=0))
+        return 200, {}, _schemas.search_result_to_wire(result)
+
+    @staticmethod
+    def _int_param(payload: Dict[str, Any], key: str, *,
+                   minimum: int) -> Optional[int]:
+        value = payload.get(key)
+        if value is None or value == "":
+            return None
+        try:
+            parsed = int(value)
+        except (TypeError, ValueError):
+            raise _bad_request(f"{key!r} must be an integer") from None
+        if parsed < minimum:
+            raise _bad_request(f"{key!r} must be >= {minimum}")
+        return parsed
+
     @staticmethod
     def _timestamp(payload: Dict[str, Any]) -> Optional[int]:
         value = payload.get("timestamp")
@@ -443,6 +495,8 @@ class GatewayApp:
             ("GET", "history"): self._op_history,
             ("GET", "describe"): self._op_describe,
             ("POST", "format"): self._op_format,
+            ("GET", "alerts"): self._op_alerts,
+            ("POST", "alerts"): self._op_alerts_post,
         }
         handler = handlers.get((method, op))
         if handler is None:
@@ -453,9 +507,9 @@ class GatewayApp:
             # privilege" beats a lying 404 for operability
             raise _forbidden(
                 f"token {principal.label} is not admin")
-        return handler(query)
+        return handler(query, body)
 
-    def _op_audit(self, query: Dict[str, str]):
+    def _op_audit(self, query: Dict[str, str], _body: bytes = b""):
         deep = query.get("deep", "") not in ("", "0", "false", "no")
         # fleet.audit takes the fleet's exclusive mode internally: it
         # waits for in-flight shard requests, then runs alone.
@@ -469,7 +523,7 @@ class GatewayApp:
         wire["failures"] = failures
         return (207 if degraded else 200), {}, wire
 
-    def _op_history(self, _query: Dict[str, str]):
+    def _op_history(self, _query: Dict[str, str], _body: bytes = b""):
         # no single fleet op wraps this member walk, so take the
         # fleet's exclusive mode here to freeze every per-member log
         with self._fleet_guard(), self.fleet.exclusive():
@@ -477,7 +531,7 @@ class GatewayApp:
                        for member in self.fleet.members]
         return 200, {}, {"members": members}
 
-    def _op_describe(self, _query: Dict[str, str]):
+    def _op_describe(self, _query: Dict[str, str], _body: bytes = b""):
         with self._fleet_guard(), self.fleet.exclusive():
             fleet_desc = {
                 key: (list(value) if isinstance(value, tuple) else value)
@@ -488,7 +542,7 @@ class GatewayApp:
             body["settings"]["policy"].pop("installed_policy", None)
         return 200, {}, body
 
-    def _op_format(self, _query: Dict[str, str]):
+    def _op_format(self, _query: Dict[str, str], _body: bytes = b""):
         with self._fleet_guard():
             reports = self.fleet.format_devices()
             degraded = self.fleet.last_op.degraded
@@ -504,6 +558,37 @@ class GatewayApp:
                     "device_seconds": report.device_seconds})
         return (207 if degraded else 200), {}, {
             "reports": slots, "degraded": degraded}
+
+    def _op_alerts(self, _query: Dict[str, str], _body: bytes = b""):
+        """Standing queries plus every fired tamper alert."""
+        return 200, {}, {
+            "standing": [_schemas.standing_query_to_wire(sq)
+                         for sq in self.index.standing_queries()],
+            "alerts": [_schemas.tamper_alert_to_wire(a)
+                       for a in self.index.alerts]}
+
+    def _op_alerts_post(self, _query: Dict[str, str], body: bytes):
+        """Register (``{"name", "query", "tenant"?}``) or unregister
+        (``{"unregister": name}``) one standing query."""
+        payload = self._json_body(body)
+        if "unregister" in payload:
+            name = payload["unregister"]
+            if not isinstance(name, str) or not name:
+                raise _bad_request("'unregister' must be a query name")
+            removed = self.index.unregister_alert(name)
+            return 200, {}, {"unregistered": removed, "name": name}
+        name = payload.get("name")
+        query_text = payload.get("query")
+        if not isinstance(name, str) or not name:
+            raise _bad_request("missing or non-string 'name'")
+        if not isinstance(query_text, str) or not query_text.strip():
+            raise _bad_request("missing or non-string 'query'")
+        tenant = payload.get("tenant")
+        if tenant is not None:
+            tenant = _auth.validate_tenant(tenant)
+        standing = self.index.register_alert(name, query_text,
+                                             tenant=tenant)
+        return 200, {}, _schemas.standing_query_to_wire(standing)
 
 
 # ---------------------------------------------------------------------------

@@ -44,13 +44,16 @@ import argparse
 import json
 import random
 import sys
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..api.fleet import FleetStore
 from ..errors import ConfigurationError
+from ..fs.cleaner import run_cleaner
 from ..parallel.session import store_fingerprint
+from ..search import EvidenceIndex
 
 #: Fault actions a :class:`SoakFault` can schedule.
 FAULT_ACTIONS = ("kill", "restart", "drop_connections")
@@ -96,6 +99,18 @@ class SoakConfig:
     sessions: Optional[bool] = None
     faults: Optional[Tuple[SoakFault, ...]] = None
     partial_fold_probe: bool = True
+    #: LFS cleaner churn inside the trace (delete + segment-clean ops
+    #: mixed into the schedule, applied identically to both twins).
+    churn: bool = True
+    #: After the final checkpoint: this many auditor threads race
+    #: ``race_ops`` mutating ops on the live fleet (the shadow is done
+    #: by then), checking the index/percolator invariants under real
+    #: concurrency.  0 disables the phase.
+    race_auditors: int = 2
+    race_ops: int = 8
+    #: Inject one real tamper at the very end and demand the standing
+    #: alert fires exactly once (and only then).
+    tamper_probe: bool = True
 
     def resolved_faults(self) -> Tuple[SoakFault, ...]:
         """The fault schedule: explicit, else the default chaos trace
@@ -131,6 +146,17 @@ class SoakReport:
     host_health: Dict[str, Dict[str, object]] = field(
         default_factory=dict)
     wall_seconds: float = 0.0
+    #: Index/percolator invariant checks passed (rebuild identity +
+    #: journal chain + zero false alerts, at every checkpoint).
+    index_checks: int = 0
+    #: Audits completed by the post-trace racing-auditor phase.
+    race_audits: int = 0
+    #: "fired_exactly" when the injected tamper raised its standing
+    #: alert exactly once; "violated"; or "not_run".
+    tamper_probe: str = "not_run"
+    #: Tamper alerts fired across the whole run (must equal the
+    #: injected tampers — zero false alerts on clean phases).
+    alerts_fired: int = 0
 
     @property
     def clean(self) -> bool:
@@ -162,6 +188,10 @@ class SoakReport:
             "partial_fold_probe": self.partial_fold_probe,
             "host_health": self.host_health,
             "wall_seconds": round(self.wall_seconds, 6),
+            "index_checks": self.index_checks,
+            "race_audits": self.race_audits,
+            "tamper_probe": self.tamper_probe,
+            "alerts_fired": self.alerts_fired,
             "clean": self.clean,
         }
 
@@ -171,7 +201,10 @@ def build_trace(config: SoakConfig) -> List[Tuple[str, object]]:
 
     Ops are ``("put", (path, payload))``, ``("seal", k)`` (seal up to
     ``k`` pending objects fleet-wide), ``("audit", None)`` and
-    ``("get", None)`` (spot-read a previously written object).  The
+    ``("get", None)`` (spot-read a previously written object).  With
+    ``churn`` on, the schedule also mixes in ``("churn", k)`` (delete
+    up to ``k`` pending objects — dead data for the cleaner) and
+    ``("clean", None)`` (run the LFS cleaner on every member).  The
     trace is a pure function of the seed, so the rpc fleet and the
     serial shadow replay exactly the same pressure.
     """
@@ -180,6 +213,24 @@ def build_trace(config: SoakConfig) -> List[Tuple[str, object]]:
     counter = 0
     for _ in range(config.ops):
         roll = rng.random()
+        if config.churn:
+            if roll < 0.34 or counter == 0:
+                payload = bytes(rng.getrandbits(8)
+                                for _ in range(rng.randrange(8, 160)))
+                trace.append(("put",
+                              (f"/soak-{counter:05d}", payload)))
+                counter += 1
+            elif roll < 0.54:
+                trace.append(("seal", rng.randrange(1, 4)))
+            elif roll < 0.62:
+                trace.append(("churn", rng.randrange(1, 3)))
+            elif roll < 0.68:
+                trace.append(("clean", None))
+            elif roll < 0.82:
+                trace.append(("audit", None))
+            else:
+                trace.append(("get", None))
+            continue
         if roll < 0.40 or counter == 0:
             payload = bytes(rng.getrandbits(8)
                             for _ in range(rng.randrange(8, 160)))
@@ -215,6 +266,21 @@ class _TraceRunner:
             if batch:
                 self.fleet.seal_many(batch)
                 del self.pending[:len(batch)]
+        elif kind == "churn":
+            # delete young (still-unsealed) objects: dead blocks for
+            # the cleaner to reclaim, identical on both twins
+            batch = self.pending[:int(arg)]
+            for path in batch:
+                self.fleet.delete(path)
+                self.written.remove(path)
+            del self.pending[:len(batch)]
+        elif kind == "clean":
+            # run the LFS cleaner directly on every member — a
+            # client-side mutation the rpc session layer must fence
+            # (generation mismatch → automatic re-pin on next ship)
+            for member in self.fleet.members:
+                if member.fs is not None:
+                    run_cleaner(member.fs, max_segments=1)
         elif kind == "audit":
             self.fleet.audit()
         elif kind == "get":
@@ -266,9 +332,44 @@ def run_soak(config: SoakConfig = SoakConfig()) -> SoakReport:
         shadow = FleetStore.create(
             config.members, seed=config.seed, executor="serial",
             total_blocks=config.total_blocks)
+        # the evidence index rides the live fleet's ops (the shadow
+        # stays index-free: the index is maintenance under test, not
+        # part of the byte-identity contract)
+        index = EvidenceIndex()
+        fleet.attach_indexer(index)
+        index.register_alert("soak-tamper", "tampered:true")
         live_run = _TraceRunner(fleet, config.seed)
         shadow_run = _TraceRunner(shadow, config.seed)
         probe_armed = config.partial_fold_probe
+
+        def check_index(label: str, *, expect_alerts: int) -> None:
+            """Index/percolator invariants: the incrementally
+            maintained index must be byte-identical to a rebuild from
+            its journal, the journal chain must verify, and the
+            standing tamper query must have fired exactly
+            ``expect_alerts`` times."""
+            ok = True
+            try:
+                index.verify_journal()
+            except Exception as exc:
+                report.violations.append(
+                    f"{label}: index journal broken: {exc}")
+                ok = False
+            if index.rebuild().canonical_bytes() \
+                    != index.canonical_bytes():
+                report.violations.append(
+                    f"{label}: incremental index diverged from "
+                    f"rebuild()")
+                ok = False
+            fired = len(index.alerts)
+            if fired != expect_alerts:
+                report.violations.append(
+                    f"{label}: standing tamper query fired {fired} "
+                    f"time(s), expected {expect_alerts}")
+                ok = False
+            report.alerts_fired = fired
+            if ok:
+                report.index_checks += 1
 
         def checkpoint(label: str) -> None:
             report.checkpoints += 1
@@ -293,6 +394,7 @@ def run_soak(config: SoakConfig = SoakConfig()) -> SoakReport:
             if _fingerprints(fleet) != _fingerprints(shadow):
                 report.violations.append(
                     f"{label}: post-audit fingerprints diverged")
+            check_index(label, expect_alerts=0)
 
         def probe_partial_fold(label: str) -> None:
             """The no-partial-folds invariant, probed directly: a
@@ -357,6 +459,86 @@ def run_soak(config: SoakConfig = SoakConfig()) -> SoakReport:
             if (op_index + 1) % config.checkpoint_every == 0:
                 checkpoint(f"checkpoint after op {op_index}")
         checkpoint("final checkpoint")
+
+        # -- phase 2: concurrent audits racing mutating ops ------------
+        # (live fleet only — the shadow's byte-identity contract is
+        # settled; this phase stresses the footprint locks and the
+        # index's concurrent ingest instead)
+        if config.race_auditors > 0 and config.race_ops > 0:
+            errors: List[str] = []
+
+            def _auditor(slot: int) -> None:
+                try:
+                    for _ in range(2):
+                        audited = fleet.audit()
+                        if not audited.clean:
+                            errors.append(
+                                f"racing auditor {slot}: audit not "
+                                f"clean on untampered fleet")
+                        report.race_audits += 1
+                except Exception as exc:  # noqa: BLE001 - reported
+                    errors.append(f"racing auditor {slot}: {exc}")
+
+            auditors = [threading.Thread(target=_auditor, args=(i,))
+                        for i in range(config.race_auditors)]
+            for thread in auditors:
+                thread.start()
+            race_rng = random.Random(config.seed ^ 0xACE5)
+            race_paths = []
+            try:
+                for i in range(config.race_ops):
+                    path = f"/soak-race-{i:03d}"
+                    payload = bytes(race_rng.getrandbits(8)
+                                    for _ in range(32))
+                    fleet.put(path, payload)
+                    race_paths.append(path)
+                    if len(race_paths) % 3 == 0:
+                        fleet.seal_many(race_paths[-3:])
+            except Exception as exc:  # noqa: BLE001 - reported
+                errors.append(f"racing mutator: {exc}")
+            finally:
+                for thread in auditors:
+                    thread.join()
+            report.violations.extend(errors)
+            check_index("race phase", expect_alerts=0)
+
+        # -- phase 3: injected tamper must fire the standing alert -----
+        if config.tamper_probe:
+            from ..security.attacks import mwb_data
+
+            target = None
+            for m_index, member in enumerate(fleet.members):
+                for path in sorted(member.receipts):
+                    target = (m_index, member, member.receipts[path],
+                              path)
+                    break
+                if target is not None:
+                    break
+            if target is None:
+                report.tamper_probe = "no_sealed_object"
+            else:
+                m_index, member, receipt, path = target
+                before = len(index.alerts)
+                mwb_data(member.device, receipt.line_start)
+                tampered_audit = fleet.audit()
+                new_alerts = index.alerts[before:]
+                doc_id = f"obj:{path}"
+                if tampered_audit.clean:
+                    report.violations.append(
+                        "tamper probe: audit stayed clean after "
+                        "mwb_data forgery")
+                    report.tamper_probe = "violated"
+                elif len(new_alerts) != 1 \
+                        or new_alerts[0].doc_id != doc_id:
+                    report.violations.append(
+                        f"tamper probe: expected exactly one alert on "
+                        f"{doc_id}, got "
+                        f"{[(a.name, a.doc_id) for a in new_alerts]}")
+                    report.tamper_probe = "violated"
+                else:
+                    report.tamper_probe = "fired_exactly"
+                check_index("tamper probe",
+                            expect_alerts=before + len(new_alerts))
         report.host_health = host_health_snapshot()
     finally:
         report.wall_seconds = time.perf_counter() - t0
@@ -436,6 +618,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--sessions", action="store_true", default=None,
                         help="force rpc session mode (default: resolve "
                              "through the policy chain / env)")
+    parser.add_argument("--no-churn", dest="churn",
+                        action="store_false", default=True,
+                        help="disable LFS cleaner churn in the trace")
+    parser.add_argument("--race-auditors", type=int, default=2,
+                        help="post-trace auditor threads racing "
+                             "mutating ops (0 disables the phase)")
+    parser.add_argument("--race-ops", type=int, default=8)
+    parser.add_argument("--no-tamper-probe", dest="tamper_probe",
+                        action="store_false", default=True,
+                        help="skip the end-of-run tamper injection")
     parser.add_argument("--json", default="BENCH_soak.json",
                         help="result file path ('-' to skip)")
     args = parser.parse_args(argv)
@@ -443,7 +635,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         members=args.members, workers=args.workers, ops=args.ops,
         seed=args.seed, checkpoint_every=args.checkpoint_every,
         retries=args.retries, timeout=args.timeout,
-        sessions=args.sessions)
+        sessions=args.sessions, churn=args.churn,
+        race_auditors=args.race_auditors, race_ops=args.race_ops,
+        tamper_probe=args.tamper_probe)
     report = run_soak(config)
     payload = report.to_json()
     payload["config"] = {
@@ -452,6 +646,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "checkpoint_every": config.checkpoint_every,
         "retries": config.retries, "timeout": config.timeout,
         "sessions": bool(config.sessions),
+        "churn": config.churn,
+        "race_auditors": config.race_auditors,
+        "race_ops": config.race_ops,
+        "tamper_probe": config.tamper_probe,
     }
     runs_recorded = 1
     if args.json != "-":
@@ -465,6 +663,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"({report.audits_clean} clean audits), "
           f"failover retries {sum(report.retries.values())}, "
           f"partial-fold probe: {report.partial_fold_probe}, "
+          f"index checks {report.index_checks}, "
+          f"race audits {report.race_audits}, "
+          f"tamper probe: {report.tamper_probe} "
+          f"({report.alerts_fired} alert(s)), "
           f"{report.ops_per_second:.2f} ops/s under faults, "
           f"{report.wall_seconds:.1f}s "
           f"(trajectory: {runs_recorded} run(s))")

@@ -62,11 +62,19 @@ EXPECTED_API = sorted([
     "GATEWAY_TOKEN_FILE_ENV_VAR",
     "resolve_gateway_bind",
     "resolve_gateway_token_file",
+    # evidence search config (PR 10; the index itself is repro.search)
+    "SEARCH_FRAGMENT_COUNT_ENV_VAR",
+    "SEARCH_FRAGMENT_SIZE_ENV_VAR",
+    "SEARCH_MAX_HITS_ENV_VAR",
+    "resolve_search_fragment_count",
+    "resolve_search_fragment_size",
+    "resolve_search_max_hits",
     # store façade
     "ArchiveReceipt",
     "AuditReport",
     "EvidenceExport",
     "FormatReport",
+    "MemberVerdictRecord",
     "ObjectInfo",
     "SealReceipt",
     "StoreConfig",

@@ -389,3 +389,59 @@ def test_gateway_rejects_unknown_lock_mode():
     with pytest.raises(ConfigurationError):
         GatewayApp(fleet, TokenTable.from_spec(SPEC),
                    lock_mode="banana")
+
+
+# -- typed member verdicts under both lock modes --------------------------------
+
+
+def test_member_records_identical_across_lock_modes():
+    """A fleet audit exposes the same typed per-member verdict
+    records whether members are locked per-shard or behind the
+    single fleet lock, with member-local (unprefixed) labels."""
+    shard = FleetStore.create(3, CONFIG, lock_mode="shard")
+    single = FleetStore.create(3, CONFIG, lock_mode="single")
+    pinned = _pin_paths(shard, 2)
+    for fleet in (shard, single):
+        for member, paths in pinned.items():
+            for path in paths:
+                fleet.put(path, bytes([member + 1]) * 40,
+                          make_parents=True)
+        fleet.seal_many([p for paths in pinned.values()
+                         for p in paths])
+
+    reports = {mode: fleet.audit()
+               for mode, fleet in (("shard", shard),
+                                   ("single", single))}
+    assert reports["shard"] == reports["single"]
+    records = reports["shard"].member_records
+    assert {r.member for r in records} == set(pinned)
+    for record in records:
+        # member-local: the merged "m<i>:" prefix never leaks in
+        assert not record.report.label.startswith(
+            f"m{record.member}:")
+        assert record.report.intact
+
+
+def test_index_feed_identical_across_lock_modes():
+    """The evidence index sees the same journal regardless of lock
+    mode: same ops in, byte-identical canonical state out."""
+    from repro.search import EvidenceIndex
+
+    states = {}
+    for mode in ("shard", "single"):
+        fleet = FleetStore.create(3, CONFIG, lock_mode=mode)
+        index = EvidenceIndex()
+        fleet.attach_indexer(index)
+        pinned = _pin_paths(fleet, 2)
+        for member, paths in pinned.items():
+            for path in paths:
+                fleet.put(path, bytes([member + 1]) * 40,
+                          make_parents=True)
+        fleet.seal_many([p for paths in pinned.values()
+                         for p in paths])
+        fleet.audit()
+        index.verify_journal()
+        assert index.rebuild().canonical_bytes() == \
+            index.canonical_bytes()
+        states[mode] = index.canonical_bytes()
+    assert states["shard"] == states["single"]

@@ -1,6 +1,6 @@
 """The HTTP gateway end to end: real sockets, typed round trips.
 
-Four layers:
+Five layers:
 
 * **byte-identity** — every object/fleet operation issued through
   :class:`GatewayClient` must return results ``==`` to the same
@@ -16,7 +16,12 @@ Four layers:
   beats token file, missing credentials refuse to start, fleet-shape
   env knobs;
 * **lifecycle** — graceful drain answers 503 to new requests and the
-  closed server refuses connections.
+  closed server refuses connections;
+* **evidence search** — ``/v1/t/<tenant>/search`` is tenant-confined
+  (smuggled tenant filters stripped), standing tamper alerts fire
+  exactly once per transition through ``/v1/admin/alerts``, and
+  degraded audits surface typed member-failure documents in the
+  gateway's evidence index.
 """
 
 from __future__ import annotations
@@ -224,6 +229,19 @@ def test_degraded_pass_surfaces_as_207_with_typed_failures():
             assert {f.index for f in failures} == lost
             assert any("member audit failed" in e
                        for e in report.fs_errors)
+
+            # the gateway's evidence index recorded the degraded
+            # pass as typed member-failure documents, faceted per
+            # lost member (tenant-less, so only visible in-process)
+            lost_docs = app.index.search(
+                "verdict:member-failure", facets=("member", "type"))
+            assert lost_docs.total == len(lost)
+            assert dict(lost_docs.facets["member"]) == \
+                {f"m{i}": 1 for i in lost}
+            assert dict(lost_docs.facets["type"]) == \
+                {"failure": len(lost)}
+            assert {h.fields["error_type"]
+                    for h in lost_docs.hits} == {"RpcConnectionError"}
 
             # surviving members sealed byte-identical to the twin
             api.set_policy(None)
@@ -501,3 +519,110 @@ def test_client_rejects_negative_retries():
 
     with pytest.raises(GatewayError):
         GatewayClient("127.0.0.1:1", "t", retries=-1)
+
+
+# -- evidence search over HTTP -------------------------------------------------
+
+
+def test_search_round_trip_matches_app_index(stack):
+    from repro.search import Query
+
+    server, _fleet, _twin = stack
+    client = GatewayClient(server.address, "acme-rw", tenant="acme")
+    admin = GatewayClient(server.address, "root-token")
+
+    client.put("/inv/alpha", b"alpha entry")
+    client.put("/inv/beta", b"beta entry")
+    client.seal("/inv/alpha", timestamp=9)
+    report = admin.audit()
+    assert report.clean
+    # typed per-member verdict records survive the HTTP round trip
+    assert report.member_records
+    assert all(not r.report.label.startswith("m")
+               for r in report.member_records)
+
+    result = client.search("", facets=("sealed", "verdict"))
+    assert result.total == 2
+    assert dict(result.facets["sealed"]) == {"false": 1, "true": 1}
+    assert ("intact", 1) in result.facets["verdict"]
+
+    # the wire result is == the app index queried with the same
+    # forced-tenant query the handler builds
+    expected = server.app.index.search(
+        Query(terms=(), filters=(("tenant", "acme"),)),
+        facets=("sealed", "verdict"))
+    assert result == expected
+
+
+def test_search_highlights_evidence_text(stack):
+    server, _fleet, _twin = stack
+    client = GatewayClient(server.address, "acme-rw", tenant="acme")
+    client.export_evidence(
+        "case-11", {"note.txt": b"a forged ledger line"}, timestamp=5)
+    result = client.search("forged", highlight=True,
+                           fragment_size=30, fragment_count=1)
+    assert result.total == 1
+    hit = result.hits[0]
+    assert hit.doc_id.startswith("ev:acme--case-11/")
+    assert any("<em>forged</em>" in frag for frag in hit.highlights)
+
+
+def test_search_is_tenant_confined(stack):
+    server, _fleet, _twin = stack
+    acme = GatewayClient(server.address, "acme-rw", tenant="acme")
+    globex = GatewayClient(server.address, "globex-rw",
+                           tenant="globex")
+    acme.put("/doc", b"acme secret")
+    globex.put("/doc", b"globex secret")
+
+    mine = acme.search("")
+    assert {h.fields["tenant"] for h in mine.hits} == {"acme"}
+    # a smuggled tenant filter is stripped and replaced: globex
+    # documents never appear in acme results
+    smuggled = acme.search("tenant:globex")
+    assert {h.fields["tenant"] for h in smuggled.hits} == {"acme"}
+    theirs = globex.search("")
+    assert {h.fields["tenant"] for h in theirs.hits} == {"globex"}
+
+
+def test_standing_alert_lifecycle_over_http(stack):
+    from repro.security.attacks import mwb_data
+
+    server, fleet, _twin = stack
+    client = GatewayClient(server.address, "acme-rw", tenant="acme")
+    admin = GatewayClient(server.address, "root-token")
+
+    standing = admin.register_alert("tamper", "tampered:true")
+    assert (standing.name, standing.query) == ("tamper",
+                                               "tampered:true")
+    client.put("/vault/x", b"sealed payload")
+    client.seal("/vault/x", timestamp=3)
+    assert admin.audit().clean
+    _standing, alerts = admin.alerts()
+    assert alerts == []
+
+    path = confine("acme", "/vault/x")
+    member = fleet.members[fleet.route(path)]
+    mwb_data(member.device, member.receipts[path].line_start)
+    assert not admin.audit().clean
+
+    _standing, alerts = admin.alerts()
+    assert [a.doc_id for a in alerts] == [f"obj:{path}"]
+    assert alerts[0].name == "tamper"
+    admin.audit()  # unchanged verdict: no re-fire over HTTP either
+    assert len(admin.alerts()[1]) == 1
+
+    assert admin.unregister_alert("tamper") is True
+    standing, alerts = admin.alerts()
+    assert standing == [] and len(alerts) == 1  # alerts are retained
+
+
+def test_search_rejects_bad_parameters(stack):
+    server, _fleet, _twin = stack
+    client = GatewayClient(server.address, "acme-rw", tenant="acme")
+    with pytest.raises(GatewayHTTPError) as err:
+        client.search(limit=0)
+    assert err.value.status == 400
+    with pytest.raises(GatewayHTTPError) as err:
+        client.search(fragment_size=0)
+    assert err.value.status == 400

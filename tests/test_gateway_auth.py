@@ -253,7 +253,7 @@ def test_admin_reaches_every_tenant(app):
 
 @pytest.mark.parametrize("method,op", [
     ("GET", "audit"), ("GET", "history"), ("GET", "describe"),
-    ("POST", "format"),
+    ("GET", "alerts"), ("POST", "format"),
 ])
 def test_admin_endpoints_403_for_tenant_tokens(app, method, op):
     status, _h, body = _call(app, method, f"/v1/admin/{op}",
@@ -322,3 +322,38 @@ def test_conflict_and_validation_statuses(app):
     assert status == 400
     status, _h, body = _call(app, "GET", "/v1/nope/где", "acme-rw")
     assert status == 404
+
+
+def test_search_without_grant_matches_missing_object_byte_for_byte(app):
+    _seed(app, "acme")
+    # globex-rw holds no grant on acme: probing the search endpoint
+    # must be indistinguishable from a missing object
+    cross = _call(app, "GET", "/v1/t/acme/search?q=doc", "globex-rw")
+    missing = _call(app, "GET", "/v1/t/acme/get?path=/nope",
+                    "acme-rw")
+    assert cross[0] == missing[0] == 404
+    assert cross[2] == missing[2]
+
+
+def test_alert_registration_is_admin_only_and_validated(app):
+    denied = _call(app, "POST", "/v1/admin/alerts", "acme-rw",
+                   {"name": "t", "query": "tampered:true"})
+    assert denied[0] == 403
+
+    bad = _call(app, "POST", "/v1/admin/alerts", "root-token",
+                {"name": "t"})
+    assert bad[0] == 400  # query is required
+
+    ok = _call(app, "POST", "/v1/admin/alerts", "root-token",
+               {"name": "t", "query": "tampered:true",
+                "tenant": "acme"})
+    assert ok[0] == 200
+    assert ok[2] == {"name": "t", "query": "tampered:true",
+                     "tenant": "acme"}
+
+    gone = _call(app, "POST", "/v1/admin/alerts", "root-token",
+                 {"unregister": "t"})
+    assert gone[0] == 200 and gone[2]["unregistered"] is True
+    listing = _call(app, "GET", "/v1/admin/alerts", "root-token")
+    assert listing[0] == 200
+    assert listing[2] == {"standing": [], "alerts": []}
